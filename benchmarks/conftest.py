@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Each figure/table benchmark runs its generator once (``pedantic`` with a
+single round — these are end-to-end simulations, not microbenchmarks),
+asserts the paper's shape claims, prints the rows/series the paper
+reports, and archives them under ``benchmarks/results/``.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def archive(results_dir):
+    """Write a report to benchmarks/results/<name>.txt and echo it."""
+
+    def _archive(name: str, text: str) -> str:
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"\n{text}\n[archived to {path}]")
+        return path
+
+    return _archive

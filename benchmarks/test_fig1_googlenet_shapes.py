@@ -1,0 +1,40 @@
+"""Fig. 1 — regenerate the GoogLeNet architecture walk.
+
+Paper: 224x224 input -> (224x224x3) -> stem -> (56x56x64) -> inception
+stack -> (7x7x1024) -> 1000 scores.  We regenerate the dimensions (with a
+real numpy forward pass verifying them) and the feature sizes at every
+spine position.
+"""
+
+from repro.eval.fig1 import format_fig1, run_fig1
+
+
+def test_fig1_googlenet_architecture(benchmark, archive):
+    rows = benchmark.pedantic(
+        lambda: run_fig1("googlenet", verify_numerically=True),
+        rounds=1,
+        iterations=1,
+    )
+    by_name = {row.name: row for row in rows}
+
+    # The paper's Fig. 1 checkpoints.
+    assert by_name["input"].output_shape == (3, 224, 224)
+    assert by_name["conv1_7x7_s2"].output_shape == (64, 112, 112)
+    assert by_name["pool1_3x3_s2"].output_shape == (64, 56, 56)
+    assert by_name["pool2_3x3_s2"].output_shape == (192, 28, 28)
+    assert by_name["inception_3a"].output_shape == (256, 28, 28)
+    assert by_name["pool4_3x3_s2"].output_shape == (832, 7, 7)
+    assert by_name["inception_5b"].output_shape == (1024, 7, 7)
+    assert by_name["prob"].output_shape == (1000,)
+
+    # The feature sizes quoted in §IV.B (14.7 MB / 2.9 MB).
+    assert by_name["conv1_7x7_s2"].feature_text_mb == pytest_approx(14.7, 0.25)
+    assert by_name["pool1_3x3_s2"].feature_text_mb == pytest_approx(2.9, 0.35)
+
+    archive("fig1_googlenet", format_fig1(rows))
+
+
+def pytest_approx(value, rel):
+    import pytest
+
+    return pytest.approx(value, rel=rel)

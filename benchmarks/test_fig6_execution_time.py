@@ -1,0 +1,55 @@
+"""Fig. 6 — execution time of inference in three web apps.
+
+Regenerates the paper's five bars (Client, Server, Offloading before ACK,
+Offloading after ACK, Offloading with partial inference) for GoogLeNet,
+AgeNet and GenderNet, and asserts the qualitative results:
+
+* server ≪ client for every app;
+* offloading after the ACK is comparable to server-only;
+* offloading before the ACK is much slower — and for AgeNet/GenderNet
+  (44 MB models) slower than local execution;
+* partial inference trades some time for privacy.
+"""
+
+import pytest
+
+from repro.eval.fig6 import check_fig6_shape, format_fig6, run_fig6
+from repro.nn.zoo import PAPER_MODELS
+
+
+@pytest.fixture(scope="module")
+def fig6_rows():
+    return run_fig6(models=PAPER_MODELS)
+
+
+def test_fig6_regenerate_and_check_shape(benchmark, archive, fig6_rows):
+    rows = benchmark.pedantic(lambda: fig6_rows, rounds=1, iterations=1)
+    violations = check_fig6_shape(rows)
+    archive("fig6_execution_time", format_fig6(rows))
+    assert violations == [], violations
+
+
+def test_fig6_server_much_faster_than_client(fig6_rows):
+    for row in fig6_rows:
+        assert row.seconds("server") < row.seconds("client") / 5
+
+
+def test_fig6_after_ack_close_to_server_only(fig6_rows):
+    for row in fig6_rows:
+        gap = row.seconds("offload_after_ack") - row.seconds("server")
+        assert gap < 1.2  # migration overhead stays ~sub-second
+
+def test_fig6_agenet_gendernet_before_ack_slower_than_local(fig6_rows):
+    for row in fig6_rows:
+        if row.model in ("agenet", "gendernet"):
+            assert row.seconds("offload_before_ack") > row.seconds("client")
+
+
+def test_fig6_googlenet_before_ack_still_beats_local(fig6_rows):
+    row = next(r for r in fig6_rows if r.model == "googlenet")
+    assert row.seconds("offload_before_ack") < row.seconds("client")
+
+
+def test_fig6_every_configuration_computes_correct_label(fig6_rows):
+    for row in fig6_rows:
+        assert row.all_correct()

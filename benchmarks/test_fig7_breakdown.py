@@ -1,0 +1,47 @@
+"""Fig. 7 — breakdown of the inference time.
+
+Regenerates the stacked bars for offload-after-ACK and partial inference
+across the three apps, and asserts the paper's findings: the snapshot
+capture/restore overhead is negligible next to DNN execution, and server
+execution dominates the inference time.
+"""
+
+import pytest
+
+from repro.eval.fig7 import check_fig7_shape, format_fig7, run_fig7
+from repro.nn.zoo import PAPER_MODELS
+
+
+@pytest.fixture(scope="module")
+def fig7_bars():
+    return run_fig7(models=PAPER_MODELS)
+
+
+def test_fig7_regenerate_and_check_shape(benchmark, archive, fig7_bars):
+    bars = benchmark.pedantic(lambda: fig7_bars, rounds=1, iterations=1)
+    violations = check_fig7_shape(bars)
+    archive("fig7_breakdown", format_fig7(bars))
+    assert violations == [], violations
+
+
+def test_fig7_snapshot_overhead_negligible(fig7_bars):
+    for bar in fig7_bars:
+        assert bar.snapshot_overhead() < 0.1 * bar.total, (
+            f"{bar.model}/{bar.configuration}: snapshot overhead "
+            f"{bar.snapshot_overhead():.3f}s vs total {bar.total:.3f}s"
+        )
+
+
+def test_fig7_server_exec_dominates_full_offload(fig7_bars):
+    for bar in fig7_bars:
+        if bar.configuration == "offload_after_ack":
+            assert bar.segments["server_exec"] > 0.5 * bar.total
+
+
+def test_fig7_partial_shifts_time_to_client(fig7_bars):
+    by_key = {(bar.model, bar.configuration): bar for bar in fig7_bars}
+    for model in PAPER_MODELS:
+        full = by_key[(model, "offload_after_ack")]
+        partial = by_key[(model, "offload_partial")]
+        assert partial.segments["client_exec"] > full.segments["client_exec"]
+        assert partial.segments["server_exec"] < full.segments["server_exec"]

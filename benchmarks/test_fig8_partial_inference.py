@@ -1,0 +1,67 @@
+"""Fig. 8 — inference time with partial inference at various offloading
+points, for all three models.
+
+Asserts the paper's §IV.B observations: non-monotonic time along the
+spine, conv surge / pool dip in feature size (GoogLeNet ~14.7 MB at
+1st_conv vs ~2.9 MB at 1st_pool), and 1st_pool as the best denaturing
+offload point.
+"""
+
+import pytest
+
+from repro.eval.fig8 import check_fig8_shape, format_fig8, run_fig8
+from repro.nn.zoo import PAPER_MODELS
+
+
+@pytest.fixture(scope="module")
+def fig8_points():
+    return run_fig8(models=PAPER_MODELS)
+
+
+def test_fig8_regenerate_and_check_shape(benchmark, archive, fig8_points):
+    points = benchmark.pedantic(lambda: fig8_points, rounds=1, iterations=1)
+    violations = check_fig8_shape(points)
+    archive("fig8_partial_inference", format_fig8(points))
+    assert violations == [], violations
+
+
+def test_fig8_googlenet_feature_sizes_match_paper(fig8_points):
+    by_label = {point.label: point for point in fig8_points["googlenet"]}
+    assert by_label["1st_conv"].feature_mb == pytest.approx(14.7, rel=0.25)
+    assert by_label["1st_pool"].feature_mb == pytest.approx(2.9, rel=0.35)
+
+
+def test_fig8_time_not_monotonic(fig8_points):
+    for model, points in fig8_points.items():
+        measured = [point.measured_seconds for point in points]
+        assert any(b < a for a, b in zip(measured, measured[1:])), (
+            f"{model}: no dip anywhere along the sweep"
+        )
+
+
+def test_fig8_first_pool_is_best_denaturing_point(fig8_points):
+    for model, points in fig8_points.items():
+        denaturing = [point for point in points if point.label != "input"]
+        best = min(denaturing, key=lambda point: point.measured_seconds)
+        assert best.label == "1st_pool", f"{model}: best was {best.label}"
+
+
+def test_fig8_partial_slower_than_full_offload(fig8_points):
+    for model, points in fig8_points.items():
+        by_label = {point.label: point for point in points}
+        full = by_label["input"].measured_seconds
+        partial = by_label["1st_pool"].measured_seconds
+        assert partial >= 0.95 * full
+
+
+def test_fig8_optimizer_predictions_track_measurements(fig8_points):
+    for model, points in fig8_points.items():
+        for point in points:
+            assert point.predicted_seconds == pytest.approx(
+                point.measured_seconds, rel=0.25
+            ), f"{model}@{point.label}"
+
+
+def test_fig8_all_sessions_compute_correct_labels(fig8_points):
+    for points in fig8_points.values():
+        assert all(point.result.correct for point in points)

@@ -1,0 +1,110 @@
+"""Microbenchmarks of the hot paths (real wall time, multiple rounds).
+
+Unlike the figure benchmarks (one-shot end-to-end simulations), these use
+pytest-benchmark's statistical timing on the operations the system does
+constantly: snapshot capture/restore, tensor text serialization, conv
+forward passes, the partition solver and the DES kernel.
+"""
+
+import numpy as np
+
+from repro.core.partition import PartitionOptimizer
+from repro.core.snapshot import capture_snapshot, restore_snapshot
+from repro.core.snapshot.codegen import parse_tensor_text, render_tensor_text
+from repro.devices import edge_server_x86, odroid_xu4_client
+from repro.devices.predictor import fit_predictor_for
+from repro.netsim import NetemProfile
+from repro.nn.cost import network_costs
+from repro.nn.zoo import smallnet
+from repro.sim import SeededRng, Simulator
+from repro.web import WebRuntime
+from repro.web.app import make_inference_app
+from repro.web.events import Event
+from repro.web.values import TypedArray
+
+
+def _loaded_runtime():
+    model = smallnet()
+    runtime = WebRuntime("bench")
+    runtime.load_app(make_inference_app(model))
+    runtime.globals["pending_pixels"] = TypedArray(
+        SeededRng(1, "px").uniform_array((3, 32, 32), 0, 255)
+    )
+    runtime.dispatch("click", "load_btn")
+    return model, runtime
+
+
+def test_micro_snapshot_capture(benchmark):
+    _model, runtime = _loaded_runtime()
+    event = Event("click", "infer_btn")
+    snapshot = benchmark(lambda: capture_snapshot(runtime, event))
+    assert snapshot.size_bytes > 0
+
+
+def test_micro_snapshot_restore(benchmark):
+    model, runtime = _loaded_runtime()
+    snapshot = capture_snapshot(runtime, Event("click", "infer_btn"))
+
+    def restore():
+        server = WebRuntime("server")
+        server.install_model(model)
+        return restore_snapshot(snapshot, server)
+
+    report = benchmark(restore)
+    assert report.pending_event is not None
+
+
+def test_micro_tensor_text_render(benchmark):
+    values = SeededRng(2, "t").normal_array((50_000,))
+    text = benchmark(lambda: render_tensor_text(values))
+    assert len(text) > 500_000
+
+
+def test_micro_tensor_text_parse(benchmark):
+    values = SeededRng(3, "t").normal_array((50_000,))
+    text = render_tensor_text(values)
+    parsed = benchmark(lambda: parse_tensor_text(text, (50_000,)))
+    assert np.array_equal(parsed, values)
+
+
+def test_micro_smallnet_forward(benchmark):
+    model = smallnet()
+    image = SeededRng(4, "img").uniform_array((3, 32, 32), 0, 255)
+    probs = benchmark(lambda: model.inference(image))
+    assert probs.shape == (10,)
+
+
+def test_micro_conv_layer_forward(benchmark):
+    from repro.nn.layers import ConvLayer
+
+    layer = ConvLayer("c", 32, kernel=3, pad=1)
+    layer.build((16, 32, 32), SeededRng(5, "c"))
+    x = SeededRng(6, "x").normal_array((16, 32, 32))
+    out = benchmark(lambda: layer.forward(x))
+    assert out.shape == (32, 32, 32)
+
+
+def test_micro_partition_solver(benchmark):
+    network = smallnet().network
+    costs = network_costs(network)
+    optimizer = PartitionOptimizer(
+        fit_predictor_for(odroid_xu4_client(), costs, noise=0.0),
+        fit_predictor_for(edge_server_x86(), costs, noise=0.0),
+        odroid_xu4_client(),
+        edge_server_x86(),
+    )
+    link = NetemProfile.wifi_30mbps()
+    choice = benchmark(lambda: optimizer.choose(network, link))
+    assert choice.best.total_seconds > 0
+
+
+def test_micro_des_kernel_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+        count = [0]
+        for i in range(10_000):
+            sim.schedule(i * 0.001, lambda: count.__setitem__(0, count[0] + 1))
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_10k_events) == 10_000

@@ -1,0 +1,71 @@
+"""Table 1 — overhead of VM-based installation for snapshot offloading.
+
+Regenerates every row of the paper's Table 1 and asserts the magnitudes:
+overlays of ~65/82/82 MB synthesized in ~19/24/24 s; sub-second snapshot
+migration with pre-sending vs 7-12 s without; tiny snapshot-minus-feature
+sizes.  Also runs the *protocol-level* installation (VM_OVERLAY message
+into a server without the offloading system) to confirm the analytic
+estimate matches the simulated timeline.
+"""
+
+import pytest
+
+from repro.eval.calibration import paper_link
+from repro.eval.scenarios import Testbed, build_paper_model
+from repro.eval.table1 import check_table1_shape, format_table1, run_table1
+from repro.vmsynth import DiskImage, build_overlay, estimate_installation
+from repro.vmsynth.synthesis import deliver_overlay
+
+PAPER_TABLE1 = {
+    # model: (synthesis s, overlay MB, presend migration s, no-presend migration s)
+    "googlenet": (19.31, 65.0, 0.60, 7.79),
+    "agenet": (24.29, 82.0, 0.34, 12.07),
+    "gendernet": (24.31, 82.0, 0.34, 12.07),
+}
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    return run_table1()
+
+
+def test_table1_regenerate_and_check_shape(benchmark, archive, table1_rows):
+    rows = benchmark.pedantic(lambda: table1_rows, rounds=1, iterations=1)
+    violations = check_table1_shape(rows)
+    archive("table1_vm_installation", format_table1(rows))
+    assert violations == [], violations
+
+
+def test_table1_synthesis_matches_paper_within_10pct(table1_rows):
+    for row in table1_rows:
+        paper_synthesis, paper_overlay, _, _ = PAPER_TABLE1[row.model]
+        assert row.synthesis_seconds == pytest.approx(paper_synthesis, rel=0.10)
+        assert row.overlay_mb == pytest.approx(paper_overlay, rel=0.10)
+
+
+def test_table1_no_presend_migration_in_paper_band(table1_rows):
+    for row in table1_rows:
+        paper_value = PAPER_TABLE1[row.model][3]
+        assert row.nopresend_migration_seconds == pytest.approx(paper_value, rel=0.25)
+
+
+def test_table1_presend_migration_subsecond(table1_rows):
+    for row in table1_rows:
+        assert row.presend_migration_seconds < 1.0
+
+
+def test_table1_protocol_level_installation_matches_estimate():
+    """Deliver a real overlay to an uninstalled server over the network."""
+    model = build_paper_model("googlenet")
+    overlay = build_overlay(DiskImage.ubuntu_base(), [model])
+    estimate = estimate_installation(overlay, paper_link())
+
+    testbed = Testbed(server_installed=False)
+    process = testbed.sim.spawn(
+        deliver_overlay(testbed.topology.channel.end_a, overlay)
+    )
+    testbed.sim.run_until(lambda: process.triggered)
+    assert process.ok
+    assert testbed.server.installed
+    assert process.value == pytest.approx(estimate.total_seconds, rel=0.05)
+    assert testbed.server.store.has_complete(model.model_id)

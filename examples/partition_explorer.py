@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Explore partition points: where should the DNN be split today?
+
+Sweeps the offload point along a model's spine at several link speeds,
+printing the optimizer's predicted total time and the feature size at each
+point (the data behind the paper's Fig. 8), and the point the dynamic
+partitioner would pick right now — with and without the denaturing
+constraint that protects the user's input.
+
+Run:  python examples/partition_explorer.py [model] [bandwidth_mbps ...]
+"""
+
+import sys
+
+from repro.eval.fig8 import make_optimizer
+from repro.eval.reporting import format_table
+from repro.eval.scenarios import build_paper_model
+from repro.netsim import NetemProfile
+from repro.nn.cost import spine_costs
+
+
+def explore(model_name: str, bandwidths_mbps) -> None:
+    model = build_paper_model(model_name)
+    network = model.network
+    optimizer = make_optimizer(model_name)
+    feature_mb = {
+        point.index: point.feature_text_bytes / 1e6
+        for point in spine_costs(network)
+    }
+
+    for mbps in bandwidths_mbps:
+        link = NetemProfile(bandwidth_bps=mbps * 1e6, latency_s=0.001)
+        estimates = optimizer.sweep(network, link)
+        rows = [
+            [
+                estimate.point.label,
+                estimate.client_seconds,
+                estimate.transfer_seconds,
+                estimate.server_seconds,
+                estimate.total_seconds,
+                feature_mb[estimate.point.index],
+            ]
+            for estimate in estimates
+            if estimate.point.layer_kind in ("input", "conv", "pool", "inception")
+        ]
+        print(
+            format_table(
+                ["point", "client s", "transfer s", "server s", "total s", "feature MB"],
+                rows,
+                title=f"\n{model_name} @ {mbps:g} Mbps",
+            )
+        )
+        free = optimizer.choose(network, link, denature=False)
+        safe = optimizer.choose(network, link, denature=True)
+        print(f"optimizer choice (fastest)            : {free.point.label} "
+              f"({free.best.total_seconds:.2f} s)")
+        print(f"optimizer choice (denaturing enforced): {safe.point.label} "
+              f"({safe.best.total_seconds:.2f} s)")
+
+
+if __name__ == "__main__":
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "agenet"
+    bandwidths = [float(arg) for arg in sys.argv[2:]] or [4.0, 30.0, 120.0]
+    explore(model_name, bandwidths)

@@ -1,0 +1,287 @@
+"""Command-line interface: regenerate any experiment from a shell.
+
+Usage::
+
+    python -m repro fig1
+    python -m repro fig6 [--models googlenet agenet] [--bandwidth 30]
+    python -m repro fig7
+    python -m repro fig8 [--models agenet] [--max-points 6]
+    python -m repro table1
+    python -m repro ablation {bandwidth,partition,decision,snapshot,gpu,
+                              energy,cache,contention}
+    python -m repro demo
+
+Every command prints the same rows/series the paper reports and exits 0
+only if the paper's shape claims hold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.nn.zoo import PAPER_MODELS
+
+
+def _add_models_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--models",
+        nargs="+",
+        default=list(PAPER_MODELS),
+        choices=list(PAPER_MODELS) + ["smallnet", "tinynet"],
+        help="benchmark models to run (default: the paper's three)",
+    )
+
+
+def _add_bandwidth_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--bandwidth",
+        type=float,
+        default=30.0,
+        help="link bandwidth in Mbps (paper: 30)",
+    )
+
+
+def _fail_on_violations(violations: List[str]) -> int:
+    if violations:
+        print("\nSHAPE VIOLATIONS:", file=sys.stderr)
+        for violation in violations:
+            print(f"  - {violation}", file=sys.stderr)
+        return 1
+    print("\nall shape claims hold")
+    return 0
+
+
+def cmd_fig1(args: argparse.Namespace) -> int:
+    from repro.eval.fig1 import format_fig1, run_fig1
+
+    rows = run_fig1("googlenet", verify_numerically=True)
+    print(format_fig1(rows))
+    return 0
+
+
+def cmd_fig6(args: argparse.Namespace) -> int:
+    from repro.eval.fig6 import chart_fig6, check_fig6_shape, format_fig6, run_fig6
+
+    rows = run_fig6(models=args.models, bandwidth_bps=args.bandwidth * 1e6)
+    print(format_fig6(rows))
+    print()
+    print(chart_fig6(rows))
+    return _fail_on_violations(check_fig6_shape(rows))
+
+
+def cmd_fig7(args: argparse.Namespace) -> int:
+    from repro.eval.fig7 import check_fig7_shape, format_fig7, run_fig7
+
+    bars = run_fig7(models=args.models, bandwidth_bps=args.bandwidth * 1e6)
+    print(format_fig7(bars))
+    return _fail_on_violations(check_fig7_shape(bars))
+
+
+def cmd_fig8(args: argparse.Namespace) -> int:
+    from repro.eval.fig8 import check_fig8_shape, format_fig8, run_fig8
+
+    points = run_fig8(
+        models=args.models,
+        bandwidth_bps=args.bandwidth * 1e6,
+        max_points=args.max_points,
+    )
+    print(format_fig8(points))
+    return _fail_on_violations(check_fig8_shape(points))
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from repro.eval.table1 import check_table1_shape, format_table1, run_table1
+
+    rows = run_table1(models=args.models, bandwidth_bps=args.bandwidth * 1e6)
+    print(format_table1(rows))
+    return _fail_on_violations(check_table1_shape(rows))
+
+
+def cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.eval import ablations
+    from repro.eval.reporting import format_table
+
+    name = args.which
+    if name == "bandwidth":
+        points = ablations.bandwidth_sweep("googlenet")
+        print(
+            format_table(
+                ["Mbps", "offload s", "client s", "offload wins"],
+                [
+                    [p.bandwidth_mbps, p.offload_seconds, p.client_seconds, str(p.offload_wins)]
+                    for p in points
+                ],
+            )
+        )
+    elif name == "partition":
+        for mbps, label in ablations.partition_adaptivity("googlenet").items():
+            print(f"{mbps:>6g} Mbps -> {label}")
+    elif name == "decision":
+        for outcome in ablations.decision_study():
+            print(
+                f"{outcome.model}: policy={outcome.decision.action} "
+                f"measured={outcome.measured_best} agrees={outcome.policy_agrees}"
+            )
+    elif name == "snapshot":
+        sizes = ablations.snapshot_optimization_study("googlenet")
+        print(f"conservative  : {sizes.conservative_bytes / 1e6:.2f} MB")
+        print(f"live-only     : {sizes.live_only_bytes / 1e6:.2f} MB")
+        print(f"live+data-URL : {sizes.data_url_bytes / 1e6:.2f} MB")
+    elif name == "gpu":
+        study = ablations.gpu_server_study()
+        print(f"CPU server : {study.cpu_offload_seconds:.2f} s")
+        print(f"GPU server : {study.gpu_offload_seconds:.2f} s "
+              f"(exec {study.gpu_server_exec_seconds:.3f} s)")
+    elif name == "energy":
+        study = ablations.energy_study()
+        print(f"local   : {study.local_joules:.1f} J")
+        print(f"offload : {study.offload_joules:.1f} J")
+    elif name == "cache":
+        study = ablations.session_cache_study()
+        print(f"first offload        : {study.first_offload_seconds:.2f} s")
+        print(f"repeat, full snapshot: {study.repeat_without_cache_seconds:.2f} s")
+        print(f"repeat, delta        : {study.repeat_with_cache_seconds:.2f} s "
+              f"({study.bytes_saving:.0%} fewer bytes)")
+    elif name == "contention":
+        from repro.eval.workloads import contention_study
+
+        for count, report in contention_study("smallnet", (1, 2, 4, 8)).items():
+            print(f"{count} clients: mean {report.mean_latency * 1000:6.1f} ms")
+    elif name == "quantization":
+        for impact in ablations.quantization_study("agenet"):
+            print(
+                f"{impact.bits:2d} bits: agreement {impact.agreement:.0%}, "
+                f"-{impact.size_reduction:.0%} bytes"
+            )
+    elif name == "scaling":
+        for point in ablations.model_size_scaling_study():
+            print(
+                f"{point.model:10s} {point.model_mb:6.1f} MB: presend "
+                f"{point.presend_seconds:5.1f}s, policy={point.policy_action}"
+            )
+    elif name == "variability":
+        study = ablations.variability_study(seed=3)
+        print(f"fixed 1st_pool: {study.fixed_total_seconds:.1f}s")
+        print(f"adaptive      : {study.adaptive_total_seconds:.1f}s "
+              f"(points: {study.adaptive_points})")
+    elif name == "baselines":
+        for row in ablations.baseline_comparison_study():
+            print(
+                f"{row.approach:32s} first {row.first_use_seconds:6.2f}s "
+                f"steady {row.steady_state_seconds:5.2f}s "
+                f"any_app={row.any_app} handover={row.stateless_handover}"
+            )
+    elif name == "placement":
+        for row in ablations.edge_vs_cloud_study():
+            print(
+                f"{row.location:10s} total {row.total_seconds:5.2f}s "
+                f"(migration {row.migration_seconds:.2f}s, "
+                f"exec {row.server_exec_seconds:.2f}s)"
+            )
+    elif name == "streaming":
+        from repro.eval.streaming import run_stream
+
+        for mode, kwargs in (
+            ("client", {}),
+            ("offload", {}),
+            ("offload+gpu", {"server_speedup": 80.0}),
+        ):
+            report = run_stream(
+                "agenet",
+                frames=4,
+                fps=1.0,
+                mode="client" if mode == "client" else "offload",
+                **kwargs,
+            )
+            print(
+                f"{mode:12s} fps {report.achieved_fps:5.2f} "
+                f"latency {report.mean_latency:5.2f}s keeps_up={report.keeps_up}"
+            )
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.eval.campaign import run_campaign, write_report
+
+    result = run_campaign(quick=args.quick)
+    if args.out:
+        write_report(args.out, result)
+        print(f"report written to {args.out} ({result.wall_seconds:.1f}s)")
+    else:
+        print(result.report_markdown)
+    if not result.all_claims_hold:
+        flat = [item for items in result.violations.values() for item in items]
+        return _fail_on_violations(flat)
+    print("all shape claims hold")
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro.eval.scenarios import Testbed
+
+    result = Testbed().run_offload("googlenet", wait_for_ack=True)
+    print(f"GoogLeNet offloaded inference: {result.total_seconds:.2f} s "
+          f"(correct: {result.correct})")
+    for phase, seconds in result.phases.as_dict().items():
+        if seconds > 0:
+            print(f"  {phase:28s} {seconds:7.3f} s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Computation Offloading for ML Web Apps in the "
+        "Edge Server Environment' (ICDCS 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig1", help="GoogLeNet architecture walk")
+    p.set_defaults(func=cmd_fig1)
+
+    for name, func in (("fig6", cmd_fig6), ("fig7", cmd_fig7), ("table1", cmd_table1)):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        _add_models_arg(p)
+        _add_bandwidth_arg(p)
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("fig8", help="partial-inference sweep")
+    _add_models_arg(p)
+    _add_bandwidth_arg(p)
+    p.add_argument("--max-points", type=int, default=None)
+    p.set_defaults(func=cmd_fig8)
+
+    p = sub.add_parser("ablation", help="run one ablation study")
+    p.add_argument(
+        "which",
+        choices=(
+            "bandwidth", "partition", "decision", "snapshot",
+            "gpu", "energy", "cache", "contention", "quantization",
+            "scaling", "variability", "baselines", "placement", "streaming",
+        ),
+    )
+    p.set_defaults(func=cmd_ablation)
+
+    p = sub.add_parser("demo", help="one offloaded GoogLeNet inference")
+    p.set_defaults(func=cmd_demo)
+
+    p = sub.add_parser(
+        "campaign", help="regenerate every artifact into one report"
+    )
+    p.add_argument("--out", default=None, help="write markdown report here")
+    p.add_argument(
+        "--quick", action="store_true", help="one model, truncated sweeps"
+    )
+    p.set_defaults(func=cmd_campaign)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,231 @@
+"""Baseline offloading approaches the paper positions itself against.
+
+Two comparator classes from §I / §V, implemented as real protocol agents
+on the same simulator so they are compared apples-to-apples:
+
+* :class:`SpecializedEdgeService` — "a computation server for video
+  processing": the service is *fixed at deployment* (one model, one task).
+  Clients stream inputs and receive results.  Minimal per-request
+  overhead, zero flexibility: requests for any other app are refused, and
+  a new service area only helps if the same service happens to run there.
+* :class:`MauiServer` — MAUI/CloneCloud/ThinkAir-style offloading: "the
+  app executable is pre-installed" at the server; the client transfers
+  method state, the server resumes the method and returns the result
+  state.  Per-request cost resembles snapshots, but every new server
+  requires an installation step first, and only installed apps work.
+
+The snapshot approach's selling points — any app on any generic server, no
+pre-installation, stateless handover — show up as the *capability* columns
+of the comparison study in :func:`repro.eval.ablations.baseline_comparison_study`,
+while the latency columns show it costs little to get them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.devices.device import Device
+from repro.netsim.channel import ChannelEnd
+from repro.netsim.message import Message
+from repro.nn.cost import network_costs
+from repro.nn.model import Model
+from repro.sim import Simulator
+
+SVC_INPUT = "SVC_INPUT"
+SVC_RESULT = "SVC_RESULT"
+SVC_ERROR = "SVC_ERROR"
+MAUI_INSTALL = "MAUI_INSTALL"
+MAUI_INSTALLED = "MAUI_INSTALLED"
+MAUI_EXEC = "MAUI_EXEC"
+MAUI_REPLY = "MAUI_REPLY"
+
+#: nominal bytes of an app executable (script + harness), MAUI installs it
+APP_EXECUTABLE_BYTES = 2 * 1024 * 1024
+
+
+@dataclass
+class ServiceInput:
+    """SVC_INPUT body: the raw input for the fixed service."""
+
+    service: str
+    pixels: np.ndarray
+    #: transfer size: the serialized input (text pixels, like the apps)
+    size_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.size_bytes:
+            from repro.nn.tensor import text_serialized_bytes
+
+            self.size_bytes = text_serialized_bytes(tuple(self.pixels.shape))
+
+
+@dataclass
+class ServiceResult:
+    """SVC_RESULT body: label + score (tiny)."""
+
+    label: int
+    score: float
+
+    @property
+    def size_bytes(self) -> int:
+        return 64
+
+
+class SpecializedEdgeService:
+    """A fixed-function inference service (e.g. 'traffic surveillance')."""
+
+    def __init__(self, sim: Simulator, device: Device, model: Model, service: str):
+        self.sim = sim
+        self.device = device
+        self.model = model
+        self.service = service
+        self.requests_served = 0
+        self.refused = 0
+
+    def serve(self, endpoint: ChannelEnd) -> None:
+        self.sim.spawn(self._loop(endpoint), label=f"svc:{self.service}")
+
+    def _loop(self, endpoint: ChannelEnd):
+        costs = network_costs(self.model.network)
+        while True:
+            message: Message = yield endpoint.recv_kind(SVC_INPUT)
+            request: ServiceInput = message.payload
+            if request.service != self.service:
+                self.refused += 1
+                endpoint.send(
+                    SVC_ERROR,
+                    f"this server only provides {self.service!r}",
+                )
+                continue
+            seconds = self.device.forward_seconds(costs)
+            yield self.device.execute(seconds, label="svc-inference")
+            probs = self.model.inference(request.pixels)
+            label = int(np.argmax(probs))
+            self.requests_served += 1
+            endpoint.send(
+                SVC_RESULT, ServiceResult(label=label, score=float(probs[label]))
+            )
+
+
+def specialized_request(endpoint: ChannelEnd, service: str, pixels: np.ndarray):
+    """Simulated process: one request/response against a fixed service.
+
+    Returns ``(label, elapsed_seconds)``; raises RuntimeError on refusal.
+    """
+    from repro.sim import SimEvent
+
+    start = endpoint.sim.now
+    endpoint.send(SVC_INPUT, ServiceInput(service=service, pixels=pixels))
+    result_wait = endpoint.recv_kind(SVC_RESULT)
+    error_wait = endpoint.recv_kind(SVC_ERROR)
+    yield endpoint.sim.any_of([result_wait, error_wait])
+    if error_wait.triggered:
+        endpoint.cancel_wait(result_wait)
+        raise RuntimeError(error_wait.value.payload)
+    endpoint.cancel_wait(error_wait)
+    message = result_wait.value
+    return message.payload.label, endpoint.sim.now - start
+
+
+@dataclass
+class MauiState:
+    """MAUI_EXEC body: serialized method state (inputs to resume with)."""
+
+    app: str
+    method: str
+    pixels: np.ndarray
+    size_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.size_bytes:
+            from repro.nn.tensor import text_serialized_bytes
+
+            # Method state: the input object graph, serialized.
+            self.size_bytes = text_serialized_bytes(tuple(self.pixels.shape)) + 2048
+
+
+@dataclass
+class MauiInstallPayload:
+    """MAUI_INSTALL body: the app executable plus its model files."""
+
+    app: str
+    model: Model
+    size_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.size_bytes:
+            self.size_bytes = APP_EXECUTABLE_BYTES + self.model.total_bytes
+
+
+class MauiServer:
+    """MAUI-style server: executes methods of *pre-installed* apps."""
+
+    def __init__(self, sim: Simulator, device: Device, name: str = "maui"):
+        self.sim = sim
+        self.device = device
+        self.name = name
+        self.installed_apps: Dict[str, Model] = {}
+        self.requests_served = 0
+        self.refused = 0
+
+    def serve(self, endpoint: ChannelEnd) -> None:
+        self.sim.spawn(self._loop(endpoint), label=f"maui:{self.name}")
+
+    def _loop(self, endpoint: ChannelEnd):
+        while True:
+            message: Message = yield endpoint.recv()
+            if message.kind == MAUI_INSTALL:
+                payload: MauiInstallPayload = message.payload
+                # Unpack + register the executable (small fixed cost).
+                yield self.device.execute(0.2, label="maui-install")
+                self.installed_apps[payload.app] = payload.model
+                endpoint.send(MAUI_INSTALLED, {"app": payload.app})
+            elif message.kind == MAUI_EXEC:
+                state: MauiState = message.payload
+                model = self.installed_apps.get(state.app)
+                if model is None:
+                    self.refused += 1
+                    endpoint.send(
+                        SVC_ERROR, f"app {state.app!r} is not installed here"
+                    )
+                    continue
+                costs = network_costs(model.network)
+                seconds = self.device.forward_seconds(costs)
+                yield self.device.execute(seconds, label="maui-exec")
+                probs = model.inference(state.pixels)
+                label = int(np.argmax(probs))
+                self.requests_served += 1
+                endpoint.send(
+                    MAUI_REPLY, ServiceResult(label=label, score=float(probs[label]))
+                )
+            else:
+                endpoint.send(SVC_ERROR, f"unknown message {message.kind!r}")
+
+
+def maui_install(endpoint: ChannelEnd, app: str, model: Model):
+    """Simulated process: install an app at a MAUI server."""
+    start = endpoint.sim.now
+    endpoint.send(MAUI_INSTALL, MauiInstallPayload(app=app, model=model))
+    yield endpoint.recv_kind(MAUI_INSTALLED)
+    return endpoint.sim.now - start
+
+
+def maui_exec(endpoint: ChannelEnd, app: str, pixels: np.ndarray):
+    """Simulated process: one remote method execution.
+
+    Returns ``(label, elapsed_seconds)``; raises RuntimeError if the app is
+    not installed at this server.
+    """
+    start = endpoint.sim.now
+    endpoint.send(MAUI_EXEC, MauiState(app=app, method="inference", pixels=pixels))
+    reply_wait = endpoint.recv_kind(MAUI_REPLY)
+    error_wait = endpoint.recv_kind(SVC_ERROR)
+    yield endpoint.sim.any_of([reply_wait, error_wait])
+    if error_wait.triggered:
+        endpoint.cancel_wait(reply_wait)
+        raise RuntimeError(error_wait.value.payload)
+    endpoint.cancel_wait(error_wait)
+    return reply_wait.value.payload.label, endpoint.sim.now - start

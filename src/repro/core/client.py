@@ -1,0 +1,271 @@
+"""The client-side offloading agent.
+
+The agent owns the client browser runtime and device, installs the event
+interceptor that diverts offload-marked events ("we take a snapshot just
+before executing a computation-intensive part"), runs the migration —
+capture, ship (with model deliveries if the ACK has not arrived), await the
+result delta, apply it — and accounts every phase on the virtual clock.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core import protocol
+from repro.core.snapshot import (
+    CaptureOptions,
+    Snapshot,
+    capture_delta,
+    capture_snapshot,
+    restore_snapshot,
+)
+from repro.devices.device import Device
+from repro.netsim.channel import ChannelEnd
+from repro.core.presend import PresendManager
+from repro.sim import Simulator
+from repro.web.app import WebApp
+from repro.web.events import Event
+from repro.web.runtime import WebRuntime
+
+
+class OffloadError(RuntimeError):
+    """The server refused or failed an offloading request."""
+
+
+@dataclass
+class OffloadOutcome:
+    """Everything observable about one completed offload round trip."""
+
+    snapshot: Snapshot
+    delta: Snapshot
+    request_id: int
+    #: client-side durations
+    capture_seconds: float = 0.0
+    restore_seconds: float = 0.0
+    #: transfer durations measured off the message timestamps
+    transfer_to_server_seconds: float = 0.0
+    transfer_to_client_seconds: float = 0.0
+    #: server-reported durations (restore / exec / capture)
+    server_timings: Dict[str, float] = field(default_factory=dict)
+    #: bytes of model files that rode along with the snapshot
+    delivery_bytes: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class ClientAgent:
+    """The embedded device: browser runtime + offloading machinery."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: Device,
+        endpoint: ChannelEnd,
+        capture_options: CaptureOptions = CaptureOptions(),
+    ):
+        self.sim = sim
+        self.device = device
+        self.endpoint = endpoint
+        self.capture_options = capture_options
+        self.runtime = WebRuntime("client-browser")
+        self.presend: Optional[PresendManager] = None
+        self.intercepted: List[Event] = []
+        self._request_ids = itertools.count(1)
+        self.runtime.events.set_interceptor(self.intercepted.append)
+        #: per-app fingerprint of the state cached on the current server;
+        #: when present, follow-up offloads send deltas instead of full
+        #: snapshots (the paper's future-work reuse of server-side state)
+        self.session_baselines: Dict[str, Any] = {}
+
+    # -- app lifecycle -----------------------------------------------------------
+    def start_app(self, app: WebApp, presend: bool = True) -> None:
+        """Load the app; begin pre-sending its models if enabled."""
+        self.runtime.load_app(app)
+        self.runtime.events.set_interceptor(self.intercepted.append)
+        if presend:
+            self.presend = PresendManager(
+                self.sim, self.endpoint, app.presend_models()
+            )
+            self.presend.start()
+        else:
+            self.presend = None
+
+    def mark_offload_point(self, event_type: str, target_id: Optional[str] = None) -> None:
+        """Declare which event triggers offloading (Fig. 5's choice)."""
+        self.runtime.events.mark_offload_event(event_type, target_id)
+
+    def take_intercepted(self) -> Event:
+        if not self.intercepted:
+            raise OffloadError("no event was intercepted")
+        return self.intercepted.pop(0)
+
+    # -- the migration ----------------------------------------------------------------
+    def _await_reply(self, request_id: int, timeout: Optional[float]):
+        """Wait for this request's RESULT or ERROR, discarding stale ones.
+
+        Returns ``("result"|"error", message)`` or ``("timeout", None)``.
+        """
+        from repro.netsim.channel import ReceiveTimeout
+
+        while True:
+            result_wait = self.endpoint.recv_kind(protocol.RESULT, timeout=timeout)
+            error_wait = self.endpoint.recv_kind(protocol.ERROR)
+            try:
+                yield self.sim.any_of([result_wait, error_wait])
+            except ReceiveTimeout:
+                self.endpoint.cancel_wait(result_wait)
+                self.endpoint.cancel_wait(error_wait)
+                return ("timeout", None)
+            if error_wait.triggered:
+                self.endpoint.cancel_wait(result_wait)
+                error_id = error_wait.value.payload.request_id
+                if error_id in (0, request_id):
+                    return ("error", error_wait.value)
+                continue  # an old request's error; ignore it
+            self.endpoint.cancel_wait(error_wait)
+            reply = result_wait.value
+            if reply.payload.request_id == request_id:
+                return ("result", reply)
+            # A stale RESULT from a slow earlier attempt; drop and re-wait.
+
+    def offload(
+        self,
+        event: Event,
+        server_costs: Optional[List[Any]] = None,
+        attach_models_if_unacked: bool = True,
+        use_session_cache: bool = True,
+        reply_timeout: Optional[float] = None,
+        retries: int = 0,
+    ):
+        """Simulated process performing one offload round trip.
+
+        Yields simulation events; the process result is an
+        :class:`OffloadOutcome`.  Raises :class:`OffloadError` if the server
+        replies with an ERROR (e.g. no offloading system installed).
+
+        With ``use_session_cache`` (default), follow-up offloads of the same
+        app send a *delta* against the state the previous offload left on
+        the server; if the server lost that session, the agent falls back
+        to a full snapshot transparently.
+
+        ``reply_timeout`` / ``retries`` enable loss tolerance: if no reply
+        arrives in time the snapshot is retransmitted (the server dedups by
+        request id, so execution stays at-most-once).
+        """
+        started_at = self.sim.now
+
+        # 1. Capture the execution state: full, or a delta against the
+        # state cached on the server from the previous offload.
+        baseline = (
+            self.session_baselines.get(self.runtime.app_name)
+            if use_session_cache
+            else None
+        )
+        if baseline is not None:
+            snapshot = capture_delta(
+                self.runtime,
+                baseline,
+                pending_event=event,
+                options=CaptureOptions(
+                    live_only=True,
+                    include_canvas_pixels=self.capture_options.include_canvas_pixels,
+                ),
+            )
+        else:
+            snapshot = capture_snapshot(self.runtime, event, self.capture_options)
+        if server_costs is not None:
+            snapshot.metadata["server_costs"] = server_costs
+        capture_seconds = self.device.snapshot_capture_seconds(snapshot.size_bytes)
+        yield self.device.execute(capture_seconds, label="snapshot-capture")
+
+        # 2. Decide what must ride along: any model files the server lacks.
+        deliveries: List[protocol.ModelDelivery] = []
+        if attach_models_if_unacked and self.presend is not None:
+            deliveries = self.presend.pending_deliveries()
+            if deliveries:
+                # Stop the background upload; the snapshot supersedes it.
+                self.presend.cancel()
+                for delivery in deliveries:
+                    self.presend.mark_delivered(delivery.model, delivery.files)
+
+        # 3. Ship the snapshot and wait for the result, retransmitting the
+        # whole payload on timeout (the lost message may have carried the
+        # model files; the server's store and reply cache keep everything
+        # idempotent).
+        request_id = next(self._request_ids)
+        payload = protocol.SnapshotPayload(
+            snapshot=snapshot, deliveries=deliveries, request_id=request_id
+        )
+        attempt = 0
+        send_event = self.endpoint.send(protocol.SNAPSHOT, payload)
+        while True:
+            status, reply = yield from self._await_reply(request_id, reply_timeout)
+            if status == "result":
+                break
+            if status == "timeout":
+                attempt += 1
+                if attempt > retries:
+                    raise OffloadError(
+                        f"no reply to request {request_id} after "
+                        f"{attempt} attempt(s)"
+                    )
+                self.endpoint.send(protocol.SNAPSHOT, payload)
+                continue
+            reason = reply.payload.reason
+            if baseline is not None and "no cached session" in reason:
+                # The server lost our session (restart / handover): retry
+                # once with a full snapshot.
+                self.session_baselines.pop(self.runtime.app_name, None)
+                outcome = yield from self.offload(
+                    event,
+                    server_costs=server_costs,
+                    attach_models_if_unacked=attach_models_if_unacked,
+                    use_session_cache=False,
+                    reply_timeout=reply_timeout,
+                    retries=retries,
+                )
+                return outcome
+            raise OffloadError(reason)
+
+        # 4. Apply the delta snapshot to continue execution locally.
+        delta = reply.payload.delta
+        restore_seconds = self.device.snapshot_restore_seconds(delta.size_bytes)
+        yield self.device.execute(restore_seconds, label="delta-restore")
+        report = restore_snapshot(delta, self.runtime)
+        if report.pending_event is not None:
+            self.runtime.run_event(report.pending_event)
+        if reply.payload.fingerprint is not None:
+            self.session_baselines[self.runtime.app_name] = reply.payload.fingerprint
+        else:
+            self.session_baselines.pop(self.runtime.app_name, None)
+
+        outbound = send_event.value if send_event.triggered and send_event.ok else None
+        return OffloadOutcome(
+            snapshot=snapshot,
+            delta=delta,
+            request_id=request_id,
+            capture_seconds=capture_seconds,
+            restore_seconds=restore_seconds,
+            transfer_to_server_seconds=(
+                (outbound.delivered_at - outbound.sent_at) if outbound else 0.0
+            ),
+            transfer_to_client_seconds=(reply.delivered_at - reply.sent_at),
+            server_timings=dict(reply.payload.timings),
+            delivery_bytes=payload.delivery_bytes,
+            started_at=started_at,
+            finished_at=self.sim.now,
+        )
+
+    # -- local execution -----------------------------------------------------------
+    def run_local(self, event: Event, costs: List[Any]):
+        """Simulated process: execute the event's handlers on the client."""
+        seconds = self.device.forward_seconds(costs)
+        yield self.device.execute(seconds, label="local-dnn")
+        self.runtime.run_event(event)
+        return seconds

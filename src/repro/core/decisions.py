@@ -1,0 +1,104 @@
+"""Offload-vs-local decision making.
+
+The paper observes (§IV.A) that "for AgeNet and GenderNet, offloading
+before ACK is even slower than the local client execution due to their
+large model size, so it would be better for the client to execute the DNN
+locally while the model is being uploaded to the server".
+:class:`OffloadPolicy` encodes that comparison: before the ACK it predicts
+both options from the latency predictors, the remaining upload bytes and
+the link status, and picks the faster one; after the ACK offloading always
+wins on these workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.devices.predictor import LatencyPredictor
+from repro.devices.profiles import DeviceProfile
+from repro.netsim.link import NetemProfile
+from repro.nn.cost import LayerCost
+
+#: planner allowance for the snapshot code and the return delta
+SNAPSHOT_ALLOWANCE_BYTES = 32 * 1024
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The policy's verdict, with the predictions behind it."""
+
+    action: str  # "local" | "offload"
+    predicted_local_seconds: float
+    predicted_offload_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """Predicted gain of the chosen action over the alternative."""
+        slow = max(self.predicted_local_seconds, self.predicted_offload_seconds)
+        fast = min(self.predicted_local_seconds, self.predicted_offload_seconds)
+        if fast <= 0:
+            return float("inf")
+        return slow / fast
+
+
+class OffloadPolicy:
+    """Chooses between local execution and (possibly pre-ACK) offloading."""
+
+    def __init__(
+        self,
+        client_predictor: LatencyPredictor,
+        server_predictor: LatencyPredictor,
+        client_profile: DeviceProfile,
+        server_profile: DeviceProfile,
+    ):
+        self.client_predictor = client_predictor
+        self.server_predictor = server_predictor
+        self.client_profile = client_profile
+        self.server_profile = server_profile
+
+    def predict_local(self, costs: List[LayerCost]) -> float:
+        return self.client_predictor.predict_forward(costs)
+
+    def predict_offload(
+        self,
+        costs: List[LayerCost],
+        link: NetemProfile,
+        pending_model_bytes: int,
+        input_bytes: int,
+    ) -> float:
+        """Predicted offload time: migration + server execution.
+
+        ``pending_model_bytes`` is what the server still lacks (0 after the
+        ACK); ``input_bytes`` is the serialized input/feature payload.
+        """
+        outbound = pending_model_bytes + input_bytes + SNAPSHOT_ALLOWANCE_BYTES
+        transfer = link.transfer_seconds(outbound) + link.transfer_seconds(
+            SNAPSHOT_ALLOWANCE_BYTES
+        )
+        snapshot_overhead = (
+            self.client_profile.snapshot_fixed_s * 2
+            + self.server_profile.snapshot_fixed_s * 2
+            + (input_bytes + SNAPSHOT_ALLOWANCE_BYTES)
+            / self.client_profile.snapshot_serialize_bps
+            + (input_bytes + SNAPSHOT_ALLOWANCE_BYTES)
+            / self.server_profile.snapshot_restore_bps
+        )
+        server = self.server_predictor.predict_forward(costs)
+        return transfer + snapshot_overhead + server
+
+    def decide(
+        self,
+        costs: List[LayerCost],
+        link: NetemProfile,
+        pending_model_bytes: int,
+        input_bytes: int,
+    ) -> Decision:
+        local = self.predict_local(costs)
+        offload = self.predict_offload(costs, link, pending_model_bytes, input_bytes)
+        action = "local" if local <= offload else "offload"
+        return Decision(
+            action=action,
+            predicted_local_seconds=local,
+            predicted_offload_seconds=offload,
+        )

@@ -1,0 +1,188 @@
+"""Partition-point optimization for partial inference (paper §III.B.2).
+
+"The partitioning point of the front/rear part can be decided dynamically
+based on two factors.  One is the execution time of each DNN layer,
+estimated by a prediction model for the DNN layers, as used in Neurosurgeon.
+The other is the runtime network status.  We estimate the total execution
+time for forward execution and select a partitioning point that can
+minimize the total execution time, while including at least one layer from
+the front part of the DNN to denature the input data."
+
+:class:`PartitionOptimizer` implements exactly that: for every candidate
+offload point it predicts
+
+    client time (front layers)  +  snapshot capture  +  transfer of the
+    snapshot (code + feature data at that point)  +  restore  +  server
+    time (rear layers)  +  return-delta transfer
+
+using per-device latency predictors and the current link profile, and picks
+the minimum.  With ``denature=True``, points before the first parameterized
+layer are excluded (the input would cross the network un-denatured).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.devices.predictor import LatencyPredictor
+from repro.devices.profiles import DeviceProfile
+from repro.netsim.link import NetemProfile
+from repro.nn.cost import LayerCost, network_costs
+from repro.nn.network import Network, OffloadPoint
+
+#: planner's allowance for snapshot code + return delta, in bytes
+SNAPSHOT_CODE_ALLOWANCE = 16 * 1024
+RETURN_DELTA_ALLOWANCE = 4 * 1024
+
+
+@dataclass(frozen=True)
+class PartitionEstimate:
+    """Predicted end-to-end time for one candidate offload point."""
+
+    point: OffloadPoint
+    client_seconds: float
+    transfer_seconds: float
+    server_seconds: float
+    overhead_seconds: float
+    feature_bytes: int
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.client_seconds
+            + self.transfer_seconds
+            + self.server_seconds
+            + self.overhead_seconds
+        )
+
+
+@dataclass(frozen=True)
+class PartitionChoice:
+    """The optimizer's decision plus the full sweep behind it."""
+
+    best: PartitionEstimate
+    estimates: List[PartitionEstimate]
+
+    @property
+    def point(self) -> OffloadPoint:
+        return self.best.point
+
+    def estimate_for(self, label: str) -> PartitionEstimate:
+        for estimate in self.estimates:
+            if estimate.point.label == label:
+                return estimate
+        raise KeyError(f"no estimate for offload point {label!r}")
+
+
+class PartitionOptimizer:
+    """Chooses the offload point minimizing predicted total time."""
+
+    def __init__(
+        self,
+        client_predictor: LatencyPredictor,
+        server_predictor: LatencyPredictor,
+        client_profile: DeviceProfile,
+        server_profile: DeviceProfile,
+        feature_bytes_fn=None,
+    ):
+        self.client_predictor = client_predictor
+        self.server_predictor = server_predictor
+        self.client_profile = client_profile
+        self.server_profile = server_profile
+        # Injectable for what-if studies (e.g. binary feature encoding).
+        from repro.nn.tensor import text_serialized_bytes
+
+        self._feature_bytes = feature_bytes_fn or (
+            lambda shape: text_serialized_bytes(shape)
+        )
+
+    # -- candidate filtering ---------------------------------------------------
+    @staticmethod
+    def denaturing_points(
+        network: Network, points: Sequence[OffloadPoint]
+    ) -> List[OffloadPoint]:
+        """Points that keep at least one computing layer on the client.
+
+        The input is considered denatured once it has passed the first
+        parameterized (conv) layer.
+        """
+        first_conv = next(
+            (
+                index
+                for index, layer in enumerate(network.layers)
+                if layer.kind == "conv"
+            ),
+            None,
+        )
+        if first_conv is None:
+            return list(points)
+        return [point for point in points if point.index >= first_conv]
+
+    # -- estimation ----------------------------------------------------------------
+    def estimate(
+        self,
+        network: Network,
+        point: OffloadPoint,
+        link: NetemProfile,
+    ) -> PartitionEstimate:
+        costs = network_costs(network)
+        front = [cost for cost in costs if cost.spine_index <= point.index]
+        rear = [cost for cost in costs if cost.spine_index > point.index]
+        client_seconds = self.client_predictor.predict_forward(front)
+        server_seconds = self.server_predictor.predict_forward(rear)
+        feature_shape = network.layers[point.index].out_shape
+        feature_bytes = int(self._feature_bytes(tuple(feature_shape)))
+        outbound = feature_bytes + SNAPSHOT_CODE_ALLOWANCE
+        transfer = link.transfer_seconds(outbound) + link.transfer_seconds(
+            RETURN_DELTA_ALLOWANCE
+        )
+        overhead = (
+            self.client_profile.snapshot_fixed_s * 2
+            + self.server_profile.snapshot_fixed_s * 2
+            + outbound / self.client_profile.snapshot_serialize_bps
+            + outbound / self.server_profile.snapshot_restore_bps
+        )
+        return PartitionEstimate(
+            point=point,
+            client_seconds=client_seconds,
+            transfer_seconds=transfer,
+            server_seconds=server_seconds,
+            overhead_seconds=overhead,
+            feature_bytes=feature_bytes,
+        )
+
+    def sweep(
+        self,
+        network: Network,
+        link: NetemProfile,
+        points: Optional[Sequence[OffloadPoint]] = None,
+    ) -> List[PartitionEstimate]:
+        """Estimates for every candidate point (Fig. 8's X axis)."""
+        if points is None:
+            points = network.offload_points()
+        return [self.estimate(network, point, link) for point in points]
+
+    def choose(
+        self,
+        network: Network,
+        link: NetemProfile,
+        denature: bool = True,
+    ) -> PartitionChoice:
+        """Pick the total-time-minimizing point (optionally denaturing)."""
+        points = network.offload_points()
+        candidates = (
+            self.denaturing_points(network, points) if denature else list(points)
+        )
+        if not candidates:
+            raise ValueError(f"network {network.name!r} has no candidate points")
+        estimates = self.sweep(network, link, candidates)
+        best = min(estimates, key=lambda estimate: estimate.total_seconds)
+        return PartitionChoice(best=best, estimates=estimates)
+
+
+def predictions_by_label(
+    estimates: Sequence[PartitionEstimate],
+) -> Dict[str, float]:
+    """Convenience: label -> predicted total seconds."""
+    return {estimate.point.label: estimate.total_seconds for estimate in estimates}

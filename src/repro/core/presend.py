@@ -1,0 +1,128 @@
+"""Pre-sending NN models to the edge server (paper §III.B.1).
+
+"When a web app starts, the client device sends the NN model files
+(including the description/parameters of the NN) to the server.  The server
+saves the files and sends an ACK message to the client.  After receiving
+the ACK, the client just needs to send the snapshot without the model."
+
+:class:`PresendManager` runs that upload as a simulated process — manifest
+first, then one message per file, then the runnable model handle — and
+tracks the ACK per model.  The upload can be *cancelled between files* when
+the user triggers offloading early: whatever has not been transmitted yet
+rides along with the snapshot instead (see
+:class:`repro.core.protocol.ModelDelivery`), so bytes are never sent twice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core import protocol
+from repro.netsim.channel import ChannelEnd
+from repro.nn.model import Model, ModelFile
+from repro.sim import Interrupt, Process, SimEvent, Simulator
+
+
+class PresendManager:
+    """Client-side model upload state machine."""
+
+    def __init__(self, sim: Simulator, endpoint: ChannelEnd, models: List[Model]):
+        self.sim = sim
+        self.endpoint = endpoint
+        self.models = list(models)
+        self._sent_files: Dict[str, set] = {model.model_id: set() for model in models}
+        self._acked: Dict[str, bool] = {model.model_id: False for model in models}
+        self._ack_events: Dict[str, SimEvent] = {
+            model.model_id: sim.event(label=f"ack:{model.model_id}")
+            for model in models
+        }
+        self._upload_proc: Optional[Process] = None
+        self._ack_proc: Optional[Process] = None
+        self.started = False
+        self.cancelled = False
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> None:
+        """Begin uploading all models (call when the app starts)."""
+        if self.started:
+            raise RuntimeError("pre-sending already started")
+        self.started = True
+        self._upload_proc = self.sim.spawn(self._upload(), label="presend-upload")
+        self._ack_proc = self.sim.spawn(self._await_acks(), label="presend-acks")
+
+    def cancel(self) -> None:
+        """Stop sending further files (offloading is superseding the upload)."""
+        self.cancelled = True
+        if self._upload_proc is not None and self._upload_proc.is_alive:
+            self._upload_proc.interrupt("superseded by snapshot")
+
+    # -- queries -----------------------------------------------------------------
+    def is_acked(self, model_id: str) -> bool:
+        return self._acked.get(model_id, False)
+
+    def all_acked(self) -> bool:
+        return all(self._acked.values())
+
+    def ack_event(self, model_id: str) -> SimEvent:
+        """Event that succeeds when the server ACKs this model."""
+        return self._ack_events[model_id]
+
+    def missing_files(self, model: Model) -> List[ModelFile]:
+        """Files the server does not have yet (not transmitted, not ACKed)."""
+        if self.is_acked(model.model_id):
+            return []
+        sent = self._sent_files.get(model.model_id, set())
+        return [file for file in model.files() if file.name not in sent]
+
+    def pending_deliveries(self) -> List[protocol.ModelDelivery]:
+        """Model deliveries a snapshot must carry right now.
+
+        Any un-ACKed model is included — with whatever files the server
+        still lacks (possibly none: if only the final object handle was
+        cancelled, the delivery is zero-byte and just completes the upload).
+        """
+        deliveries = []
+        for model in self.models:
+            if self.is_acked(model.model_id):
+                continue
+            deliveries.append(
+                protocol.ModelDelivery(model=model, files=self.missing_files(model))
+            )
+        return deliveries
+
+    def mark_delivered(self, model: Model, files: List[ModelFile]) -> None:
+        """Record files that reached the server via a snapshot delivery."""
+        sent = self._sent_files.setdefault(model.model_id, set())
+        sent.update(file.name for file in files)
+
+    # -- processes ----------------------------------------------------------------
+    def _upload(self):
+        try:
+            for model in self.models:
+                manifest = protocol.ManifestPayload(model.model_id, model.files())
+                yield self.endpoint.send(protocol.MODEL_MANIFEST, manifest)
+                for file in model.files():
+                    if file.name in self._sent_files[model.model_id]:
+                        continue  # already delivered via a snapshot
+                    payload = protocol.ModelFilePayload(model.model_id, file)
+                    # Mark at transmit time: once send() is called the bits
+                    # are committed to the FIFO wire and will arrive before
+                    # any later snapshot, so they must not ride along too.
+                    self._sent_files[model.model_id].add(file.name)
+                    yield self.endpoint.send(protocol.MODEL_FILE, payload)
+                yield self.endpoint.send(
+                    protocol.MODEL_OBJECT,
+                    protocol.ModelObjectPayload(model.model_id, model),
+                )
+        except Interrupt:
+            return  # cancelled between messages; remaining files ride along
+
+    def _await_acks(self):
+        remaining = {model.model_id for model in self.models}
+        while remaining:
+            message = yield self.endpoint.recv_kind(protocol.MODEL_ACK)
+            model_id = message.payload["model_id"]
+            if model_id in remaining:
+                remaining.discard(model_id)
+                self._acked[model_id] = True
+                self._ack_events[model_id].succeed(self.sim.now)

@@ -1,0 +1,163 @@
+"""Wire protocol between the client and the edge server.
+
+Message kinds (all travel as :class:`repro.netsim.Message`):
+
+=================  ==========================================================
+``PING`` / ``PONG``        capability probe: does this edge server run the
+                           offloading system? (``PONG`` carries a bool)
+``MODEL_MANIFEST``         announces an upload: model id + file list
+``MODEL_FILE``             one model file (sized by its real byte count)
+``MODEL_OBJECT``           the runnable model handle, once all files are in
+                           (bookkeeping-sized: its bytes were the files)
+``MODEL_ACK``              server: all files stored (paper's ACK)
+``SNAPSHOT``               a full snapshot, optionally with model deliveries
+                           attached (offloading before the ACK)
+``RESULT``                 the server's delta snapshot with the new state
+``VM_OVERLAY``             a compressed VM overlay for on-demand install
+``VM_READY``               synthesis finished; offloading system available
+``ERROR``                  refusal (e.g. server without the system)
+=================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.nn.model import Model, ModelFile
+
+PING = "PING"
+PONG = "PONG"
+MODEL_MANIFEST = "MODEL_MANIFEST"
+MODEL_FILE = "MODEL_FILE"
+MODEL_OBJECT = "MODEL_OBJECT"
+MODEL_ACK = "MODEL_ACK"
+SNAPSHOT = "SNAPSHOT"
+RESULT = "RESULT"
+VM_OVERLAY = "VM_OVERLAY"
+VM_READY = "VM_READY"
+ERROR = "ERROR"
+
+#: nominal wire size of pure control payloads (ids, flags)
+CONTROL_BYTES = 64
+
+
+@dataclass
+class ManifestPayload:
+    """MODEL_MANIFEST body."""
+
+    model_id: str
+    files: List[ModelFile]
+
+    @property
+    def size_bytes(self) -> int:
+        # id + (name, checksum, size) per file
+        return CONTROL_BYTES + 96 * len(self.files)
+
+
+@dataclass
+class ModelFilePayload:
+    """MODEL_FILE body: one file's content."""
+
+    model_id: str
+    file: ModelFile
+
+    @property
+    def size_bytes(self) -> int:
+        return self.file.size_bytes
+
+
+@dataclass
+class ModelObjectPayload:
+    """MODEL_OBJECT body: the runnable handle (bytes already accounted)."""
+
+    model_id: str
+    model: Model
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_BYTES
+
+
+@dataclass
+class ModelDelivery:
+    """Model files riding along with a snapshot (pre-ACK offloading)."""
+
+    model: Model
+    files: List[ModelFile]
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(file.size_bytes for file in self.files)
+
+
+@dataclass
+class SnapshotPayload:
+    """SNAPSHOT body: the snapshot plus any model deliveries."""
+
+    snapshot: Any  # repro.core.snapshot.Snapshot
+    deliveries: List[ModelDelivery] = field(default_factory=list)
+    request_id: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return self.snapshot.size_bytes + sum(
+            delivery.size_bytes for delivery in self.deliveries
+        )
+
+    @property
+    def delivery_bytes(self) -> int:
+        return sum(delivery.size_bytes for delivery in self.deliveries)
+
+
+@dataclass
+class ResultPayload:
+    """RESULT body: the server's delta snapshot plus its timing report.
+
+    ``fingerprint`` is the hashed signature of the state the server keeps
+    cached after this request (None when session caching is off); the
+    client diffs against it to send a *delta* on its next offload — the
+    paper's future-work reuse of "the data and code left at the server".
+    """
+
+    delta: Any  # repro.core.snapshot.Snapshot
+    request_id: int = 0
+    #: server-side phase durations, for the Fig. 7 breakdown
+    timings: Dict[str, float] = field(default_factory=dict)
+    fingerprint: Optional[Any] = None  # StateFingerprint
+
+    @property
+    def size_bytes(self) -> int:
+        fingerprint_bytes = (
+            self.fingerprint.size_bytes if self.fingerprint is not None else 0
+        )
+        return self.delta.size_bytes + CONTROL_BYTES + fingerprint_bytes
+
+
+@dataclass
+class CapabilityPayload:
+    """PONG body."""
+
+    has_offloading_system: bool
+    server_name: str = ""
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_BYTES
+
+
+@dataclass
+class ErrorPayload:
+    """ERROR body."""
+
+    reason: str
+    request_id: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_BYTES + len(self.reason.encode("utf-8"))
+
+
+def ack_payload(model_id: str) -> Dict[str, Any]:
+    """MODEL_ACK body (dict keeps it trivially sizable)."""
+    return {"model_id": model_id}

@@ -1,0 +1,298 @@
+"""The edge-server agent.
+
+A generic edge server in the paper runs "our offloading server program for
+handling network connection, a web browser for executing the snapshot, and
+the support libraries".  :class:`EdgeServer` is that program: it stores
+pre-sent model files, ACKs completed uploads, and serves snapshot requests
+by restoring each snapshot into a browser runtime, running the pending
+event, and returning a delta snapshot — all on the server device's virtual
+clock.  The browser device is a FIFO resource, so concurrent clients queue
+honestly behind each other.
+
+Servers can also start *without* the offloading system installed
+(``installed=False``); they then refuse snapshots until a VM overlay is
+synthesized (paper §III.B.3), which is how on-demand installation is
+exercised end to end.
+
+With ``session_cache`` (default on), the browser state left behind by each
+served app is kept so follow-up offloads can send deltas — the paper's
+§VI future work.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from repro.core import protocol
+from repro.core.snapshot import capture_delta, fingerprint_runtime, restore_snapshot
+from repro.devices.device import Device
+from repro.netsim.channel import ChannelEnd
+from repro.netsim.message import Message
+from repro.nn.modelstore import ModelStore, ModelStoreError
+from repro.sim import Simulator
+from repro.web.runtime import MissingModelError, WebRuntime
+
+
+class EdgeServer:
+    """One edge server: model store + browser pool + protocol loops.
+
+    ``serve`` may be called once per connected client; each endpoint gets
+    its own protocol loop, while the model store, the session cache and the
+    (FIFO) browser device are shared — multiple clients contend for the
+    same hardware, as on a real edge node.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: Device,
+        name: str = "edge",
+        installed: bool = True,
+        session_cache: bool = True,
+        session_cache_capacity: int = 32,
+    ):
+        self.sim = sim
+        self.device = device
+        self.name = name
+        self.installed = installed
+        self.store = ModelStore()
+        self.served_requests = 0
+        self.errors: List[str] = []
+        #: the most recent browser runtime, for inspection in tests
+        self.last_runtime: Optional[WebRuntime] = None
+        self.endpoints: List[ChannelEnd] = []
+        #: virtual times at which an overlay finished installing
+        self.install_log: List[float] = []
+        #: keep the browser (state + code) of each served app so follow-up
+        #: offloads can send deltas (the paper's future-work reuse).
+        #: Bounded: edge servers have finite memory, so sessions are
+        #: evicted LRU beyond ``session_cache_capacity`` — clients whose
+        #: session was evicted transparently fall back to full snapshots.
+        self.session_cache = session_cache
+        if session_cache_capacity <= 0:
+            raise ValueError("session_cache_capacity must be positive")
+        self.session_cache_capacity = session_cache_capacity
+        self._sessions: "OrderedDict[tuple, WebRuntime]" = OrderedDict()
+        self.evicted_sessions = 0
+        #: at-most-once execution: replies cached per (sender, request_id)
+        #: so a retransmitted request is answered without re-executing
+        self._replies: Dict[tuple, protocol.ResultPayload] = {}
+
+    # -- wiring ---------------------------------------------------------------
+    def serve(self, endpoint: ChannelEnd) -> None:
+        """Attach a client channel endpoint and start its protocol loop."""
+        self.endpoints.append(endpoint)
+        self.sim.spawn(
+            self._loop(endpoint), label=f"server:{self.name}:{len(self.endpoints)}"
+        )
+
+    def _loop(self, endpoint: ChannelEnd):
+        while True:
+            message = yield endpoint.recv()
+            handler = {
+                protocol.PING: self._on_ping,
+                protocol.MODEL_MANIFEST: self._on_manifest,
+                protocol.MODEL_FILE: self._on_model_file,
+                protocol.MODEL_OBJECT: self._on_model_object,
+                protocol.SNAPSHOT: self._on_snapshot,
+                protocol.VM_OVERLAY: self._on_vm_overlay,
+            }.get(message.kind)
+            if handler is None:
+                self._error(endpoint, f"unknown message kind {message.kind!r}")
+                continue
+            result = handler(endpoint, message)
+            if result is not None:  # handler is a sub-process generator
+                try:
+                    yield from result
+                except Exception as exc:  # a failed request must not kill the loop
+                    request_id = getattr(message.payload, "request_id", 0)
+                    self._error(endpoint, f"request failed: {exc}", request_id)
+
+    # -- capability ---------------------------------------------------------------
+    def _on_ping(self, endpoint: ChannelEnd, message: Message) -> None:
+        endpoint.send(
+            protocol.PONG,
+            protocol.CapabilityPayload(
+                has_offloading_system=self.installed, server_name=self.name
+            ),
+        )
+
+    # -- model upload ---------------------------------------------------------------
+    def _on_manifest(self, endpoint: ChannelEnd, message: Message) -> None:
+        if not self._require_installed(endpoint, "model upload"):
+            return
+        manifest: protocol.ManifestPayload = message.payload
+        self.store.begin_upload(manifest.model_id, manifest.files)
+
+    def _on_model_file(self, endpoint: ChannelEnd, message: Message) -> None:
+        if not self._require_installed(endpoint, "model upload"):
+            return
+        payload: protocol.ModelFilePayload = message.payload
+        try:
+            self.store.receive_file(payload.model_id, payload.file)
+        except ModelStoreError as exc:
+            self._error(endpoint, str(exc))
+
+    def _on_model_object(self, endpoint: ChannelEnd, message: Message) -> None:
+        if not self._require_installed(endpoint, "model upload"):
+            return
+        payload: protocol.ModelObjectPayload = message.payload
+        try:
+            self.store.attach_model(payload.model_id, payload.model)
+        except ModelStoreError as exc:
+            self._error(endpoint, str(exc))
+            return
+        endpoint.send(protocol.MODEL_ACK, protocol.ack_payload(payload.model_id))
+
+    # -- snapshots --------------------------------------------------------------------
+    def _on_snapshot(self, endpoint: ChannelEnd, message: Message):
+        """Returns the request-serving sub-process."""
+        payload: protocol.SnapshotPayload = message.payload
+        if not self.installed:
+            self._error(
+                endpoint, "no offloading system installed", payload.request_id
+            )
+            return None
+        return self._serve_snapshot(endpoint, payload, sender=message.sender)
+
+    def _serve_snapshot(
+        self,
+        endpoint: ChannelEnd,
+        payload: protocol.SnapshotPayload,
+        sender: str = "",
+    ):
+        snapshot = payload.snapshot
+        timings: Dict[str, float] = {}
+
+        # At-most-once: a retransmission of an already-served request (the
+        # reply was lost in flight) gets the cached reply; re-executing a
+        # delta snapshot twice would corrupt the cached session.
+        reply_key = (sender, payload.request_id)
+        if payload.request_id and reply_key in self._replies:
+            endpoint.send(protocol.RESULT, self._replies[reply_key])
+            return
+
+        # Any model files delivered with the snapshot are stored first,
+        # completing uploads the pre-send did not finish.
+        for delivery in payload.deliveries:
+            model = delivery.model
+            self.store.begin_upload(model.model_id, model.files())
+            for file in delivery.files:
+                try:
+                    self.store.receive_file(model.model_id, file)
+                except ModelStoreError as exc:
+                    self._error(endpoint, str(exc), payload.request_id)
+                    return
+            entry = self.store.begin_upload(model.model_id, model.files())
+            if entry.complete and entry.model is None:
+                self.store.attach_model(model.model_id, model)
+
+        # Resolve the executing browser: a cached session for delta
+        # snapshots, a fresh runtime for full snapshots.
+        session_key = (sender, snapshot.app_name)
+        if snapshot.kind == "delta":
+            browser = self._sessions.get(session_key)
+            if browser is None:
+                self._error(
+                    endpoint,
+                    f"no cached session for app {snapshot.app_name!r}",
+                    payload.request_id,
+                )
+                return
+            self._sessions.move_to_end(session_key)  # LRU touch
+        else:
+            browser = WebRuntime(f"{self.name}-browser")
+        for model_id in snapshot.model_refs.values():
+            if self.store.has_complete(model_id):
+                try:
+                    browser.install_model(self.store.get_model(model_id))
+                except ModelStoreError:
+                    pass  # files complete but no runnable handle yet
+
+        # 1. Restore the snapshot (virtual: parse cost; real: exec program).
+        restore_seconds = self.device.snapshot_restore_seconds(snapshot.size_bytes)
+        yield self.device.execute(restore_seconds, label="snapshot-restore")
+        timings["restore"] = restore_seconds
+        try:
+            report = restore_snapshot(snapshot, browser)
+        except Exception as exc:
+            self._error(endpoint, f"restore failed: {exc}", payload.request_id)
+            return
+        self.last_runtime = browser
+
+        # 2. Continue execution: run the pending event's handlers.
+        exec_seconds = self._execution_seconds(snapshot)
+        yield self.device.execute(exec_seconds, label="dnn-exec")
+        timings["exec"] = exec_seconds
+        if report.pending_event is not None:
+            try:
+                browser.run_event(report.pending_event)
+            except MissingModelError as exc:
+                self._error(endpoint, str(exc), payload.request_id)
+                return
+            except Exception as exc:
+                self._error(endpoint, f"handler failed: {exc}", payload.request_id)
+                return
+
+        # 3. Capture the new state as a delta snapshot and send it back.
+        delta = capture_delta(browser, report.fingerprint)
+        capture_seconds = self.device.snapshot_capture_seconds(delta.size_bytes)
+        yield self.device.execute(capture_seconds, label="snapshot-capture")
+        timings["capture"] = capture_seconds
+        self.served_requests += 1
+        fingerprint = None
+        if self.session_cache:
+            # Keep the browser for follow-up delta offloads and tell the
+            # client exactly what state was left behind.
+            self._sessions[session_key] = browser
+            self._sessions.move_to_end(session_key)
+            while len(self._sessions) > self.session_cache_capacity:
+                self._sessions.popitem(last=False)  # evict least recent
+                self.evicted_sessions += 1
+            fingerprint = fingerprint_runtime(browser)
+        reply = protocol.ResultPayload(
+            delta=delta,
+            request_id=payload.request_id,
+            timings=timings,
+            fingerprint=fingerprint,
+        )
+        if payload.request_id:
+            self._replies[reply_key] = reply
+        endpoint.send(protocol.RESULT, reply)
+
+    def _execution_seconds(self, snapshot) -> float:
+        """Virtual duration of the offloaded computation on this device."""
+        costs = snapshot.metadata.get("server_costs")
+        if costs:
+            return self.device.forward_seconds(costs)
+        return 0.0
+
+    # -- on-demand installation -----------------------------------------------------
+    def _on_vm_overlay(self, endpoint: ChannelEnd, message: Message):
+        overlay = message.payload
+        return self._synthesize(endpoint, overlay)
+
+    def _synthesize(self, endpoint: ChannelEnd, overlay):
+        """VM synthesis: decompress the overlay, apply it to the base image."""
+        seconds = overlay.synthesis_seconds()
+        yield self.device.execute(seconds, label="vm-synthesis")
+        self.installed = True
+        self.install_log.append(self.sim.now)
+        for model in overlay.bundled_models:
+            self.store.begin_upload(model.model_id, model.files())
+            for file in model.files():
+                self.store.receive_file(model.model_id, file)
+            self.store.attach_model(model.model_id, model)
+        endpoint.send(protocol.VM_READY, {"server": self.name})
+
+    # -- helpers ---------------------------------------------------------------------
+    def _require_installed(self, endpoint: ChannelEnd, what: str) -> bool:
+        if not self.installed:
+            self._error(endpoint, f"{what} refused: no offloading system installed")
+            return False
+        return True
+
+    def _error(self, endpoint: ChannelEnd, reason: str, request_id: int = 0) -> None:
+        self.errors.append(reason)
+        endpoint.send(protocol.ERROR, protocol.ErrorPayload(reason, request_id))

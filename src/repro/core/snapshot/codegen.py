@@ -1,0 +1,295 @@
+"""Code generation: heap / DOM state → executable snapshot program text.
+
+The generated program looks like::
+
+    RT.set_app('googlenet-app')
+    RT.set_script('''...app source...''')
+    RT.set_model_refs({'classifier': 'googlenet:abc123'})
+    _h0 = JSObject()
+    _h1 = TA('1.250000000e+00 ...', (64, 56, 56))
+    _h0.properties['feature'] = _h1
+    G['state'] = _h0
+    _e0 = RT.create('button', 'infer_btn', {})
+    RT.append('__body__', _e0)
+    RT.append_text(_e0, 'Inference')
+    RT.add_listener('infer_btn', 'click', 'on_inference')
+    RT.set_pending('front_complete', 'infer_btn', None)
+
+Identity is preserved by hoisting every heap node into a ``_hN`` variable
+before filling contents, which makes shared references and cycles restore
+exactly.  Float32 tensors serialize as full-precision decimal text (what a
+JS snapshot does to a ``Float32Array``); decoded images serialize as binary
+attachments referenced by index (the data-URL analog).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.web.dom import Document, Element, TextNode
+from repro.web.values import (
+    UNDEFINED,
+    ImageData,
+    JSArray,
+    JSClosure,
+    JSObject,
+    TypedArray,
+)
+
+
+class CodegenError(ValueError):
+    """Raised when a value cannot be serialized into a snapshot."""
+
+
+def digest(text: str) -> str:
+    """Short stable digest used by state fingerprints."""
+    import hashlib
+
+    return hashlib.sha1(text.encode("utf-8")).hexdigest()[:16]
+
+
+#: printf format for tensor values; full float32 round-trip precision
+_TENSOR_FORMAT = "%.10e"
+
+
+def render_tensor_text(array: np.ndarray) -> str:
+    """Serialize a tensor's values as space-separated decimal literals."""
+    flat = np.asarray(array, dtype=np.float32).ravel()
+    return " ".join(_TENSOR_FORMAT % value for value in flat)
+
+
+def parse_tensor_text(text: str, shape: Tuple[int, ...]) -> np.ndarray:
+    """Inverse of :func:`render_tensor_text`."""
+    if text:
+        flat = np.asarray(text.split(), dtype=np.float32)
+    else:
+        flat = np.array([], dtype=np.float32)
+    return flat.reshape(shape)
+
+
+class HeapCodegen:
+    """Serializes a set of root values, preserving sharing and cycles."""
+
+    def __init__(self, attachments: Optional[Dict[int, np.ndarray]] = None):
+        self._ids: Dict[int, str] = {}  # id(node) -> variable name
+        self.create_lines: List[str] = []
+        self.fill_lines: List[str] = []
+        self.attachments: Dict[int, np.ndarray] = (
+            attachments if attachments is not None else {}
+        )
+        self.tensor_text_bytes = 0
+        self.attachment_bytes = 0
+
+    # -- public -----------------------------------------------------------------
+    def root_expression(self, value: Any) -> str:
+        """Serialize one root; returns the expression that references it."""
+        return self._render(value)
+
+    @property
+    def lines(self) -> List[str]:
+        return self.create_lines + self.fill_lines
+
+    # -- rendering ---------------------------------------------------------------
+    def _render(self, value: Any) -> str:
+        if value is UNDEFINED:
+            return "UNDEFINED"
+        if value is None or isinstance(value, (bool, int, float, str)):
+            return repr(value)
+        if isinstance(value, Element):
+            if not value.element_id:
+                raise CodegenError(
+                    "heap references to DOM elements need an element id"
+                )
+            return f"RT.elem({value.element_id!r})"
+        if isinstance(
+            value, (JSObject, JSArray, TypedArray, JSClosure, dict, list, np.ndarray)
+        ):
+            return self._heap_node(value)
+        raise CodegenError(
+            f"cannot serialize value of type {type(value).__name__} into a snapshot"
+        )
+
+    def _heap_node(self, node: Any) -> str:
+        existing = self._ids.get(id(node))
+        if existing is not None:
+            return existing
+        name = f"_h{len(self._ids)}"
+        self._ids[id(node)] = name
+        if isinstance(node, ImageData):
+            index = len(self.attachments)
+            self.attachments[index] = node.data
+            self.attachment_bytes += node.encoded_bytes
+            self.create_lines.append(
+                f"{name} = IMG(ATTACH[{index}], {node.shape!r}, {node.encoded_bytes})"
+            )
+        elif isinstance(node, TypedArray):
+            text = render_tensor_text(node.data)
+            self.tensor_text_bytes += len(text)
+            self.create_lines.append(f"{name} = TA({text!r}, {node.shape!r})")
+        elif isinstance(node, np.ndarray):
+            text = render_tensor_text(node)
+            self.tensor_text_bytes += len(text)
+            self.create_lines.append(
+                f"{name} = NP({text!r}, {tuple(node.shape)!r})"
+            )
+        elif isinstance(node, JSClosure):
+            # Closure reconstruction [11]: the function rebinds by name to
+            # the shipped script; the captured environment is rebuilt like
+            # any heap structure (cycles through env included).
+            self.create_lines.append(f"{name} = CL({node.function_name!r})")
+            for key, value in node.env.items():
+                self.fill_lines.append(
+                    f"{name}.env[{key!r}] = {self._render(value)}"
+                )
+        elif isinstance(node, JSObject):
+            self.create_lines.append(f"{name} = JSObject()")
+            for key, value in node.items():
+                self.fill_lines.append(
+                    f"{name}.properties[{key!r}] = {self._render(value)}"
+                )
+        elif isinstance(node, JSArray):
+            self.create_lines.append(f"{name} = JSArray()")
+            for value in node:
+                self.fill_lines.append(f"{name}.items.append({self._render(value)})")
+        elif isinstance(node, dict):
+            self.create_lines.append(f"{name} = {{}}")
+            for key, value in node.items():
+                if not isinstance(key, (str, int, float, bool)):
+                    raise CodegenError(
+                        f"dict keys must be scalars, got {type(key).__name__}"
+                    )
+                self.fill_lines.append(f"{name}[{key!r}] = {self._render(value)}")
+        elif isinstance(node, list):
+            self.create_lines.append(f"{name} = []")
+            for value in node:
+                self.fill_lines.append(f"{name}.append({self._render(value)})")
+        else:  # pragma: no cover - guarded by _render
+            raise CodegenError(f"unexpected heap node {type(node).__name__}")
+        return name
+
+
+def serialize_globals(
+    globals_dict: Dict[str, Any],
+    keep: Optional[set] = None,
+    codegen: Optional[HeapCodegen] = None,
+) -> Tuple[List[str], HeapCodegen]:
+    """Serialize (a subset of) the global heap.
+
+    Returns ``(root_lines, codegen)``: the ``G[...] = ...`` assignments and
+    the codegen holding the heap-node definition lines.  The caller emits
+    ``codegen.lines`` *before* the root lines — and may run further passes
+    (e.g. DOM serialization) on the same codegen first, so shared heap
+    nodes referenced from both places are defined exactly once.
+    """
+    codegen = codegen or HeapCodegen()
+    root_lines = []
+    for name in sorted(globals_dict):
+        if keep is not None and name not in keep:
+            continue
+        expression = codegen.root_expression(globals_dict[name])
+        root_lines.append(f"G[{name!r}] = {expression}")
+    return root_lines, codegen
+
+
+def canonical_value_code(value: Any) -> str:
+    """Deterministic standalone serialization of one value.
+
+    Used for fingerprinting (change detection between the restored baseline
+    and the post-execution state).  Identity is canonicalized per-value, so
+    the same structure always yields the same code.
+    """
+    codegen = HeapCodegen(attachments={})
+    expression = codegen.root_expression(value)
+    return "\n".join(codegen.lines + [f"__root__ = {expression}"])
+
+
+# -- DOM ----------------------------------------------------------------------
+
+def dom_node_key(element: Element) -> str:
+    """Stable identity for DOM diffing: the id, or a path-based key."""
+    if element.element_id:
+        return element.element_id
+    parts: List[str] = []
+    node: Optional[Element] = element
+    while node is not None and node.parent is not None:
+        siblings = [c for c in node.parent.children if isinstance(c, Element)]
+        parts.append(f"{node.tag}[{siblings.index(node)}]")
+        node = node.parent
+    return "/".join(reversed(parts)) or "__body__"
+
+
+def serialize_dom(
+    document: Document,
+    codegen: HeapCodegen,
+    include_canvas_pixels: bool = False,
+) -> List[str]:
+    """Generate program lines that rebuild the DOM tree.
+
+    Canvas pixel buffers are skipped by default — serializing a DOM does
+    not capture canvas content in real browsers either; apps keep what they
+    need in heap state.  ``include_canvas_pixels`` overrides this for apps
+    that rely on it, at the cost of shipping the (attached) image.
+    """
+    lines: List[str] = []
+    counter = [0]
+
+    def emit(element: Element, parent_ref: str) -> None:
+        name = f"_e{counter[0]}"
+        counter[0] += 1
+        lines.append(
+            f"{name} = RT.create({element.tag!r}, {element.element_id!r}, "
+            f"{element.attributes!r})"
+        )
+        lines.append(f"RT.append({parent_ref}, {name})")
+        if include_canvas_pixels and element.image_data is not None:
+            # Serialized as-is: a plain TypedArray becomes decimal text (how
+            # JS apps of the CaffeJS era shipped pixel arrays), an ImageData
+            # becomes a compressed attachment (the data-URL optimization).
+            lines.append(
+                f"RT.draw({name}, {codegen.root_expression(element.image_data)})"
+            )
+        for child in element.children:
+            if isinstance(child, TextNode):
+                lines.append(f"RT.append_text({name}, {child.text!r})")
+            else:
+                emit(child, name)
+
+    for child in document.body.children:
+        if isinstance(child, TextNode):
+            lines.append(f"RT.append_text(RT.body(), {child.text!r})")
+        else:
+            emit(child, "RT.body()")
+    return lines
+
+
+def canonical_dom_entries(document: Document) -> Dict[str, str]:
+    """Canonical per-element strings for DOM diffing.
+
+    Canvas/image content is represented by a digest of the pixel bytes, so
+    drawing a *different* image on the same canvas registers as a change.
+    """
+    import hashlib
+
+    entries: Dict[str, str] = {}
+    for element in document.body.walk():
+        if element is document.body:
+            continue
+        key = dom_node_key(element)
+        parent_key = (
+            dom_node_key(element.parent) if element.parent is not None else ""
+        )
+        texts = [
+            child.text for child in element.children if isinstance(child, TextNode)
+        ]
+        attrs = sorted(element.attributes.items())
+        if element.image_data is not None:
+            image = hashlib.sha1(element.image_data.data.tobytes()).hexdigest()[:12]
+        else:
+            image = "none"
+        entries[key] = (
+            f"{element.tag}|parent={parent_key}|attrs={attrs!r}|"
+            f"texts={texts!r}|image={image}"
+        )
+    return entries

@@ -1,0 +1,57 @@
+"""Simple client-side energy accounting (extension, not in the paper).
+
+Offloading work like MAUI [22] motivates offloading by *energy*, not just
+latency; the paper focuses on latency but the same timeline lets us account
+energy for free.  The model is the standard three-state one: the client
+draws ``compute_w`` while executing, ``radio_w`` while transmitting or
+receiving, and ``idle_w`` otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Average power draw per client state, in watts."""
+
+    compute_w: float = 4.5  # Odroid-XU4 under full CPU load
+    radio_w: float = 1.2  # active Wi-Fi transfer
+    idle_w: float = 0.5
+
+    def __post_init__(self) -> None:
+        if min(self.compute_w, self.radio_w, self.idle_w) < 0:
+            raise ValueError("power draws must be non-negative")
+
+    def energy_joules(
+        self,
+        compute_s: float = 0.0,
+        radio_s: float = 0.0,
+        idle_s: float = 0.0,
+    ) -> float:
+        """Energy for a breakdown of client time."""
+        if min(compute_s, radio_s, idle_s) < 0:
+            raise ValueError("durations must be non-negative")
+        return (
+            self.compute_w * compute_s
+            + self.radio_w * radio_s
+            + self.idle_w * idle_s
+        )
+
+    def local_execution_joules(self, compute_s: float) -> float:
+        """Energy when the client does everything itself."""
+        return self.energy_joules(compute_s=compute_s)
+
+    def offloaded_joules(
+        self, client_compute_s: float, transfer_s: float, wait_s: float
+    ) -> float:
+        """Energy when part of the work runs remotely.
+
+        The client computes for ``client_compute_s`` (snapshot work plus any
+        front-partition inference), keeps the radio active for
+        ``transfer_s`` and idles while the server computes for ``wait_s``.
+        """
+        return self.energy_joules(
+            compute_s=client_compute_s, radio_s=transfer_s, idle_s=wait_s
+        )

@@ -1,0 +1,17 @@
+"""Experiment harness: regenerate every table and figure in the paper.
+
+One module per artifact — :mod:`repro.eval.fig1`, :mod:`repro.eval.fig6`,
+:mod:`repro.eval.fig7`, :mod:`repro.eval.fig8`, :mod:`repro.eval.table1` —
+plus :mod:`repro.eval.ablations` for the extension studies DESIGN.md lists.
+Each module exposes ``run_*`` (returns structured rows) and ``format_*``
+(renders the rows the way the paper presents them).  The benchmark suite
+under ``benchmarks/`` calls these and asserts the paper's shape claims.
+
+:mod:`repro.eval.scenarios` builds the testbed (client, edge server,
+shaped link) that every experiment shares; :mod:`repro.eval.calibration`
+documents every tuned constant and where it comes from.
+"""
+
+from repro.eval.scenarios import Testbed, build_paper_model, paper_input_for
+
+__all__ = ["Testbed", "build_paper_model", "paper_input_for"]

@@ -1,0 +1,733 @@
+"""Ablation studies beyond the paper's figures.
+
+These exercise the design choices DESIGN.md calls out:
+
+* :func:`bandwidth_sweep` — where does offloading stop paying?  (The paper
+  fixes 30 Mbps; we sweep it and find the client/offload crossover.)
+* :func:`partition_adaptivity` — the optimizer should move the split point
+  deeper into the network as bandwidth drops (features must shrink before
+  crossing a slow link).
+* :func:`decision_study` — the before-ACK local-vs-offload policy
+  (§IV.A's advice) versus measured ground truth.
+* :func:`snapshot_optimization_study` — live-state elimination and the
+  data-URL image encoding, quantified on snapshot bytes.
+* :func:`gpu_server_study` — the paper's forward-looking remark that WebGL
+  gives ~80x: with a GPU server, transfer dominates and partial inference
+  at deeper points loses its appeal.
+* :func:`energy_study` — client energy for local vs offloaded execution
+  (the MAUI-style motivation, computed from the same timelines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.decisions import Decision, OffloadPolicy
+from repro.core.snapshot import CaptureOptions
+from repro.devices.energy import EnergyModel
+from repro.devices.predictor import fit_predictor_for
+from repro.eval import calibration
+from repro.eval.scenarios import Testbed, build_paper_model, paper_input_for
+from repro.nn.cost import network_costs
+from repro.nn.tensor import text_serialized_bytes
+
+
+# -- 1. bandwidth sweep ---------------------------------------------------------
+
+@dataclass
+class BandwidthPoint:
+    bandwidth_mbps: float
+    offload_seconds: float
+    client_seconds: float
+
+    @property
+    def offload_wins(self) -> bool:
+        return self.offload_seconds < self.client_seconds
+
+
+def bandwidth_sweep(
+    model_name: str = "googlenet",
+    bandwidths_mbps: Sequence[float] = (1, 2, 4, 8, 15, 30, 60, 120),
+) -> List[BandwidthPoint]:
+    """Offload-after-ACK vs client-only across link speeds."""
+    client_seconds = Testbed().run_client_only(model_name).total_seconds
+    points = []
+    for mbps in bandwidths_mbps:
+        result = Testbed(bandwidth_bps=mbps * 1e6).run_offload(
+            model_name, wait_for_ack=True
+        )
+        points.append(
+            BandwidthPoint(
+                bandwidth_mbps=mbps,
+                offload_seconds=result.total_seconds,
+                client_seconds=client_seconds,
+            )
+        )
+    return points
+
+
+# -- 2. partition adaptivity ----------------------------------------------------
+
+def partition_adaptivity(
+    model_name: str = "googlenet",
+    bandwidths_mbps: Sequence[float] = (1, 4, 30, 120),
+) -> Dict[float, str]:
+    """The optimizer's chosen denaturing point per bandwidth."""
+    from repro.eval.fig8 import make_optimizer
+
+    model = build_paper_model(model_name)
+    optimizer = make_optimizer(model_name)
+    choices = {}
+    for mbps in bandwidths_mbps:
+        link = Testbed(bandwidth_bps=mbps * 1e6).profile
+        choice = optimizer.choose(model.network, link, denature=True)
+        choices[mbps] = choice.point.label
+    return choices
+
+
+# -- 3. decision policy ------------------------------------------------------------
+
+@dataclass
+class DecisionOutcome:
+    model: str
+    decision: Decision
+    measured_local_seconds: float
+    measured_offload_seconds: float
+
+    @property
+    def measured_best(self) -> str:
+        return (
+            "local"
+            if self.measured_local_seconds <= self.measured_offload_seconds
+            else "offload"
+        )
+
+    @property
+    def policy_agrees(self) -> bool:
+        return self.decision.action == self.measured_best
+
+
+def decision_study(models: Sequence[str] = ("googlenet", "agenet")) -> List[DecisionOutcome]:
+    """Before-ACK policy decisions vs measured ground truth."""
+    outcomes = []
+    for model_name in models:
+        model = build_paper_model(model_name)
+        costs = network_costs(model.network)
+        testbed = Testbed()
+        policy = OffloadPolicy(
+            fit_predictor_for(testbed.client_profile, costs, noise=0.02),
+            fit_predictor_for(testbed.server_profile, costs, noise=0.02),
+            testbed.client_profile,
+            testbed.server_profile,
+        )
+        input_bytes = text_serialized_bytes(model.network.input_shape)
+        decision = policy.decide(
+            costs,
+            testbed.profile,
+            pending_model_bytes=model.total_bytes,
+            input_bytes=input_bytes,
+        )
+        local = Testbed().run_client_only(model_name).total_seconds
+        offload = Testbed().run_offload(model_name, wait_for_ack=False).total_seconds
+        outcomes.append(
+            DecisionOutcome(
+                model=model_name,
+                decision=decision,
+                measured_local_seconds=local,
+                measured_offload_seconds=offload,
+            )
+        )
+    return outcomes
+
+
+# -- 4. snapshot optimizations -----------------------------------------------------
+
+@dataclass
+class SnapshotSizes:
+    """Snapshot bytes under different capture policies."""
+
+    model: str
+    live_only_bytes: int
+    conservative_bytes: int
+    data_url_bytes: int
+
+    @property
+    def live_state_saving(self) -> float:
+        """Fraction saved by live-state elimination."""
+        if self.conservative_bytes == 0:
+            return 0.0
+        return 1.0 - self.live_only_bytes / self.conservative_bytes
+
+
+def snapshot_optimization_study(model_name: str = "googlenet") -> SnapshotSizes:
+    """Measure capture-policy effects on the offloading snapshot."""
+    from repro.core.snapshot import capture_snapshot
+    from repro.web.app import make_inference_app
+    from repro.web.events import Event
+    from repro.web.runtime import WebRuntime
+    from repro.web.values import ImageData
+
+    from repro.sim import SeededRng
+    from repro.web.values import JSArray, TypedArray
+
+    model = build_paper_model(model_name)
+    event = Event("click", "infer_btn")
+    rng = SeededRng(7, "ablation/history")
+
+    def snapshot_with(options: CaptureOptions, as_data_url: bool) -> int:
+        runtime = WebRuntime("study")
+        runtime.load_app(make_inference_app(model))
+        pixels = paper_input_for(model_name)
+        if as_data_url:
+            pixels = ImageData(pixels.data, encoded_bytes=pixels.size + 1024)
+        runtime.globals["pending_pixels"] = pixels
+        # Realistic dead state the pending handler never touches: previous
+        # photos kept by the app.  Live-state elimination should drop them.
+        shape = model.network.input_shape
+        runtime.globals["photo_history"] = JSArray(
+            [TypedArray(rng.uniform_array(shape, 0, 255)) for _ in range(2)]
+        )
+        runtime.dispatch("click", "load_btn")
+        return capture_snapshot(runtime, event, options).size_bytes
+
+    return SnapshotSizes(
+        model=model_name,
+        live_only_bytes=snapshot_with(
+            CaptureOptions(live_only=True, include_canvas_pixels=True), False
+        ),
+        conservative_bytes=snapshot_with(
+            CaptureOptions(live_only=False, include_canvas_pixels=True), False
+        ),
+        data_url_bytes=snapshot_with(
+            CaptureOptions(live_only=True, include_canvas_pixels=True), True
+        ),
+    )
+
+
+# -- 5. GPU server -----------------------------------------------------------------
+
+@dataclass
+class GpuStudy:
+    model: str
+    cpu_offload_seconds: float
+    gpu_offload_seconds: float
+    gpu_server_exec_seconds: float
+
+
+def gpu_server_study(model_name: str = "googlenet") -> GpuStudy:
+    """The ~80x WebGL server of the paper's outlook (§IV.A)."""
+    cpu = Testbed().run_offload(model_name, wait_for_ack=True)
+    gpu = Testbed(server_speedup=80.0).run_offload(model_name, wait_for_ack=True)
+    return GpuStudy(
+        model=model_name,
+        cpu_offload_seconds=cpu.total_seconds,
+        gpu_offload_seconds=gpu.total_seconds,
+        gpu_server_exec_seconds=gpu.phases.server_exec,
+    )
+
+
+# -- 6. session cache (the paper's §VI future work) ---------------------------------
+
+@dataclass
+class SessionCacheStudy:
+    """Repeated offloading with and without server-side session reuse."""
+
+    model: str
+    first_offload_seconds: float
+    repeat_without_cache_seconds: float
+    repeat_with_cache_seconds: float
+    full_snapshot_bytes: int
+    delta_snapshot_bytes: int
+
+    @property
+    def bytes_saving(self) -> float:
+        if self.full_snapshot_bytes == 0:
+            return 0.0
+        return 1.0 - self.delta_snapshot_bytes / self.full_snapshot_bytes
+
+
+def session_cache_study(model_name: str = "googlenet") -> SessionCacheStudy:
+    """Quantify the future-work reuse of state left at the server."""
+    without = Testbed().run_offload_repeated(
+        model_name, repetitions=2, use_session_cache=False
+    )
+    with_cache = Testbed().run_offload_repeated(
+        model_name, repetitions=2, use_session_cache=True
+    )
+    return SessionCacheStudy(
+        model=model_name,
+        first_offload_seconds=with_cache[0].total_seconds,
+        repeat_without_cache_seconds=without[1].total_seconds,
+        repeat_with_cache_seconds=with_cache[1].total_seconds,
+        full_snapshot_bytes=without[1].snapshot.size_bytes,
+        delta_snapshot_bytes=with_cache[1].snapshot.size_bytes,
+    )
+
+
+# -- 7. feature quantization ---------------------------------------------------------
+
+def quantization_study(
+    model_name: str = "agenet",
+    point_label: str = "1st_pool",
+    bit_widths: Sequence[int] = (16, 8, 4, 2),
+    num_inputs: int = 10,
+    seed: int = 0,
+):
+    """Accuracy/size trade-off of quantizing the transmitted feature.
+
+    Real measurement: the rear network actually runs on dequantized
+    features and its labels are compared against the unsplit model's.
+    """
+    from repro.nn.quantize import measure_quantization_impact
+    from repro.sim import SeededRng
+
+    model = build_paper_model(model_name)
+    rng = SeededRng(seed, f"quant/{model_name}")
+    shape = model.network.input_shape
+    inputs = [rng.uniform_array(shape, 0, 255) for _ in range(num_inputs)]
+    return [
+        measure_quantization_impact(model, point_label, bits, inputs)
+        for bits in bit_widths
+    ]
+
+
+# -- 8. model-size scaling -------------------------------------------------------------
+
+@dataclass
+class ModelScalePoint:
+    """One model's pre-sending economics."""
+
+    model: str
+    model_mb: float
+    presend_seconds: float  # time until the server ACKs the upload
+    client_seconds: float
+    before_ack_seconds: float
+    policy_action: str
+
+    @property
+    def before_ack_pays_off(self) -> bool:
+        return self.before_ack_seconds < self.client_seconds
+
+
+def model_size_scaling_study(
+    models: Sequence[str] = ("googlenet", "agenet", "alexnet"),
+) -> List[ModelScalePoint]:
+    """How model size drives the pre-send / offload-now / local trade-off.
+
+    AlexNet (233 MB) extends the paper's 27-44 MB range by almost an order
+    of magnitude: uploading it takes ~a minute, so offloading before the
+    ACK must lose badly to local execution and the decision policy must say
+    so.
+    """
+    from repro.core.decisions import OffloadPolicy
+    from repro.devices.predictor import fit_predictor_for
+
+    points = []
+    for model_name in models:
+        model = build_paper_model(model_name)
+        costs = network_costs(model.network)
+        testbed = Testbed()
+        policy = OffloadPolicy(
+            fit_predictor_for(testbed.client_profile, costs, noise=0.02),
+            fit_predictor_for(testbed.server_profile, costs, noise=0.02),
+            testbed.client_profile,
+            testbed.server_profile,
+        )
+        decision = policy.decide(
+            costs,
+            testbed.profile,
+            pending_model_bytes=model.total_bytes,
+            input_bytes=text_serialized_bytes(model.network.input_shape),
+        )
+        # Measured pre-send duration: time until the ACK arrives.
+        presend_bed = Testbed()
+        from repro.core.presend import PresendManager
+
+        manager = PresendManager(
+            presend_bed.sim, presend_bed.topology.channel.end_a, [model]
+        )
+        manager.start()
+        ack = manager.ack_event(model.model_id)
+        presend_bed.sim.run_until(lambda: ack.triggered)
+        presend_seconds = ack.value
+
+        client_seconds = Testbed().run_client_only(model_name).total_seconds
+        before_ack = Testbed().run_offload(model_name, wait_for_ack=False)
+        points.append(
+            ModelScalePoint(
+                model=model_name,
+                model_mb=model.total_bytes / 1e6,
+                presend_seconds=presend_seconds,
+                client_seconds=client_seconds,
+                before_ack_seconds=before_ack.total_seconds,
+                policy_action=decision.action,
+            )
+        )
+    return points
+
+
+# -- 9. network variability -------------------------------------------------------------
+
+@dataclass
+class VariabilityStudy:
+    """Adaptive vs fixed partitioning under a varying network."""
+
+    model: str
+    bandwidths_mbps: List[float]
+    fixed_total_seconds: float
+    adaptive_total_seconds: float
+    adaptive_points: List[str]
+
+    @property
+    def adaptive_wins(self) -> bool:
+        return self.adaptive_total_seconds <= self.fixed_total_seconds + 1e-9
+
+
+def variability_study(
+    model_name: str = "googlenet",
+    seed: int = 0,
+    num_requests: int = 6,
+    fixed_point: str = calibration.FIG6_PARTIAL_POINT,
+    fade_mbps: float = 0.8,
+) -> VariabilityStudy:
+    """Re-optimize the split per request as the link quality wanders.
+
+    Each inference sees the bandwidth a random-walk Wi-Fi trace produces
+    at that moment.  The *fixed* strategy always offloads at 1st_pool (the
+    paper's static choice); the *adaptive* strategy asks the partition
+    optimizer with the current network status first.
+    """
+    from repro.eval.fig8 import make_optimizer
+    from repro.netsim.variability import random_walk_schedule
+    from repro.sim import SeededRng
+
+    schedule = random_walk_schedule(
+        SeededRng(seed, f"trace/{model_name}"),
+        duration_s=num_requests * 10.0,
+        min_mbps=fade_mbps,
+        fade_mbps=fade_mbps,
+        fade_probability=0.25,
+    )
+    model = build_paper_model(model_name)
+    optimizer = make_optimizer(model_name)
+    bandwidths = []
+    fixed_total = 0.0
+    adaptive_total = 0.0
+    adaptive_points = []
+    for index in range(num_requests):
+        profile = schedule.profile_at(index * 10.0 + 1.0)
+        mbps = profile.bandwidth_bps / 1e6
+        bandwidths.append(mbps)
+        fixed_total += (
+            Testbed(bandwidth_bps=profile.bandwidth_bps)
+            .run_offload_partial(model_name, fixed_point)
+            .total_seconds
+        )
+        choice = optimizer.choose(model.network, profile, denature=True)
+        adaptive_points.append(choice.point.label)
+        adaptive_total += (
+            Testbed(bandwidth_bps=profile.bandwidth_bps)
+            .run_offload_partial(model_name, choice.point.label)
+            .total_seconds
+        )
+    return VariabilityStudy(
+        model=model_name,
+        bandwidths_mbps=bandwidths,
+        fixed_total_seconds=fixed_total,
+        adaptive_total_seconds=adaptive_total,
+        adaptive_points=adaptive_points,
+    )
+
+
+# -- 10. baseline comparison -------------------------------------------------------------
+
+@dataclass
+class BaselineRow:
+    """One offloading approach's latency + capability profile."""
+
+    approach: str
+    first_use_seconds: float  # includes any setup on a fresh server
+    steady_state_seconds: float
+    any_app: bool  # can a generic server run arbitrary apps?
+    stateless_handover: bool  # works on a new server without setup?
+
+
+def baseline_comparison_study(model_name: str = "googlenet") -> List[BaselineRow]:
+    """Snapshot offloading vs specialized service vs MAUI-style offloading.
+
+    All three run on identical hardware and links; latencies are measured,
+    capabilities follow from each approach's construction (and are
+    exercised by tests: the specialized server refuses foreign apps, the
+    MAUI server refuses uninstalled ones).
+    """
+    from repro.core.baselines import (
+        MauiServer,
+        SpecializedEdgeService,
+        maui_exec,
+        maui_install,
+        specialized_request,
+    )
+    from repro.devices import Device, edge_server_x86
+
+    model = build_paper_model(model_name)
+    pixels = paper_input_for(model_name).data
+
+    # Snapshot-based offloading (measured end to end).
+    snapshot_first = Testbed().run_offload(model_name, wait_for_ack=False)
+    snapshot_steady = Testbed().run_offload(model_name, wait_for_ack=True)
+
+    # Specialized service: pre-deployed for exactly this task.
+    testbed = Testbed()
+    service = SpecializedEdgeService(
+        testbed.sim,
+        Device(testbed.sim, edge_server_x86()),
+        model,
+        service=model_name,
+    )
+    client_end, server_end = testbed.topology.attach("edge-1")
+    service.serve(server_end)
+    times = []
+    for _ in range(2):
+        process = testbed.sim.spawn(
+            specialized_request(client_end, model_name, pixels)
+        )
+        testbed.sim.run_until(lambda: process.triggered)
+        times.append(process.value[1])
+    specialized_first, specialized_steady = times
+
+    # MAUI-style: install the executable+model first, then execute remotely.
+    testbed = Testbed()
+    maui = MauiServer(testbed.sim, Device(testbed.sim, edge_server_x86()))
+    client_end, server_end = testbed.topology.attach("edge-1")
+    maui.serve(server_end)
+    install = testbed.sim.spawn(maui_install(client_end, model_name, model))
+    testbed.sim.run_until(lambda: install.triggered)
+    first_exec = testbed.sim.spawn(maui_exec(client_end, model_name, pixels))
+    testbed.sim.run_until(lambda: first_exec.triggered)
+    second_exec = testbed.sim.spawn(maui_exec(client_end, model_name, pixels))
+    testbed.sim.run_until(lambda: second_exec.triggered)
+
+    return [
+        BaselineRow(
+            approach="snapshot offloading",
+            first_use_seconds=snapshot_first.total_seconds,
+            steady_state_seconds=snapshot_steady.total_seconds,
+            any_app=True,
+            stateless_handover=True,
+        ),
+        BaselineRow(
+            approach="specialized service",
+            first_use_seconds=specialized_first,
+            steady_state_seconds=specialized_steady,
+            any_app=False,
+            stateless_handover=False,
+        ),
+        BaselineRow(
+            approach="MAUI-style (pre-installed app)",
+            first_use_seconds=install.value + first_exec.value[1],
+            steady_state_seconds=second_exec.value[1],
+            any_app=False,
+            stateless_handover=False,
+        ),
+    ]
+
+
+# -- 11. quantized feature codec in the partition optimizer ---------------------------
+
+@dataclass
+class CodecPartitionStudy:
+    """Optimizer behaviour when the feature codec changes."""
+
+    model: str
+    bandwidth_mbps: float
+    text_point: str
+    text_predicted_seconds: float
+    quantized_point: str
+    quantized_predicted_seconds: float
+
+    @property
+    def quantization_helps(self) -> bool:
+        return self.quantized_predicted_seconds <= self.text_predicted_seconds + 1e-9
+
+
+def codec_partition_study(
+    model_name: str = "googlenet",
+    bandwidth_mbps: float = 4.0,
+    bits: int = 8,
+) -> CodecPartitionStudy:
+    """Re-run the partition optimizer with an 8-bit feature codec.
+
+    Quantization shrinks every candidate's transfer cost, which can move
+    the optimal split point and always lowers the predicted total.
+    """
+    from repro.eval.fig8 import make_optimizer
+    from repro.nn.quantize import QUANT_HEADER_BYTES
+
+    model = build_paper_model(model_name)
+    link = Testbed(bandwidth_bps=bandwidth_mbps * 1e6).profile
+    text_optimizer = make_optimizer(model_name)
+    text_choice = text_optimizer.choose(model.network, link, denature=True)
+
+    def quantized_bytes(shape) -> int:
+        count = 1
+        for dim in shape:
+            count *= dim
+        return (count * bits + 7) // 8 + QUANT_HEADER_BYTES
+
+    quantized_optimizer = make_optimizer(
+        model_name, feature_bytes_fn=quantized_bytes
+    )
+    quantized_choice = quantized_optimizer.choose(model.network, link, denature=True)
+    return CodecPartitionStudy(
+        model=model_name,
+        bandwidth_mbps=bandwidth_mbps,
+        text_point=text_choice.point.label,
+        text_predicted_seconds=text_choice.best.total_seconds,
+        quantized_point=quantized_choice.point.label,
+        quantized_predicted_seconds=quantized_choice.best.total_seconds,
+    )
+
+
+# -- 12. edge vs datacenter cloud ------------------------------------------------------
+
+@dataclass
+class LocationRow:
+    """Offloading to a given server location/class."""
+
+    location: str
+    bandwidth_mbps: float
+    one_way_latency_ms: float
+    total_seconds: float
+    migration_seconds: float
+    server_exec_seconds: float
+
+
+def edge_vs_cloud_study(model_name: str = "googlenet") -> List[LocationRow]:
+    """The edge-computing motivation, quantified (paper §I).
+
+    Three server placements for the same client and app:
+
+    * *edge*: the paper's nearby server — 30 Mbps, ~1 ms;
+    * *cloud*: the same x86 hardware behind a WAN — 20 Mbps, 40 ms;
+    * *cloud-GPU*: a datacenter accelerator (80x) behind the same WAN.
+
+    Expected shape: proximity wins while servers are CPU-bound (the
+    paper's setting); only an accelerator makes the remote datacenter
+    competitive for these single-shot inferences.
+    """
+    placements = (
+        ("edge", 30.0, 1.0, 1.0),
+        ("cloud", 20.0, 40.0, 1.0),
+        ("cloud-gpu", 20.0, 40.0, 80.0),
+    )
+    rows = []
+    for location, mbps, latency_ms, speedup in placements:
+        result = Testbed(
+            bandwidth_bps=mbps * 1e6,
+            latency_s=latency_ms / 1e3,
+            server_speedup=speedup,
+        ).run_offload(model_name, wait_for_ack=True)
+        rows.append(
+            LocationRow(
+                location=location,
+                bandwidth_mbps=mbps,
+                one_way_latency_ms=latency_ms,
+                total_seconds=result.total_seconds,
+                migration_seconds=result.migration_seconds,
+                server_exec_seconds=result.phases.server_exec,
+            )
+        )
+    return rows
+
+
+# -- 13. predictor feature sets --------------------------------------------------------
+
+@dataclass
+class PredictorStudyRow:
+    """Prediction error of one feature set on one device class."""
+
+    device: str
+    flops_only_error: float
+    multivariate_error: float
+
+
+def predictor_feature_study() -> List[PredictorStudyRow]:
+    """Flops-only vs compute+memory latency models, Neurosurgeon-style.
+
+    Profiled over a configuration grid.  On the paper's compute-bound
+    devices one feature suffices; on a memory-bandwidth-bound device the
+    flops-only model breaks and the output-size feature rescues it.
+    """
+    from repro.devices import Device, DeviceProfile, odroid_xu4_client
+    from repro.devices.predictor import (
+        LatencyPredictor,
+        MultivariatePredictor,
+        prediction_error,
+        profile_device,
+        profiling_grid,
+    )
+    from repro.sim import Simulator
+
+    grid = profiling_grid()
+    profiles = [
+        odroid_xu4_client(),
+        DeviceProfile(
+            name="memory-bound-accelerator",
+            gflops_by_kind={"conv": 20.0, "pool": 40.0, "relu": 80.0, "fc": 20.0},
+            default_gflops=20.0,
+            mem_bw_bps=200e6,
+        ),
+    ]
+    rows = []
+    for profile in profiles:
+        sim = Simulator()
+        device = Device(sim, profile)
+        samples = profile_device(profile, grid, noise=0.01)
+        rows.append(
+            PredictorStudyRow(
+                device=profile.name,
+                flops_only_error=prediction_error(
+                    LatencyPredictor().fit(samples), device, grid
+                ),
+                multivariate_error=prediction_error(
+                    MultivariatePredictor().fit(samples), device, grid
+                ),
+            )
+        )
+    return rows
+
+
+# -- 14. energy ----------------------------------------------------------------------
+
+@dataclass
+class EnergyStudy:
+    model: str
+    local_joules: float
+    offload_joules: float
+
+    @property
+    def offload_saves_energy(self) -> bool:
+        return self.offload_joules < self.local_joules
+
+
+def energy_study(
+    model_name: str = "googlenet", energy: Optional[EnergyModel] = None
+) -> EnergyStudy:
+    """Client energy: local execution vs after-ACK offloading."""
+    energy = energy or EnergyModel()
+    local = Testbed().run_client_only(model_name)
+    offload = Testbed().run_offload(model_name, wait_for_ack=True)
+    phases = offload.phases
+    client_compute = (
+        phases.client_exec
+        + phases.snapshot_capture_client
+        + phases.snapshot_restore_client
+    )
+    radio = phases.transfer_to_server + phases.transfer_to_client
+    wait = offload.total_seconds - client_compute - radio
+    return EnergyStudy(
+        model=model_name,
+        local_joules=energy.local_execution_joules(local.total_seconds),
+        offload_joules=energy.offloaded_joules(client_compute, radio, max(0.0, wait)),
+    )

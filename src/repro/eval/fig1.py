@@ -1,0 +1,81 @@
+"""Fig. 1 — GoogLeNet architecture and feature-data dimensions.
+
+The paper's Fig. 1 walks an image through GoogLeNet and shows the feature
+dimensions at the probe points it later uses to discuss privacy
+(224x224x3 input, 56x56x64 after the stem, ... , 1000 scores out).  This
+module regenerates that walk: dimensions, per-stage FLOPs, parameter
+bytes and the serialized feature size at each spine position — computed
+from the real architecture, and optionally cross-checked against an
+actual numpy forward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.eval.reporting import format_table
+from repro.eval.scenarios import build_paper_model, paper_input_for
+from repro.nn.cost import spine_costs
+
+
+@dataclass(frozen=True)
+class Fig1Row:
+    """One spine position of GoogLeNet."""
+
+    index: int
+    name: str
+    kind: str
+    output_shape: tuple
+    gflops: float
+    param_mb: float
+    feature_text_mb: float
+
+
+def run_fig1(model_name: str = "googlenet", verify_numerically: bool = False) -> List[Fig1Row]:
+    """The architecture walk; optionally verify shapes with a real forward."""
+    model = build_paper_model(model_name)
+    rows = [
+        Fig1Row(
+            index=point.index,
+            name=point.name,
+            kind=point.kind,
+            output_shape=tuple(point.output_shape),
+            gflops=point.flops / 1e9,
+            param_mb=point.params * 4 / 1e6,
+            feature_text_mb=point.feature_text_bytes / 1e6,
+        )
+        for point in spine_costs(model.network)
+    ]
+    if verify_numerically:
+        activations = model.network.forward_with_activations(
+            np.asarray(paper_input_for(model_name).data)
+        )
+        for row, activation in zip(rows, activations):
+            if tuple(activation.shape) != row.output_shape:
+                raise AssertionError(
+                    f"analytic shape {row.output_shape} != executed shape "
+                    f"{tuple(activation.shape)} at {row.name}"
+                )
+    return rows
+
+
+def format_fig1(rows: List[Fig1Row]) -> str:
+    return format_table(
+        ["#", "layer", "kind", "output (CxHxW)", "GFLOPs", "params MB", "feature MB"],
+        [
+            [
+                row.index,
+                row.name,
+                row.kind,
+                "x".join(str(d) for d in row.output_shape),
+                row.gflops,
+                row.param_mb,
+                row.feature_text_mb,
+            ]
+            for row in rows
+        ],
+        title="Fig. 1 — GoogLeNet architecture and feature data sizes",
+    )

@@ -1,0 +1,115 @@
+"""Plain-text rendering of experiment results (tables and bar series)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+) -> str:
+    """Render an ASCII table with right-aligned numeric cells."""
+    rendered_rows = [
+        [_cell(value) for value in row] for row in rows
+    ]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in rendered_rows))
+        if rendered_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(
+                row[i].rjust(widths[i]) if _is_numeric(row[i]) else row[i].ljust(widths[i])
+                for i in range(len(headers))
+            )
+        )
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _is_numeric(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True
+
+
+def format_stacked_bars(
+    segments_by_bar: Dict[str, Dict[str, float]],
+    unit: str = "s",
+    title: str = "",
+) -> str:
+    """Render stacked-bar data (Fig. 7 style) as labelled segment lists."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for bar, segments in segments_by_bar.items():
+        total = sum(segments.values())
+        lines.append(f"{bar}  (total {total:.2f}{unit})")
+        for name, value in segments.items():
+            if value <= 0:
+                continue
+            share = 100.0 * value / total if total else 0.0
+            lines.append(f"    {name:28s} {value:8.3f}{unit}  {share:5.1f}%")
+    return "\n".join(lines)
+
+
+def format_series(
+    x_labels: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    unit: str = "s",
+    title: str = "",
+) -> str:
+    """Render line-chart data (Fig. 8 style) as a labelled grid."""
+    headers = ["point"] + list(series)
+    rows = []
+    for index, label in enumerate(x_labels):
+        rows.append([label] + [series[name][index] for name in series])
+    return format_table(headers, rows, title=title)
+
+
+def format_bar_chart(
+    values: Dict[str, float],
+    unit: str = "s",
+    width: int = 48,
+    title: str = "",
+) -> str:
+    """Render a horizontal ASCII bar chart (the paper's bar figures).
+
+    >>> print(format_bar_chart({"client": 20.2, "server": 2.5}))
+    client  ████████████████████████████████████████████████  20.20s
+    server  ██████                                             2.50s
+    """
+    if not values:
+        raise ValueError("bar chart needs at least one value")
+    if any(value < 0 for value in values.values()):
+        raise ValueError("bar chart values must be non-negative")
+    peak = max(values.values()) or 1.0
+    label_width = max(len(label) for label in values)
+    value_width = max(len(f"{value:.2f}") for value in values.values())
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        filled = int(round(width * value / peak))
+        bar = "█" * filled
+        lines.append(
+            f"{label.ljust(label_width)}  {bar.ljust(width)}  "
+            f"{value:>{value_width}.2f}{unit}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Network simulation substrate.
+
+The paper connects an Odroid-XU4 client to an x86 edge server over Ethernet
+shaped to 30 Mbps with ``netem`` to emulate Wi-Fi.  This package reproduces
+that substrate on the virtual clock: point-to-point :class:`~repro.netsim.link.Link`
+objects with bandwidth, propagation latency, jitter and loss
+(:class:`~repro.netsim.link.NetemProfile`), FIFO serialization so concurrent
+transfers queue behind each other, bidirectional
+:class:`~repro.netsim.channel.Channel` endpoints used by the offloading
+protocol agents, and a :class:`~repro.netsim.topology.Topology` of client and
+edge-server hosts supporting handover between service areas.
+"""
+
+from repro.netsim.link import Link, LinkDown, NetemProfile
+from repro.netsim.message import Message, payload_size
+from repro.netsim.channel import Channel, ChannelEnd, ReceiveTimeout
+from repro.netsim.topology import Host, Topology
+
+__all__ = [
+    "Channel",
+    "ChannelEnd",
+    "Host",
+    "Link",
+    "LinkDown",
+    "Message",
+    "NetemProfile",
+    "ReceiveTimeout",
+    "Topology",
+    "payload_size",
+]

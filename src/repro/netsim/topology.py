@@ -1,0 +1,117 @@
+"""Hosts and topologies: one client among several edge service areas.
+
+The paper's mobility story — "when a mobile client moves to a different
+service area, snapshot-based offloading can readily work on a new edge
+server" — needs a notion of *which* edge server the client is currently
+attached to.  :class:`Topology` models a client that can attach to exactly
+one edge host at a time and hand over to another, tearing down the old
+channel and creating a fresh one (the new server shares no state with the
+old one, which is exactly the property the paper exploits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim import Simulator
+from repro.netsim.channel import Channel, ChannelEnd
+from repro.netsim.link import NetemProfile
+
+
+@dataclass
+class Host:
+    """A named machine in the topology."""
+
+    name: str
+    role: str = "edge"  # "client" | "edge" | "cloud"
+    tags: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.role not in ("client", "edge", "cloud"):
+            raise ValueError(f"unknown host role {self.role!r}")
+
+
+class Topology:
+    """A client host plus a set of edge hosts, with single attachment."""
+
+    def __init__(self, sim: Simulator, client_name: str = "client"):
+        self.sim = sim
+        self.client = Host(client_name, role="client")
+        self.edges: Dict[str, Host] = {}
+        self.profiles: Dict[str, NetemProfile] = {}
+        self._channel: Optional[Channel] = None
+        self._attached_to: Optional[str] = None
+        self.handover_log: List[Tuple[float, str]] = []
+
+    # -- construction --------------------------------------------------------
+    def add_edge_host(
+        self, name: str, profile: Optional[NetemProfile] = None, **tags: str
+    ) -> Host:
+        if name in self.edges:
+            raise ValueError(f"edge host {name!r} already exists")
+        host = Host(name, role="edge", tags=dict(tags))
+        self.edges[name] = host
+        self.profiles[name] = profile or NetemProfile.wifi_30mbps()
+        return host
+
+    # -- attachment ----------------------------------------------------------
+    @property
+    def attached_to(self) -> Optional[str]:
+        return self._attached_to
+
+    @property
+    def channel(self) -> Optional[Channel]:
+        return self._channel
+
+    def attach(self, edge_name: str) -> Tuple[ChannelEnd, ChannelEnd]:
+        """Attach the client to an edge host; returns (client_end, edge_end).
+
+        Any previous attachment is torn down first (its channel goes down, so
+        in-flight messages to the old server are lost — matching a real
+        departure from the old service area).
+        """
+        if edge_name not in self.edges:
+            raise KeyError(f"no edge host named {edge_name!r}")
+        if self._channel is not None:
+            self._channel.go_down()
+        self._channel = Channel(
+            self.sim,
+            self.client.name,
+            edge_name,
+            self.profiles[edge_name],
+        )
+        self._attached_to = edge_name
+        self.handover_log.append((self.sim.now, edge_name))
+        return self._channel.end_a, self._channel.end_b
+
+    def handover(self, new_edge_name: str) -> Tuple[ChannelEnd, ChannelEnd]:
+        """Move to a different service area."""
+        if new_edge_name == self._attached_to:
+            raise ValueError(f"client already attached to {new_edge_name!r}")
+        return self.attach(new_edge_name)
+
+    def detach(self) -> None:
+        if self._channel is not None:
+            self._channel.go_down()
+        self._channel = None
+        self._attached_to = None
+
+    # -- network status probe --------------------------------------------------
+    def current_profile(self) -> NetemProfile:
+        """The shaping profile of the current attachment.
+
+        This is the "runtime network status" input to the partition-point
+        optimizer (paper §III.B.2).
+        """
+        if self._attached_to is None:
+            raise RuntimeError("client is not attached to any edge server")
+        return self.profiles[self._attached_to]
+
+    def set_profile(self, edge_name: str, profile: NetemProfile) -> None:
+        """Reshape the path to an edge host (affects current channel too)."""
+        if edge_name not in self.edges:
+            raise KeyError(f"no edge host named {edge_name!r}")
+        self.profiles[edge_name] = profile
+        if self._attached_to == edge_name and self._channel is not None:
+            self._channel.set_profile(profile)

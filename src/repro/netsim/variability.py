@@ -1,0 +1,93 @@
+"""Time-varying network conditions.
+
+The paper's partition optimizer consumes "the runtime network status" —
+which only matters because that status *changes* (the client moves, the
+AP gets crowded).  :class:`BandwidthSchedule` scripts shaping changes onto
+the virtual clock (like re-running ``tc`` at given times), and
+:func:`random_walk_schedule` generates plausible Wi-Fi traces: a bounded
+multiplicative random walk around a base rate with occasional deep fades.
+
+Semantics note: a transfer that already started keeps the rate it started
+with (the bits were scheduled onto the wire); only future transmissions
+see the new profile — the same approximation ``tc`` reconfiguration has
+on in-flight qdisc contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.netsim.link import NetemProfile
+from repro.sim import SeededRng, Simulator
+
+
+@dataclass(frozen=True)
+class BandwidthSchedule:
+    """A piecewise-constant shaping timeline."""
+
+    steps: Tuple[Tuple[float, NetemProfile], ...]
+
+    def __post_init__(self) -> None:
+        times = [time for time, _profile in self.steps]
+        if not self.steps:
+            raise ValueError("schedule needs at least one step")
+        if times != sorted(times):
+            raise ValueError("schedule steps must be time-ordered")
+        if times[0] < 0:
+            raise ValueError("schedule cannot start before t=0")
+
+    def profile_at(self, when: float) -> NetemProfile:
+        """The profile in force at virtual time ``when``."""
+        current = self.steps[0][1]
+        for time, profile in self.steps:
+            if time <= when:
+                current = profile
+            else:
+                break
+        return current
+
+    @property
+    def duration(self) -> float:
+        return self.steps[-1][0]
+
+    def apply(self, sim: Simulator, reshape) -> None:
+        """Schedule ``reshape(profile)`` calls at each step time.
+
+        ``reshape`` is typically ``channel.set_profile`` or a
+        ``topology.set_profile`` partial.
+        """
+        for time, profile in self.steps:
+            if time <= sim.now:
+                reshape(profile)
+            else:
+                sim.schedule_at(
+                    time, reshape, profile, label=f"reshape@{time:.1f}"
+                )
+
+
+def random_walk_schedule(
+    rng: SeededRng,
+    duration_s: float = 120.0,
+    step_s: float = 5.0,
+    base_mbps: float = 30.0,
+    min_mbps: float = 1.0,
+    max_mbps: float = 60.0,
+    fade_probability: float = 0.1,
+    fade_mbps: float = 2.0,
+) -> BandwidthSchedule:
+    """A plausible mobile Wi-Fi trace: random walk + occasional deep fades."""
+    steps: List[Tuple[float, NetemProfile]] = []
+    mbps = base_mbps
+    time = 0.0
+    while time <= duration_s:
+        if rng.chance(fade_probability):
+            effective = fade_mbps
+        else:
+            mbps = min(max_mbps, max(min_mbps, mbps * rng.uniform(0.7, 1.4)))
+            effective = mbps
+        steps.append(
+            (time, NetemProfile(bandwidth_bps=effective * 1e6, latency_s=0.001))
+        )
+        time += step_s
+    return BandwidthSchedule(steps=tuple(steps))

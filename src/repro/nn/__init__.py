@@ -1,0 +1,36 @@
+"""A small numpy DNN inference framework (the reproduction's CaffeJS).
+
+The paper's benchmarks are image-recognition web apps built on CaffeJS —
+a JavaScript port of Caffe that loads a pre-trained Caffe model and runs
+*forward* (inference) execution.  This package reproduces the pieces the
+offloading system depends on:
+
+* layers used by the benchmark CNNs: conv, max/avg pool, fc, ReLU, LRN,
+  concat (inception), dropout, softmax (:mod:`repro.nn.layers`);
+* a dataflow network with sequential spine + inception composites,
+  supporting front/rear splitting for partial inference
+  (:mod:`repro.nn.network`);
+* Caffe-like model files (description JSON + parameter blobs) with real
+  byte sizes derived from parameter counts (:mod:`repro.nn.model`);
+* analytic per-layer cost reports (FLOPs, output sizes, serialized feature
+  bytes) driving the virtual-time device model (:mod:`repro.nn.cost`);
+* the three benchmark architectures, faithful to the originals so their
+  model sizes land on the paper's 27 / 44 / 44 MB (:mod:`repro.nn.zoo`).
+
+Tensors are single-sample ``float32`` arrays shaped ``(C, H, W)`` in Caffe
+convention; fc layers operate on flattened vectors.
+"""
+
+from repro.nn.network import Network, SplitNetwork
+from repro.nn.cost import LayerCost, network_costs, total_flops
+from repro.nn.model import Model, ModelFile
+
+__all__ = [
+    "LayerCost",
+    "Model",
+    "ModelFile",
+    "Network",
+    "SplitNetwork",
+    "network_costs",
+    "total_flops",
+]

@@ -1,0 +1,165 @@
+"""Binary parameter blobs: the reproduction's ``.caffemodel``.
+
+CaffeJS consumes a pair of files per model: the prototxt architecture
+(:mod:`repro.nn.prototxt`) and a binary blob of trained parameters.  This
+module implements the blob half with a simple, self-describing container,
+so a model round-trips through *files on disk* exactly the way the
+offloading system ships it.
+
+Layout (little-endian):
+
+====  ==========================================
+8 B   magic ``RPWGHT01``
+4 B   header length ``H``
+H B   JSON header: model name + ordered blob
+      records (layer-qualified name, shape)
+—     per blob: raw float32 payload
+4 B   CRC-32 of everything above
+====  ==========================================
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.nn.layers import InceptionModule
+from repro.nn.network import Network
+
+MAGIC = b"RPWGHT01"
+
+
+class WeightsFormatError(ValueError):
+    """Raised on malformed or mismatched weight blobs."""
+
+
+def _iter_blobs(network: Network) -> List[Tuple[str, np.ndarray]]:
+    """All parameter blobs in deterministic order, layer-qualified names."""
+    blobs: List[Tuple[str, np.ndarray]] = []
+    for layer in network.layers:
+        param_arrays = getattr(layer, "param_arrays", None)
+        if param_arrays is not None:  # composite layers
+            for name, blob in sorted(param_arrays().items()):
+                blobs.append((f"{layer.name}::{name}", blob))
+        else:
+            for name, blob in sorted(layer.params.items()):
+                blobs.append((f"{layer.name}::{name}", blob))
+    return blobs
+
+
+def encode_weights(network: Network, model_name: str = "") -> bytes:
+    """Serialize a built network's parameters."""
+    if not network.built:
+        raise WeightsFormatError("network must be built before serialization")
+    blobs = _iter_blobs(network)
+    header = {
+        "model": model_name or network.name,
+        "blobs": [
+            {"name": name, "shape": list(blob.shape)} for name, blob in blobs
+        ],
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    parts = [MAGIC, struct.pack("<I", len(header_bytes)), header_bytes]
+    parts.extend(
+        np.asarray(blob, dtype=np.float32).tobytes() for _name, blob in blobs
+    )
+    body = b"".join(parts)
+    return body + struct.pack("<I", zlib.crc32(body))
+
+
+def decode_weights(data: bytes) -> Dict[str, np.ndarray]:
+    """Parse a weight blob into {qualified name: array}."""
+    if len(data) < len(MAGIC) + 8:
+        raise WeightsFormatError("weight bytes too short")
+    body, (crc,) = data[:-4], struct.unpack("<I", data[-4:])
+    if zlib.crc32(body) != crc:
+        raise WeightsFormatError("CRC mismatch: weights corrupted")
+    if not body.startswith(MAGIC):
+        raise WeightsFormatError("bad magic: not a weight blob")
+    offset = len(MAGIC)
+    (header_len,) = struct.unpack("<I", body[offset : offset + 4])
+    offset += 4
+    header = json.loads(body[offset : offset + header_len].decode("utf-8"))
+    offset += header_len
+    blobs: Dict[str, np.ndarray] = {}
+    for record in header["blobs"]:
+        shape = tuple(int(d) for d in record["shape"])
+        count = int(np.prod(shape)) if shape else 1
+        raw = body[offset : offset + count * 4]
+        if len(raw) != count * 4:
+            raise WeightsFormatError(f"truncated blob {record['name']!r}")
+        offset += count * 4
+        blobs[record["name"]] = np.frombuffer(raw, dtype=np.float32).reshape(shape)
+    if offset != len(body):
+        raise WeightsFormatError(f"{len(body) - offset} trailing bytes")
+    return blobs
+
+
+def apply_weights(network: Network, blobs: Dict[str, np.ndarray]) -> None:
+    """Load decoded blobs into a built network (shapes must match)."""
+    expected = dict(_iter_blobs(network))
+    if set(expected) != set(blobs):
+        missing = sorted(set(expected) - set(blobs))
+        extra = sorted(set(blobs) - set(expected))
+        raise WeightsFormatError(
+            f"blob set mismatch: missing {missing[:3]}, unexpected {extra[:3]}"
+        )
+    for layer in network.layers:
+        if isinstance(layer, InceptionModule):
+            for index, branch in enumerate(layer.branches):
+                for inner in branch:
+                    for key in list(inner.params):
+                        qualified = f"{layer.name}::b{index}/{inner.name}/{key}"
+                        _assign(inner.params, key, blobs[qualified], qualified)
+        elif hasattr(layer, "body"):  # ResidualBlock
+            for prefix, layers in (("body", layer.body), ("shortcut", layer.shortcut)):
+                for inner in layers:
+                    for key in list(inner.params):
+                        qualified = f"{layer.name}::{prefix}/{inner.name}/{key}"
+                        _assign(inner.params, key, blobs[qualified], qualified)
+        else:
+            for key in list(layer.params):
+                qualified = f"{layer.name}::{key}"
+                _assign(layer.params, key, blobs[qualified], qualified)
+
+
+def _assign(params: dict, key: str, blob: np.ndarray, qualified: str) -> None:
+    if params[key].shape != blob.shape:
+        raise WeightsFormatError(
+            f"shape mismatch for {qualified!r}: "
+            f"{params[key].shape} vs {blob.shape}"
+        )
+    params[key] = np.array(blob, dtype=np.float32, copy=True)
+
+
+def save_model_files(model, directory: str) -> Tuple[str, str]:
+    """Write (deploy.prototxt, weights.bin) for a model; returns paths."""
+    import os
+
+    from repro.nn.prototxt import network_to_prototxt
+
+    os.makedirs(directory, exist_ok=True)
+    prototxt_path = os.path.join(directory, f"{model.name}.prototxt")
+    weights_path = os.path.join(directory, f"{model.name}.weights.bin")
+    with open(prototxt_path, "w", encoding="utf-8") as handle:
+        handle.write(network_to_prototxt(model.network))
+    with open(weights_path, "wb") as handle:
+        handle.write(encode_weights(model.network, model.name))
+    return prototxt_path, weights_path
+
+
+def load_model_files(prototxt_path: str, weights_path: str):
+    """Rebuild a model from (prototxt, weights) files — bit-exact params."""
+    from repro.nn.model import Model
+    from repro.nn.prototxt import network_from_prototxt
+
+    with open(prototxt_path, "r", encoding="utf-8") as handle:
+        network = network_from_prototxt(handle.read())
+    with open(weights_path, "rb") as handle:
+        blobs = decode_weights(handle.read())
+    apply_weights(network, blobs)
+    return Model(network.name, network)

@@ -1,0 +1,95 @@
+"""Batch normalization and channel-wise scaling (inference mode).
+
+Caffe-era residual networks express normalization as a ``BatchNorm`` layer
+(whiten with stored running statistics) followed by a ``Scale`` layer
+(per-channel affine).  Both are inference-only here — this framework only
+ever runs forward passes, so the stored statistics are parameters like any
+others (they ship in the model files and count toward transfer size).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer, LayerShapeError, Shape
+from repro.sim import SeededRng
+
+
+class BatchNormLayer(Layer):
+    """Per-channel whitening with stored statistics.
+
+    ``y = (x - mean) / sqrt(var + eps)`` — mean/var are the *running*
+    statistics frozen at training time (random here, like all parameters;
+    variances are kept positive).
+    """
+
+    kind = "batchnorm"
+
+    def __init__(self, name: str, eps: float = 1e-5):
+        super().__init__(name)
+        if eps <= 0:
+            raise LayerShapeError(f"eps must be positive, got {eps}")
+        self.eps = eps
+
+    def infer_shape(self, input_shape: Shape) -> Shape:
+        if len(input_shape) != 3:
+            raise LayerShapeError(f"batchnorm needs (C,H,W) input, got {input_shape}")
+        return tuple(input_shape)
+
+    def init_params(self, rng: SeededRng) -> None:
+        channels = self.input_shape[0]
+        self.params = {
+            "mean": rng.normal_array((channels,), 0.1),
+            "variance": (rng.uniform_array((channels,), 0.5, 1.5)).astype(
+                np.float32
+            ),
+        }
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self.check_input(x)
+        mean = self.params["mean"][:, None, None]
+        variance = self.params["variance"][:, None, None]
+        return ((x - mean) / np.sqrt(variance + self.eps)).astype(
+            np.float32, copy=False
+        )
+
+    def count_flops(self) -> float:
+        # subtract, divide per element (rsqrt amortized per channel).
+        return 2.0 * self.output_elements
+
+    def config(self) -> dict:
+        return {"eps": self.eps}
+
+
+class ScaleLayer(Layer):
+    """Per-channel affine: ``y = x * gamma + beta``."""
+
+    kind = "scale"
+
+    def __init__(self, name: str, bias: bool = True):
+        super().__init__(name)
+        self.bias = bias
+
+    def infer_shape(self, input_shape: Shape) -> Shape:
+        if len(input_shape) != 3:
+            raise LayerShapeError(f"scale needs (C,H,W) input, got {input_shape}")
+        return tuple(input_shape)
+
+    def init_params(self, rng: SeededRng) -> None:
+        channels = self.input_shape[0]
+        self.params = {"gamma": rng.uniform_array((channels,), 0.5, 1.5)}
+        if self.bias:
+            self.params["beta"] = rng.normal_array((channels,), 0.1)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self.check_input(x)
+        out = x * self.params["gamma"][:, None, None]
+        if self.bias:
+            out = out + self.params["beta"][:, None, None]
+        return out.astype(np.float32, copy=False)
+
+    def count_flops(self) -> float:
+        return (2.0 if self.bias else 1.0) * self.output_elements
+
+    def config(self) -> dict:
+        return {"bias": self.bias}

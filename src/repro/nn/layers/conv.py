@@ -1,0 +1,123 @@
+"""Convolutional layer (im2col + matmul), Caffe semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer, LayerShapeError, Shape
+from repro.nn.tensor import conv_output_hw, im2col
+from repro.sim import SeededRng
+
+
+class ConvLayer(Layer):
+    """2-D convolution with ``num_filters`` square filters.
+
+    The paper's background section calls out the key property reproduced
+    here: "conv layers in modern CNNs have many filters, so the output of a
+    conv layer is prone to be larger than the input" — which is why feature
+    size (and hence snapshot transmission cost) surges at conv offload
+    points (Fig. 8).
+    """
+
+    kind = "conv"
+
+    def __init__(
+        self,
+        name: str,
+        num_filters: int,
+        kernel: int,
+        stride: int = 1,
+        pad: int = 0,
+        groups: int = 1,
+    ):
+        super().__init__(name)
+        if num_filters <= 0 or kernel <= 0 or stride <= 0 or pad < 0:
+            raise LayerShapeError(
+                f"bad conv config: filters={num_filters} kernel={kernel} "
+                f"stride={stride} pad={pad}"
+            )
+        if groups <= 0 or num_filters % groups != 0:
+            raise LayerShapeError(
+                f"groups={groups} must divide num_filters={num_filters}"
+            )
+        self.num_filters = num_filters
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = pad
+        self.groups = groups
+
+    def infer_shape(self, input_shape: Shape) -> Shape:
+        if len(input_shape) != 3:
+            raise LayerShapeError(f"conv needs (C,H,W) input, got {input_shape}")
+        channels, height, width = input_shape
+        if channels % self.groups != 0:
+            raise LayerShapeError(
+                f"conv {self.name!r}: groups={self.groups} must divide input "
+                f"channels={channels}"
+            )
+        out_h, out_w = conv_output_hw(height, width, self.kernel, self.stride, self.pad)
+        return (self.num_filters, out_h, out_w)
+
+    @property
+    def _channels_per_group(self) -> int:
+        return self.input_shape[0] // self.groups
+
+    def init_params(self, rng: SeededRng) -> None:
+        fan_in = self._channels_per_group * self.kernel * self.kernel
+        scale = float(np.sqrt(2.0 / fan_in))  # He init: sensible magnitudes
+        self.params = {
+            "weight": rng.normal_array(
+                (
+                    self.num_filters,
+                    self._channels_per_group,
+                    self.kernel,
+                    self.kernel,
+                ),
+                scale,
+            ),
+            "bias": np.zeros(self.num_filters, dtype=np.float32),
+        }
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self.check_input(x)
+        if self.groups == 1:
+            cols = im2col(x, self.kernel, self.stride, self.pad)
+            weight = self.params["weight"].reshape(self.num_filters, -1)
+            out = weight @ cols + self.params["bias"][:, None]
+            return out.reshape(self.out_shape).astype(np.float32, copy=False)
+        # Grouped convolution (AlexNet-style): each filter group only sees
+        # its slice of the input channels.
+        per_in = self._channels_per_group
+        per_out = self.num_filters // self.groups
+        outputs = []
+        for group in range(self.groups):
+            x_slice = x[group * per_in : (group + 1) * per_in]
+            cols = im2col(x_slice, self.kernel, self.stride, self.pad)
+            weight = self.params["weight"][
+                group * per_out : (group + 1) * per_out
+            ].reshape(per_out, -1)
+            bias = self.params["bias"][group * per_out : (group + 1) * per_out]
+            outputs.append(weight @ cols + bias[:, None])
+        out = np.concatenate(outputs, axis=0)
+        return out.reshape(self.out_shape).astype(np.float32, copy=False)
+
+    def count_flops(self) -> float:
+        self._require_built()
+        _, out_h, out_w = self.out_shape
+        macs = (
+            self.num_filters
+            * self._channels_per_group
+            * self.kernel**2
+            * out_h
+            * out_w
+        )
+        return 2.0 * macs
+
+    def config(self) -> dict:
+        return {
+            "num_filters": self.num_filters,
+            "kernel": self.kernel,
+            "stride": self.stride,
+            "pad": self.pad,
+            "groups": self.groups,
+        }

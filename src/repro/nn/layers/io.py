@@ -1,0 +1,37 @@
+"""Input layer: validates and forwards the user-supplied image tensor."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer, LayerShapeError, Shape
+
+
+class InputLayer(Layer):
+    """The network entry point.
+
+    Declares the expected input shape ``(channels, height, width)``; forward
+    is identity (the browser has already decoded the image into pixel data).
+    """
+
+    kind = "input"
+
+    def __init__(self, shape: Shape, name: str = "input"):
+        super().__init__(name)
+        if len(shape) != 3 or any(dim <= 0 for dim in shape):
+            raise LayerShapeError(f"input shape must be positive (C,H,W), got {shape}")
+        self.declared_shape = tuple(shape)
+
+    def infer_shape(self, input_shape: Shape) -> Shape:
+        if tuple(input_shape) != self.declared_shape:
+            raise LayerShapeError(
+                f"input layer declared {self.declared_shape}, wired to {input_shape}"
+            )
+        return self.declared_shape
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self.check_input(x)
+        return x.astype(np.float32, copy=False)
+
+    def config(self) -> dict:
+        return {"shape": list(self.declared_shape)}

@@ -1,0 +1,72 @@
+"""Max / average pooling, Caffe semantics (ceil output formula)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer, LayerShapeError, Shape
+from repro.nn.tensor import pool_output_hw, pool_patches
+
+
+class PoolLayer(Layer):
+    """Spatial pooling.
+
+    The paper leans on the size asymmetry reproduced here: "the output of a
+    pool layer becomes smaller than its input" because only the window
+    maximum survives — which makes pool layers the cheap offload points in
+    Fig. 8 (small feature data, little computation).
+    """
+
+    kind = "pool"
+
+    def __init__(
+        self,
+        name: str,
+        kernel: int,
+        stride: int,
+        pad: int = 0,
+        mode: str = "max",
+    ):
+        super().__init__(name)
+        if kernel <= 0 or stride <= 0 or pad < 0:
+            raise LayerShapeError(
+                f"bad pool config: kernel={kernel} stride={stride} pad={pad}"
+            )
+        if mode not in ("max", "avg"):
+            raise LayerShapeError(f"pool mode must be 'max' or 'avg', got {mode!r}")
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = pad
+        self.mode = mode
+
+    def infer_shape(self, input_shape: Shape) -> Shape:
+        if len(input_shape) != 3:
+            raise LayerShapeError(f"pool needs (C,H,W) input, got {input_shape}")
+        channels, height, width = input_shape
+        out_h, out_w = pool_output_hw(height, width, self.kernel, self.stride, self.pad)
+        return (channels, out_h, out_w)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self.check_input(x)
+        patches, _ = pool_patches(x, self.kernel, self.stride, self.pad)
+        if self.mode == "max":
+            out = patches.max(axis=(1, 2))
+        else:
+            finite = np.isfinite(patches)
+            total = np.where(finite, patches, 0.0).sum(axis=(1, 2))
+            count = finite.sum(axis=(1, 2))
+            out = total / np.maximum(count, 1)
+        return out.reshape(self.out_shape).astype(np.float32, copy=False)
+
+    def count_flops(self) -> float:
+        # One comparison (or add) per window element per output cell.
+        self._require_built()
+        return float(self.kernel**2 * self.output_elements)
+
+    def config(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "stride": self.stride,
+            "pad": self.pad,
+            "mode": self.mode,
+        }

@@ -1,0 +1,277 @@
+"""Models: a network plus its distributable file set.
+
+A *model* is what the client pre-sends to the edge server: "the NN model
+files (including the description/parameters of the NN)" (paper §III.B.1).
+We represent that as one JSON description file plus one parameter blob per
+parameterized spine layer, with real byte sizes (4 bytes per float32
+parameter plus a small header) so transfer times are honest.
+
+Models can be split at an offload point into *front* and *rear* models with
+disjoint file sets; pre-sending only the rear file set is the paper's
+privacy mechanism (the server cannot invert features without the front
+parameters).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import (
+    ConvLayer,
+    DropoutLayer,
+    FCLayer,
+    InceptionModule,
+    InputLayer,
+    LRNLayer,
+    PoolLayer,
+    ReLULayer,
+    SoftmaxLayer,
+)
+from repro.nn.layers.base import Layer
+from repro.nn.network import Network
+from repro.sim import SeededRng
+
+#: serialization overhead per parameter blob file (shape header, magic, …)
+BLOB_HEADER_BYTES = 128
+
+
+@dataclass(frozen=True)
+class ModelFile:
+    """One distributable file of a model."""
+
+    name: str
+    kind: str  # "description" | "parameters"
+    size_bytes: int
+    checksum: str
+    layer_name: Optional[str] = None
+
+    @property
+    def size_mib(self) -> float:
+        return self.size_bytes / (1024**2)
+
+
+def _checksum(data: bytes) -> str:
+    return hashlib.sha1(data).hexdigest()[:16]
+
+
+class Model:
+    """A named, built network with its file manifest."""
+
+    def __init__(self, name: str, network: Network):
+        if not network.built:
+            raise ValueError(f"model {name!r} needs a built network")
+        self.name = name
+        self.network = network
+        self._files: Optional[List[ModelFile]] = None
+
+    # -- identity / files --------------------------------------------------------
+    def description_json(self) -> str:
+        return json.dumps(self.network.describe(), sort_keys=True)
+
+    def files(self) -> List[ModelFile]:
+        """The model's file manifest (computed once, then cached)."""
+        if self._files is None:
+            manifest: List[ModelFile] = []
+            description = self.description_json().encode("utf-8")
+            manifest.append(
+                ModelFile(
+                    name=f"{self.name}.json",
+                    kind="description",
+                    size_bytes=len(description),
+                    checksum=_checksum(description),
+                )
+            )
+            for layer in self.network.layers:
+                blobs = self._layer_blobs(layer)
+                if not blobs:
+                    continue
+                raw = b"".join(blob.tobytes() for _, blob in sorted(blobs.items()))
+                manifest.append(
+                    ModelFile(
+                        name=f"{self.name}.{layer.name}.bin",
+                        kind="parameters",
+                        size_bytes=len(raw) + BLOB_HEADER_BYTES,
+                        checksum=_checksum(raw),
+                        layer_name=layer.name,
+                    )
+                )
+            self._files = manifest
+        return list(self._files)
+
+    @staticmethod
+    def _layer_blobs(layer: Layer) -> Dict[str, np.ndarray]:
+        param_arrays = getattr(layer, "param_arrays", None)
+        if param_arrays is not None:  # composite layers (inception/residual)
+            return param_arrays()
+        return dict(layer.params)
+
+    @property
+    def model_id(self) -> str:
+        digest = hashlib.sha1()
+        for file in self.files():
+            digest.update(file.checksum.encode("ascii"))
+        return f"{self.name}:{digest.hexdigest()[:12]}"
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(file.size_bytes for file in self.files())
+
+    @property
+    def size_mib(self) -> float:
+        """Model size in MiB — the unit the paper's Table 1 reports."""
+        return self.total_bytes / (1024**2)
+
+    # -- inference -----------------------------------------------------------------
+    def inference(self, x: np.ndarray) -> np.ndarray:
+        """Full forward execution (the CaffeJS ``inference()`` call)."""
+        return self.network.forward(x)
+
+    # -- splitting -----------------------------------------------------------------
+    def split(self, index: int) -> Tuple["Model", "Model"]:
+        """Split at an offload point into (front model, rear model)."""
+        halves = self.network.split(index)
+        return (
+            Model(f"{self.name}-front@{index}", halves.front),
+            Model(f"{self.name}-rear@{index}", halves.rear),
+        )
+
+    # -- real on-disk serialization ---------------------------------------------
+    def save(self, directory: str) -> List[str]:
+        """Write description JSON + one ``.npz`` of parameters; returns paths."""
+        os.makedirs(directory, exist_ok=True)
+        paths = []
+        desc_path = os.path.join(directory, f"{self.name}.json")
+        with open(desc_path, "w", encoding="utf-8") as handle:
+            handle.write(self.description_json())
+        paths.append(desc_path)
+        blobs: Dict[str, np.ndarray] = {}
+        for layer in self.network.layers:
+            for key, blob in self._layer_blobs(layer).items():
+                blobs[f"{layer.name}::{key}"] = blob
+        params_path = os.path.join(directory, f"{self.name}.params.npz")
+        np.savez(params_path, **blobs)
+        paths.append(params_path)
+        return paths
+
+    @classmethod
+    def load(cls, directory: str, name: str) -> "Model":
+        """Rebuild a model from :meth:`save` output (exact parameters)."""
+        desc_path = os.path.join(directory, f"{name}.json")
+        with open(desc_path, "r", encoding="utf-8") as handle:
+            description = json.load(handle)
+        network = network_from_description(description)
+        with np.load(os.path.join(directory, f"{name}.params.npz")) as archive:
+            for layer in network.layers:
+                cls._restore_layer(layer, archive)
+        return cls(name, network)
+
+    @staticmethod
+    def _restore_layer(layer: Layer, archive) -> None:
+        from repro.nn.layers.composite import ResidualBlock
+
+        if isinstance(layer, InceptionModule):
+            for index, branch in enumerate(layer.branches):
+                for inner in branch:
+                    for key in list(inner.params):
+                        inner.params[key] = archive[
+                            f"{layer.name}::b{index}/{inner.name}/{key}"
+                        ]
+            return
+        if isinstance(layer, ResidualBlock):
+            for prefix, layers in (("body", layer.body), ("shortcut", layer.shortcut)):
+                for inner in layers:
+                    for key in list(inner.params):
+                        inner.params[key] = archive[
+                            f"{layer.name}::{prefix}/{inner.name}/{key}"
+                        ]
+            return
+        for key in list(layer.params):
+            layer.params[key] = archive[f"{layer.name}::{key}"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Model({self.name!r}, {self.size_mib:.1f} MiB)"
+
+
+# -- description -> network reconstruction ------------------------------------
+
+def _layer_from_description(entry: dict) -> Layer:
+    kind = entry["kind"]
+    name = entry["name"]
+    config = entry.get("config", {})
+    if kind == "input":
+        return InputLayer(tuple(config["shape"]), name=name)
+    if kind == "conv":
+        return ConvLayer(
+            name,
+            num_filters=config["num_filters"],
+            kernel=config["kernel"],
+            stride=config["stride"],
+            pad=config["pad"],
+            groups=config.get("groups", 1),
+        )
+    if kind == "pool":
+        return PoolLayer(
+            name,
+            kernel=config["kernel"],
+            stride=config["stride"],
+            pad=config["pad"],
+            mode=config["mode"],
+        )
+    if kind == "fc":
+        return FCLayer(name, out_features=config["out_features"])
+    if kind == "relu":
+        return ReLULayer(name)
+    if kind == "dropout":
+        return DropoutLayer(name, rate=config["rate"])
+    if kind == "softmax":
+        return SoftmaxLayer(name)
+    if kind == "lrn":
+        return LRNLayer(
+            name,
+            local_size=config["local_size"],
+            alpha=config["alpha"],
+            beta=config["beta"],
+            k=config["k"],
+        )
+    if kind == "inception":
+        branches = [
+            [_layer_from_description(inner) for inner in branch]
+            for branch in config["branches"]
+        ]
+        return InceptionModule(name, branches)
+    if kind == "batchnorm":
+        from repro.nn.layers import BatchNormLayer
+
+        return BatchNormLayer(name, eps=config["eps"])
+    if kind == "scale":
+        from repro.nn.layers import ScaleLayer
+
+        return ScaleLayer(name, bias=config["bias"])
+    if kind == "residual":
+        from repro.nn.layers.composite import ResidualBlock
+
+        return ResidualBlock(
+            name,
+            body=[_layer_from_description(inner) for inner in config["body"]],
+            shortcut=[
+                _layer_from_description(inner) for inner in config["shortcut"]
+            ],
+        )
+    raise ValueError(f"unknown layer kind {kind!r} in description")
+
+
+def network_from_description(description: dict) -> Network:
+    """Reconstruct and build a network from a description dict."""
+    layers = [_layer_from_description(entry) for entry in description["layers"]]
+    network = Network(description["name"], layers)
+    network.build(
+        SeededRng(0, f"load/{description['name']}"),
+        input_shape=tuple(description["input_shape"]),
+    )
+    return network

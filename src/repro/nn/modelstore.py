@@ -1,0 +1,104 @@
+"""Server-side model file storage.
+
+The edge server "saves the files and sends an acknowledgement (ACK)"
+(paper §III.B.1).  :class:`ModelStore` is that storage: a per-model set of
+received files, with completeness checks against the manifest so the server
+only ACKs once every listed file has arrived, and checksum verification so
+corrupted or mismatched uploads are rejected rather than silently used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.nn.model import Model, ModelFile
+
+
+class ModelStoreError(RuntimeError):
+    """Raised on checksum mismatches or incomplete-model access."""
+
+
+@dataclass
+class StoredModel:
+    """Receiving-side state for one model upload."""
+
+    model_id: str
+    manifest: List[ModelFile]
+    received: Set[str] = field(default_factory=set)
+    #: the runnable model object, attached when the upload completes
+    model: Optional[Model] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.received == {file.name for file in self.manifest}
+
+    @property
+    def missing(self) -> List[str]:
+        return sorted({file.name for file in self.manifest} - self.received)
+
+    @property
+    def received_bytes(self) -> int:
+        by_name = {file.name: file for file in self.manifest}
+        return sum(by_name[name].size_bytes for name in self.received)
+
+
+class ModelStore:
+    """File storage for uploaded models on an edge server."""
+
+    def __init__(self) -> None:
+        self._models: Dict[str, StoredModel] = {}
+
+    def begin_upload(self, model_id: str, manifest: List[ModelFile]) -> StoredModel:
+        """Register an upload; idempotent for repeated manifests."""
+        existing = self._models.get(model_id)
+        if existing is not None:
+            return existing
+        entry = StoredModel(model_id=model_id, manifest=list(manifest))
+        self._models[model_id] = entry
+        return entry
+
+    def receive_file(self, model_id: str, file: ModelFile) -> StoredModel:
+        """Store one received file, verifying it against the manifest."""
+        entry = self._models.get(model_id)
+        if entry is None:
+            raise ModelStoreError(f"no upload registered for model {model_id!r}")
+        expected = {f.name: f for f in entry.manifest}.get(file.name)
+        if expected is None:
+            raise ModelStoreError(
+                f"file {file.name!r} is not in the manifest of {model_id!r}"
+            )
+        if expected.checksum != file.checksum:
+            raise ModelStoreError(
+                f"checksum mismatch for {file.name!r}: "
+                f"expected {expected.checksum}, got {file.checksum}"
+            )
+        entry.received.add(file.name)
+        return entry
+
+    def attach_model(self, model_id: str, model: Model) -> None:
+        """Attach the runnable model once its upload is complete."""
+        entry = self._models.get(model_id)
+        if entry is None:
+            raise ModelStoreError(f"no upload registered for model {model_id!r}")
+        if not entry.complete:
+            raise ModelStoreError(
+                f"model {model_id!r} incomplete; missing {entry.missing}"
+            )
+        entry.model = model
+
+    def has_complete(self, model_id: str) -> bool:
+        entry = self._models.get(model_id)
+        return entry is not None and entry.complete
+
+    def get_model(self, model_id: str) -> Model:
+        entry = self._models.get(model_id)
+        if entry is None or entry.model is None:
+            raise ModelStoreError(f"model {model_id!r} is not available")
+        return entry.model
+
+    def stored_ids(self) -> List[str]:
+        return sorted(self._models)
+
+    def evict(self, model_id: str) -> None:
+        self._models.pop(model_id, None)

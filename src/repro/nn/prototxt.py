@@ -1,0 +1,579 @@
+"""Caffe prototxt support: parse and emit deploy network definitions.
+
+CaffeJS "loads a pre-trained NN model (trained by ... Caffe) onto the web
+app" — concretely, a ``deploy.prototxt`` architecture file plus a binary
+parameter blob.  This module implements the architecture half for real:
+
+* :func:`parse_text` — a generic protobuf *text format* reader (nested
+  messages, repeated fields, strings/numbers/booleans/enums, comments);
+* :func:`network_from_prototxt` — interprets a deploy definition (input
+  declaration, layer stack with ``bottom``/``top`` blob wiring, including
+  Caffe's in-place idiom and GoogLeNet-style fork/Concat branches) into a
+  built :class:`~repro.nn.network.Network`;
+* :func:`network_to_prototxt` — emits a deploy definition from one of our
+  networks, using the same conventions (in-place ReLU/Dropout, explicit
+  Concat joins), so definitions round-trip.
+
+Supported layer types: Input, Convolution (with ``group``), Pooling
+(MAX/AVE), InnerProduct, ReLU, LRN, Dropout, Softmax, Concat.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.nn.layers import (
+    ConvLayer,
+    DropoutLayer,
+    FCLayer,
+    InceptionModule,
+    InputLayer,
+    LRNLayer,
+    PoolLayer,
+    ReLULayer,
+    SoftmaxLayer,
+)
+from repro.nn.layers.base import Layer
+from repro.nn.network import Network
+from repro.sim import SeededRng
+
+
+class PrototxtError(ValueError):
+    """Raised on malformed prototxt or unsupported constructs."""
+
+
+# ---------------------------------------------------------------------------
+# Generic protobuf text format
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<comment>\#[^\n]*) |
+        (?P<string>"(?:[^"\\]|\\.)*") |
+        (?P<punct>[{}:]) |
+        (?P<atom>[^\s{}:"\#]+)
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        if text[position].isspace():
+            position += 1
+            continue
+        match = _TOKEN_RE.match(text, position)
+        if match is None or match.end() == position:
+            remainder = text[position : position + 20]
+            raise PrototxtError(f"cannot tokenize near {remainder!r}")
+        position = match.end()
+        if match.group("comment") is not None:
+            continue
+        for group in ("string", "punct", "atom"):
+            value = match.group(group)
+            if value is not None:
+                tokens.append(value)
+                break
+    return tokens
+
+
+def _atom_value(token: str) -> Any:
+    if token.startswith('"'):
+        return token[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token  # an enum like MAX / AVE
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]):
+        self.tokens = tokens
+        self.position = 0
+
+    def _peek(self) -> Optional[str]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise PrototxtError("unexpected end of input")
+        self.position += 1
+        return token
+
+    def parse_message(self, top_level: bool = False) -> Dict[str, List[Any]]:
+        """Parse fields until '}' (or end of input at top level)."""
+        fields: Dict[str, List[Any]] = {}
+        while True:
+            token = self._peek()
+            if token is None:
+                if top_level:
+                    return fields
+                raise PrototxtError("missing closing '}'")
+            if token == "}":
+                if top_level:
+                    raise PrototxtError("unmatched '}'")
+                self._next()
+                return fields
+            key = self._next()
+            if key in ("{", ":"):
+                raise PrototxtError(f"expected a field name, got {key!r}")
+            separator = self._peek()
+            if separator == ":":
+                self._next()
+                after = self._peek()
+                if after == "{":
+                    self._next()
+                    value: Any = self.parse_message()
+                else:
+                    value = _atom_value(self._next())
+            elif separator == "{":
+                self._next()
+                value = self.parse_message()
+            else:
+                raise PrototxtError(f"field {key!r} has no value")
+            fields.setdefault(key, []).append(value)
+
+
+def parse_text(text: str) -> Dict[str, List[Any]]:
+    """Parse protobuf text format into {field: [values...]}."""
+    return _Parser(_tokenize(text)).parse_message(top_level=True)
+
+
+def _one(message: Dict[str, List[Any]], key: str, default: Any = None) -> Any:
+    values = message.get(key)
+    if not values:
+        return default
+    return values[0]
+
+
+# ---------------------------------------------------------------------------
+# prototxt -> Network
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _LayerDef:
+    name: str
+    type: str
+    bottoms: List[str]
+    tops: List[str]
+    message: Dict[str, List[Any]]
+    index: int
+    consumed: bool = False
+
+    @property
+    def in_place(self) -> bool:
+        return bool(self.bottoms) and self.bottoms == self.tops
+
+
+def _layer_defs(root: Dict[str, List[Any]]) -> List[_LayerDef]:
+    defs = []
+    for index, message in enumerate(root.get("layer", [])):
+        defs.append(
+            _LayerDef(
+                name=_one(message, "name", f"layer{index}"),
+                type=_one(message, "type", ""),
+                bottoms=list(message.get("bottom", [])),
+                tops=list(message.get("top", [])),
+                message=message,
+                index=index,
+            )
+        )
+    return defs
+
+
+def _input_declaration(root: Dict[str, List[Any]], defs: List[_LayerDef]):
+    """Returns (input blob name, (C, H, W))."""
+    # Style 1: top-level input / input_dim (classic deploy files).
+    if "input" in root:
+        blob = root["input"][0]
+        dims = [int(d) for d in root.get("input_dim", [])]
+        if len(dims) == 4:
+            return blob, tuple(dims[1:])
+        shapes = root.get("input_shape", [])
+        if shapes:
+            dim = [int(d) for d in shapes[0].get("dim", [])]
+            if len(dim) == 4:
+                return blob, tuple(dim[1:])
+        raise PrototxtError("input declared without 4 input dims")
+    # Style 2: an explicit Input layer.
+    for definition in defs:
+        if definition.type == "Input":
+            definition.consumed = True
+            param = _one(definition.message, "input_param", {})
+            shape = _one(param, "shape", {})
+            dim = [int(d) for d in shape.get("dim", [])]
+            if len(dim) != 4:
+                raise PrototxtError("Input layer needs shape { dim: ... } x4")
+            return definition.tops[0], tuple(dim[1:])
+    raise PrototxtError("no input declaration found")
+
+
+def _convert_simple(definition: _LayerDef) -> Layer:
+    message = definition.message
+    kind = definition.type
+    if kind == "Convolution":
+        param = _one(message, "convolution_param", {})
+        return ConvLayer(
+            definition.name,
+            num_filters=int(_one(param, "num_output", 0)),
+            kernel=int(_one(param, "kernel_size", 1)),
+            stride=int(_one(param, "stride", 1)),
+            pad=int(_one(param, "pad", 0)),
+            groups=int(_one(param, "group", 1)),
+        )
+    if kind == "Pooling":
+        param = _one(message, "pooling_param", {})
+        mode = "avg" if _one(param, "pool", "MAX") == "AVE" else "max"
+        if _one(param, "global_pooling", False):
+            # Resolved at build time by kernel = input spatial size; Caffe
+            # does the same.  Represent as a sentinel handled in _GlobalPool.
+            return _GlobalPoolPlaceholder(definition.name, mode)
+        return PoolLayer(
+            definition.name,
+            kernel=int(_one(param, "kernel_size", 1)),
+            stride=int(_one(param, "stride", 1)),
+            pad=int(_one(param, "pad", 0)),
+            mode=mode,
+        )
+    if kind == "InnerProduct":
+        param = _one(message, "inner_product_param", {})
+        return FCLayer(definition.name, out_features=int(_one(param, "num_output", 0)))
+    if kind == "ReLU":
+        return ReLULayer(definition.name)
+    if kind == "Dropout":
+        param = _one(message, "dropout_param", {})
+        return DropoutLayer(definition.name, rate=float(_one(param, "dropout_ratio", 0.5)))
+    if kind == "LRN":
+        param = _one(message, "lrn_param", {})
+        return LRNLayer(
+            definition.name,
+            local_size=int(_one(param, "local_size", 5)),
+            alpha=float(_one(param, "alpha", 1e-4)),
+            beta=float(_one(param, "beta", 0.75)),
+        )
+    if kind == "Softmax":
+        return SoftmaxLayer(definition.name)
+    if kind == "BatchNorm":
+        from repro.nn.layers import BatchNormLayer
+
+        param = _one(message, "batch_norm_param", {})
+        return BatchNormLayer(definition.name, eps=float(_one(param, "eps", 1e-5)))
+    if kind == "Scale":
+        from repro.nn.layers import ScaleLayer
+
+        param = _one(message, "scale_param", {})
+        return ScaleLayer(definition.name, bias=bool(_one(param, "bias_term", True)))
+    raise PrototxtError(f"unsupported layer type {kind!r} ({definition.name!r})")
+
+
+class _GlobalPoolPlaceholder(PoolLayer):
+    """Global pooling: kernel bound to the input's spatial size at build."""
+
+    def __init__(self, name: str, mode: str):
+        super().__init__(name, kernel=1, stride=1, mode=mode)
+        self._global = True
+
+    def build(self, input_shape, rng):
+        self.kernel = int(input_shape[1])
+        self.stride = 1
+        return super().build(input_shape, rng)
+
+
+#: layer types that join forked branches
+_JOIN_TYPES = ("Concat", "Eltwise")
+
+
+class _GraphConverter:
+    """Blob-graph walker: Caffe layer list -> our spine representation."""
+
+    def __init__(self, defs: List[_LayerDef]):
+        self.defs = defs
+
+    def _consumers(self, blob: str) -> List[_LayerDef]:
+        return [
+            definition
+            for definition in self.defs
+            if not definition.consumed and blob in definition.bottoms
+        ]
+
+    def spine_from(self, blob: str) -> List[Layer]:
+        spine: List[Layer] = []
+        while True:
+            consumers = self._consumers(blob)
+            if not consumers:
+                return spine
+            first = consumers[0]
+            if first.in_place:
+                # Caffe in-place idiom: execute in file order on the blob.
+                first.consumed = True
+                spine.append(_convert_simple(first))
+                continue
+            if len(consumers) == 1:
+                definition = consumers[0]
+                definition.consumed = True
+                if definition.type in _JOIN_TYPES:
+                    raise PrototxtError(
+                        f"{definition.type} {definition.name!r} with a "
+                        "single live input"
+                    )
+                spine.append(_convert_simple(definition))
+                blob = definition.tops[0]
+                continue
+            # Fork: build each branch until the shared join layer.
+            module, blob = self._fork(blob, consumers)
+            spine.append(module)
+
+    def _fork(self, blob: str, heads: List[_LayerDef]) -> Tuple[Layer, str]:
+        """Walk a fork's branches to their join (Concat or Eltwise)."""
+        branches: List[List[Layer]] = []
+        branch_tops: List[str] = []
+        join: Optional[_LayerDef] = None
+
+        def note_join(definition: _LayerDef) -> None:
+            nonlocal join
+            if join is None:
+                join = definition
+            elif join is not definition:
+                raise PrototxtError(
+                    f"branches join different layers: {join.name!r} vs "
+                    f"{definition.name!r}"
+                )
+
+        for head in heads:
+            if head.type in _JOIN_TYPES:
+                # The join consumes the fork blob directly: an identity
+                # branch (a ResNet shortcut).
+                note_join(head)
+                branches.append([])
+                branch_tops.append(blob)
+                continue
+            branch: List[Layer] = []
+            current = blob
+            definition: Optional[_LayerDef] = head
+            while definition is not None and definition.type not in _JOIN_TYPES:
+                definition.consumed = True
+                branch.append(_convert_simple(definition))
+                if not definition.in_place:
+                    current = definition.tops[0]
+                next_consumers = [
+                    d for d in self._consumers(current) if d is not definition
+                ]
+                if not next_consumers:
+                    raise PrototxtError(
+                        f"branch from {head.name!r} dead-ends at blob {current!r}"
+                    )
+                definition = next_consumers[0]
+            assert definition is not None
+            note_join(definition)
+            branches.append(branch)
+            branch_tops.append(current)
+        assert join is not None
+        # Order branches by the join's bottom order, not discovery order.
+        order = {top: position for position, top in enumerate(join.bottoms)}
+        paired = sorted(
+            zip(branch_tops, branches), key=lambda pair: order.get(pair[0], 99)
+        )
+        branches = [branch for _, branch in paired]
+        join.consumed = True
+        module_name = (
+            join.name.replace("/output", "").replace("/concat", "").replace("/sum", "")
+        )
+        if join.type == "Concat":
+            return InceptionModule(module_name, branches), join.tops[0]
+        # Eltwise: the longer branch is the body, the other the shortcut
+        # (identity shortcuts are empty).
+        if len(branches) != 2:
+            raise PrototxtError(
+                f"Eltwise {join.name!r} must join exactly 2 branches, "
+                f"got {len(branches)}"
+            )
+        body, shortcut = branches
+        if len(shortcut) > len(body):
+            body, shortcut = shortcut, body
+        if not body:
+            raise PrototxtError(f"Eltwise {join.name!r} joins two identity branches")
+        from repro.nn.layers import ResidualBlock
+
+        return ResidualBlock(module_name, body=body, shortcut=shortcut), join.tops[0]
+
+
+def network_from_prototxt(text: str, seed: int = 0) -> Network:
+    """Parse a deploy prototxt and build the network (random parameters)."""
+    root = parse_text(text)
+    defs = _layer_defs(root)
+    input_blob, input_shape = _input_declaration(root, defs)
+    name = _one(root, "name", "prototxt-net")
+    layers: List[Layer] = [InputLayer(tuple(input_shape), name=input_blob)]
+    layers.extend(_GraphConverter(defs).spine_from(input_blob))
+    unused = [d.name for d in defs if not d.consumed]
+    if unused:
+        raise PrototxtError(f"unreachable layers in prototxt: {unused}")
+    network = Network(str(name), layers)
+    network.build(SeededRng(seed, f"prototxt/{name}"))
+    return network
+
+
+# ---------------------------------------------------------------------------
+# Network -> prototxt
+# ---------------------------------------------------------------------------
+
+def _emit_param_block(layer: Layer) -> str:
+    if isinstance(layer, ConvLayer):
+        lines = [
+            "  convolution_param {",
+            f"    num_output: {layer.num_filters}",
+            f"    kernel_size: {layer.kernel}",
+        ]
+        if layer.stride != 1:
+            lines.append(f"    stride: {layer.stride}")
+        if layer.pad:
+            lines.append(f"    pad: {layer.pad}")
+        if layer.groups != 1:
+            lines.append(f"    group: {layer.groups}")
+        lines.append("  }")
+        return "\n".join(lines)
+    if isinstance(layer, PoolLayer):
+        pool = "AVE" if layer.mode == "avg" else "MAX"
+        lines = [
+            "  pooling_param {",
+            f"    pool: {pool}",
+            f"    kernel_size: {layer.kernel}",
+        ]
+        if layer.stride != 1:
+            lines.append(f"    stride: {layer.stride}")
+        if layer.pad:
+            lines.append(f"    pad: {layer.pad}")
+        lines.append("  }")
+        return "\n".join(lines)
+    if isinstance(layer, FCLayer):
+        return (
+            "  inner_product_param {\n"
+            f"    num_output: {layer.out_features}\n"
+            "  }"
+        )
+    if isinstance(layer, DropoutLayer):
+        return f"  dropout_param {{\n    dropout_ratio: {layer.rate}\n  }}"
+    if isinstance(layer, LRNLayer):
+        return (
+            "  lrn_param {\n"
+            f"    local_size: {layer.local_size}\n"
+            f"    alpha: {layer.alpha}\n"
+            f"    beta: {layer.beta}\n"
+            "  }"
+        )
+    from repro.nn.layers import BatchNormLayer, ScaleLayer
+
+    if isinstance(layer, BatchNormLayer):
+        return f"  batch_norm_param {{\n    eps: {layer.eps}\n  }}"
+    if isinstance(layer, ScaleLayer):
+        bias = "true" if layer.bias else "false"
+        return f"  scale_param {{\n    bias_term: {bias}\n  }}"
+    return ""
+
+
+_TYPE_NAMES = {
+    "conv": "Convolution",
+    "pool": "Pooling",
+    "fc": "InnerProduct",
+    "relu": "ReLU",
+    "dropout": "Dropout",
+    "lrn": "LRN",
+    "softmax": "Softmax",
+    "batchnorm": "BatchNorm",
+    "scale": "Scale",
+}
+
+#: layer kinds emitted with Caffe's in-place idiom (top == bottom)
+_IN_PLACE_KINDS = {"relu", "dropout", "batchnorm", "scale"}
+
+
+def _emit_layer(layer: Layer, bottoms: List[str], top: str) -> str:
+    type_name = _TYPE_NAMES.get(layer.kind)
+    if type_name is None:
+        raise PrototxtError(f"cannot emit layer kind {layer.kind!r}")
+    lines = ["layer {", f'  name: "{layer.name}"', f'  type: "{type_name}"']
+    lines.extend(f'  bottom: "{bottom}"' for bottom in bottoms)
+    lines.append(f'  top: "{top}"')
+    params = _emit_param_block(layer)
+    if params:
+        lines.append(params)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def network_to_prototxt(network: Network) -> str:
+    """Emit a deploy prototxt for a built network."""
+    if not network.built:
+        raise PrototxtError("network must be built before emission")
+    first = network.layers[0]
+    if not isinstance(first, InputLayer):
+        raise PrototxtError("network must start with an InputLayer")
+    channels, height, width = first.declared_shape
+    blocks = [
+        f'name: "{network.name}"',
+        f'input: "{first.name}"',
+        f"input_dim: 1\ninput_dim: {channels}\ninput_dim: {height}\n"
+        f"input_dim: {width}",
+    ]
+    blob = first.name
+
+    def emit_chain(layers: List[Layer], blob: str) -> str:
+        for layer in layers:
+            if layer.kind in _IN_PLACE_KINDS:
+                blocks.append(_emit_layer(layer, [blob], blob))
+            else:
+                blocks.append(_emit_layer(layer, [blob], layer.name))
+                blob = layer.name
+        return blob
+
+    from repro.nn.layers import ResidualBlock
+
+    for layer in network.layers[1:]:
+        if isinstance(layer, InceptionModule):
+            branch_tops = [emit_chain(branch, blob) for branch in layer.branches]
+            top = f"{layer.name}/output"
+            lines = ["layer {", f'  name: "{layer.name}"', '  type: "Concat"']
+            lines.extend(f'  bottom: "{bottom}"' for bottom in branch_tops)
+            lines.append(f'  top: "{top}"')
+            lines.append("}")
+            blocks.append("\n".join(lines))
+            blob = top
+        elif isinstance(layer, ResidualBlock):
+            body_top = emit_chain(layer.body, blob)
+            shortcut_top = emit_chain(layer.shortcut, blob) if layer.shortcut else blob
+            top = f"{layer.name}/sum"
+            lines = [
+                "layer {",
+                f'  name: "{layer.name}"',
+                '  type: "Eltwise"',
+                f'  bottom: "{body_top}"',
+                f'  bottom: "{shortcut_top}"',
+                f'  top: "{top}"',
+                "  eltwise_param {",
+                "    operation: SUM",
+                "  }",
+                "}",
+            ]
+            blocks.append("\n".join(lines))
+            blob = top
+        else:
+            blob = emit_chain([layer], blob)
+    return "\n".join(blocks) + "\n"

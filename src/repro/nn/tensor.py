@@ -1,0 +1,157 @@
+"""Tensor helpers: shapes, im2col, pooling windows, text sizing.
+
+Conventions
+-----------
+* Feature tensors are ``float32`` numpy arrays shaped ``(C, H, W)``
+  (channels first, single sample) — Caffe's layout for one image.
+* Convolution output dims use Caffe's *floor* formula; pooling uses
+  Caffe's *ceil* formula with edge clipping.  Getting this right matters:
+  the benchmark architectures only land on the paper's reported model and
+  feature sizes with Caffe's exact arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+Shape3 = Tuple[int, int, int]
+
+#: Bytes per value when feature data is serialized as snapshot text.
+#: A real JS snapshot stores typed-array contents as a decimal literal list;
+#: at full float32 precision ("%.9e" plus separator) that is ~17-18 bytes per
+#: value.  With 18 the GoogLeNet features measure 14.5 MB after 1st_conv and
+#: 3.6 MB after 1st_pool, bracketing the paper's 14.7 / 2.9 MB.
+TEXT_BYTES_PER_VALUE = 18
+
+
+def conv_output_hw(
+    height: int, width: int, kernel: int, stride: int, pad: int
+) -> Tuple[int, int]:
+    """Caffe convolution output size (floor formula)."""
+    out_h = (height + 2 * pad - kernel) // stride + 1
+    out_w = (width + 2 * pad - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"conv kernel {kernel}x{kernel}/s{stride} p{pad} does not fit "
+            f"{height}x{width} input"
+        )
+    return out_h, out_w
+
+
+def pool_output_hw(
+    height: int, width: int, kernel: int, stride: int, pad: int = 0
+) -> Tuple[int, int]:
+    """Caffe pooling output size (ceil formula with edge clamp)."""
+    out_h = int(math.ceil((height + 2 * pad - kernel) / stride)) + 1
+    out_w = int(math.ceil((width + 2 * pad - kernel) / stride)) + 1
+    if pad > 0:
+        # Caffe clips the last window so it starts strictly inside the
+        # padded image.
+        if (out_h - 1) * stride >= height + pad:
+            out_h -= 1
+        if (out_w - 1) * stride >= width + pad:
+            out_w -= 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"pool kernel {kernel}x{kernel}/s{stride} p{pad} does not fit "
+            f"{height}x{width} input"
+        )
+    return out_h, out_w
+
+
+def pad_chw(x: np.ndarray, pad: int) -> np.ndarray:
+    """Zero-pad height and width of a (C, H, W) tensor."""
+    if pad == 0:
+        return x
+    return np.pad(x, ((0, 0), (pad, pad), (pad, pad)), mode="constant")
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, pad: int) -> np.ndarray:
+    """Unfold a (C, H, W) tensor into columns for matmul convolution.
+
+    Returns an array shaped ``(C * kernel * kernel, out_h * out_w)`` whose
+    column ``j`` holds the receptive field of output position ``j``.
+    """
+    channels, height, width = x.shape
+    out_h, out_w = conv_output_hw(height, width, kernel, stride, pad)
+    padded = pad_chw(x, pad)
+    cols = np.empty(
+        (channels, kernel, kernel, out_h, out_w), dtype=padded.dtype
+    )
+    for ky in range(kernel):
+        y_end = ky + stride * out_h
+        for kx in range(kernel):
+            x_end = kx + stride * out_w
+            cols[:, ky, kx, :, :] = padded[:, ky:y_end:stride, kx:x_end:stride]
+    return cols.reshape(channels * kernel * kernel, out_h * out_w)
+
+
+def pool_patches(
+    x: np.ndarray, kernel: int, stride: int, pad: int = 0
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Gather clipped pooling windows.
+
+    Returns ``(patches, (out_h, out_w))`` where ``patches`` is a list-like
+    object indexed as ``patches[c][i]`` — implemented as a masked stack with
+    ``-inf`` outside the valid region so max pooling can reduce directly.
+    """
+    channels, height, width = x.shape
+    out_h, out_w = pool_output_hw(height, width, kernel, stride, pad)
+    neg = np.full(
+        (channels, kernel, kernel, out_h, out_w), -np.inf, dtype=np.float32
+    )
+    for ky in range(kernel):
+        for kx in range(kernel):
+            # Source coordinates in the *unpadded* image for each output cell.
+            ys = np.arange(out_h) * stride + ky - pad
+            xs = np.arange(out_w) * stride + kx - pad
+            valid_y = (ys >= 0) & (ys < height)
+            valid_x = (xs >= 0) & (xs < width)
+            if not valid_y.any() or not valid_x.any():
+                continue
+            yy = ys[valid_y]
+            xx = xs[valid_x]
+            block = x[:, yy[:, None], xx[None, :]]
+            target = neg[:, ky, kx]
+            sub = target[:, valid_y, :]
+            sub[:, :, valid_x] = block
+            target[:, valid_y, :] = sub
+    return neg, (out_h, out_w)
+
+
+def element_count(shape: Shape3) -> int:
+    count = 1
+    for dim in shape:
+        count *= dim
+    return count
+
+
+def text_serialized_bytes(shape_or_count) -> int:
+    """Snapshot-text size of a feature tensor (decimal literals)."""
+    if isinstance(shape_or_count, tuple):
+        count = element_count(shape_or_count)
+    else:
+        count = int(shape_or_count)
+    return count * TEXT_BYTES_PER_VALUE
+
+
+def measure_text_bytes(array: np.ndarray) -> int:
+    """Exact text size of an array serialized as full-precision literals.
+
+    Used by tests to validate that :data:`TEXT_BYTES_PER_VALUE` is an honest
+    approximation of real serialization.
+    """
+    flat = array.ravel()
+    return sum(len(f"{float(value):.9e}") + 1 for value in flat)
+
+
+def binary_serialized_bytes(shape_or_count) -> int:
+    """float32 binary size of a feature tensor (4 bytes/value)."""
+    if isinstance(shape_or_count, tuple):
+        count = element_count(shape_or_count)
+    else:
+        count = int(shape_or_count)
+    return count * 4

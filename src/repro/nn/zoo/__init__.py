@@ -1,0 +1,65 @@
+"""The benchmark model zoo.
+
+Three image-recognition models, faithful to the architectures the paper
+benchmarks with CaffeJS:
+
+* :func:`googlenet` — GoogLeNet / Inception-v1 (Szegedy et al., 2015),
+  1000-way ImageNet classifier, ~7.0 M parameters → ~27 MiB model file.
+* :func:`agenet` — the Levi & Hassner (2015) age classifier (8 classes),
+  ~11.4 M parameters → ~44 MiB.
+* :func:`gendernet` — the same backbone with a 2-way gender head, ~44 MiB.
+
+Parameters are randomly initialized (He/Xavier): trained weights do not
+affect any quantity the paper measures (times and sizes depend only on the
+architecture), and shipping real weights is impossible offline anyway.
+
+:func:`smallnet` / :func:`tinynet` are small synthetic CNNs used by tests
+and examples where full-scale models would be wastefully slow.
+"""
+
+from typing import Callable, Dict
+
+from repro.nn.model import Model
+from repro.nn.zoo.googlenet import googlenet
+from repro.nn.zoo.agenet import agenet, gendernet
+from repro.nn.zoo.alexnet import alexnet
+from repro.nn.zoo.resnetlike import resnet_mini
+from repro.nn.zoo.smallnet import smallnet, tinynet
+
+BUILDERS: Dict[str, Callable[..., Model]] = {
+    "googlenet": googlenet,
+    "agenet": agenet,
+    "gendernet": gendernet,
+    "alexnet": alexnet,
+    "resnet-mini": resnet_mini,
+    "smallnet": smallnet,
+    "tinynet": tinynet,
+}
+
+#: the paper's three benchmark apps, in presentation order
+PAPER_MODELS = ("googlenet", "agenet", "gendernet")
+
+
+def build_model(name: str, seed: int = 0) -> Model:
+    """Build a zoo model by name."""
+    try:
+        builder = BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(BUILDERS)}"
+        ) from None
+    return builder(seed=seed)
+
+
+__all__ = [
+    "BUILDERS",
+    "PAPER_MODELS",
+    "agenet",
+    "alexnet",
+    "build_model",
+    "gendernet",
+    "googlenet",
+    "resnet_mini",
+    "smallnet",
+    "tinynet",
+]

@@ -1,0 +1,66 @@
+"""AlexNet (bvlc_alexnet deploy variant) — a model-size stress test.
+
+Not one of the paper's three benchmark apps, but the natural fourth: the
+Levi–Hassner nets are scaled-down AlexNets, and full AlexNet's ~61 M
+parameters (~233 MB model file) probe the opposite end of the pre-sending
+trade-off — uploading the model costs minutes at 30 Mbps while local
+inference costs seconds, so the before-ACK decision must flip hard toward
+local execution.  Uses AlexNet's grouped convolutions (conv2/4/5, g=2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.nn.layers import (
+    ConvLayer,
+    DropoutLayer,
+    FCLayer,
+    InputLayer,
+    LRNLayer,
+    PoolLayer,
+    ReLULayer,
+    SoftmaxLayer,
+)
+from repro.nn.layers.base import Layer
+from repro.nn.model import Model
+from repro.nn.network import Network
+from repro.sim import SeededRng
+
+
+def alexnet_network(num_classes: int = 1000) -> Network:
+    """The bvlc_alexnet deploy spine (unbuilt)."""
+    layers: List[Layer] = [
+        InputLayer((3, 227, 227)),
+        ConvLayer("conv1", 96, kernel=11, stride=4),
+        ReLULayer("relu1"),
+        LRNLayer("norm1", local_size=5),
+        PoolLayer("pool1", kernel=3, stride=2),
+        ConvLayer("conv2", 256, kernel=5, pad=2, groups=2),
+        ReLULayer("relu2"),
+        LRNLayer("norm2", local_size=5),
+        PoolLayer("pool2", kernel=3, stride=2),
+        ConvLayer("conv3", 384, kernel=3, pad=1),
+        ReLULayer("relu3"),
+        ConvLayer("conv4", 384, kernel=3, pad=1, groups=2),
+        ReLULayer("relu4"),
+        ConvLayer("conv5", 256, kernel=3, pad=1, groups=2),
+        ReLULayer("relu5"),
+        PoolLayer("pool5", kernel=3, stride=2),
+        FCLayer("fc6", 4096),
+        ReLULayer("relu6"),
+        DropoutLayer("drop6", rate=0.5),
+        FCLayer("fc7", 4096),
+        ReLULayer("relu7"),
+        DropoutLayer("drop7", rate=0.5),
+        FCLayer("fc8", num_classes),
+        SoftmaxLayer("prob"),
+    ]
+    return Network("alexnet", layers)
+
+
+def alexnet(seed: int = 0) -> Model:
+    """Build AlexNet with randomly initialized parameters (~233 MB)."""
+    network = alexnet_network()
+    network.build(SeededRng(seed, "zoo/alexnet"))
+    return Model("alexnet", network)

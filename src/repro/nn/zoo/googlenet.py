@@ -1,0 +1,114 @@
+"""GoogLeNet (Inception v1), Szegedy et al. 2015 — the paper's Fig. 1 model.
+
+The deploy network (no auxiliary classifier heads, matching the inference
+model CaffeJS loads): 224x224x3 input, conv/pool/LRN stem, nine inception
+modules, global average pool, dropout, 1000-way fc + softmax.
+
+Reference checkpoints on the spine (asserted by tests, shown in the paper's
+Fig. 1): (64,112,112) after conv1 — visualized as (56,56,64) after pool1 —
+(192,28,28) after pool2, 256→480 channels through inception 3a/3b,
+(832,7,7) after pool4, (1024,1,1) after global pooling, 1000 scores out.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.nn.layers import (
+    ConvLayer,
+    DropoutLayer,
+    FCLayer,
+    InceptionModule,
+    InputLayer,
+    LRNLayer,
+    PoolLayer,
+    ReLULayer,
+    SoftmaxLayer,
+)
+from repro.nn.layers.base import Layer
+from repro.nn.model import Model
+from repro.nn.network import Network
+from repro.sim import SeededRng
+
+#: (1x1, 3x3_reduce, 3x3, 5x5_reduce, 5x5, pool_proj) per inception module
+INCEPTION_CONFIGS = {
+    "3a": (64, 96, 128, 16, 32, 32),
+    "3b": (128, 128, 192, 32, 96, 64),
+    "4a": (192, 96, 208, 16, 48, 64),
+    "4b": (160, 112, 224, 24, 64, 64),
+    "4c": (128, 128, 256, 24, 64, 64),
+    "4d": (112, 144, 288, 32, 64, 64),
+    "4e": (256, 160, 320, 32, 128, 128),
+    "5a": (256, 160, 320, 32, 128, 128),
+    "5b": (384, 192, 384, 48, 128, 128),
+}
+
+
+def _inception(name: str, config: tuple) -> InceptionModule:
+    c1, c3r, c3, c5r, c5, proj = config
+    return InceptionModule(
+        f"inception_{name}",
+        branches=[
+            [
+                ConvLayer(f"{name}_1x1", c1, kernel=1),
+                ReLULayer(f"{name}_relu_1x1"),
+            ],
+            [
+                ConvLayer(f"{name}_3x3_reduce", c3r, kernel=1),
+                ReLULayer(f"{name}_relu_3x3_reduce"),
+                ConvLayer(f"{name}_3x3", c3, kernel=3, pad=1),
+                ReLULayer(f"{name}_relu_3x3"),
+            ],
+            [
+                ConvLayer(f"{name}_5x5_reduce", c5r, kernel=1),
+                ReLULayer(f"{name}_relu_5x5_reduce"),
+                ConvLayer(f"{name}_5x5", c5, kernel=5, pad=2),
+                ReLULayer(f"{name}_relu_5x5"),
+            ],
+            [
+                PoolLayer(f"{name}_pool", kernel=3, stride=1, pad=1, mode="max"),
+                ConvLayer(f"{name}_pool_proj", proj, kernel=1),
+                ReLULayer(f"{name}_relu_pool_proj"),
+            ],
+        ],
+    )
+
+
+def googlenet_network() -> Network:
+    """The (unbuilt) GoogLeNet spine."""
+    layers: List[Layer] = [
+        InputLayer((3, 224, 224)),
+        ConvLayer("conv1_7x7_s2", 64, kernel=7, stride=2, pad=3),
+        ReLULayer("relu_conv1"),
+        PoolLayer("pool1_3x3_s2", kernel=3, stride=2),
+        LRNLayer("pool1_norm1", local_size=5),
+        ConvLayer("conv2_3x3_reduce", 64, kernel=1),
+        ReLULayer("relu_conv2_reduce"),
+        ConvLayer("conv2_3x3", 192, kernel=3, pad=1),
+        ReLULayer("relu_conv2"),
+        LRNLayer("conv2_norm2", local_size=5),
+        PoolLayer("pool2_3x3_s2", kernel=3, stride=2),
+        _inception("3a", INCEPTION_CONFIGS["3a"]),
+        _inception("3b", INCEPTION_CONFIGS["3b"]),
+        PoolLayer("pool3_3x3_s2", kernel=3, stride=2),
+        _inception("4a", INCEPTION_CONFIGS["4a"]),
+        _inception("4b", INCEPTION_CONFIGS["4b"]),
+        _inception("4c", INCEPTION_CONFIGS["4c"]),
+        _inception("4d", INCEPTION_CONFIGS["4d"]),
+        _inception("4e", INCEPTION_CONFIGS["4e"]),
+        PoolLayer("pool4_3x3_s2", kernel=3, stride=2),
+        _inception("5a", INCEPTION_CONFIGS["5a"]),
+        _inception("5b", INCEPTION_CONFIGS["5b"]),
+        PoolLayer("pool5_7x7_s1", kernel=7, stride=1, mode="avg"),
+        DropoutLayer("pool5_drop", rate=0.4),
+        FCLayer("loss3_classifier", 1000),
+        SoftmaxLayer("prob"),
+    ]
+    return Network("googlenet", layers)
+
+
+def googlenet(seed: int = 0) -> Model:
+    """Build GoogLeNet with randomly initialized parameters."""
+    network = googlenet_network()
+    network.build(SeededRng(seed, "zoo/googlenet"))
+    return Model("googlenet", network)

@@ -1,0 +1,70 @@
+"""Small synthetic CNNs for tests and examples.
+
+``smallnet`` keeps the structural features that matter to the offloading
+system — a conv (feature growth), a pool (feature shrink), LRN between
+them, fc + softmax at the end — at a size where numeric forward passes take
+microseconds.  ``tinynet`` is the minimum viable spine for property tests.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import (
+    ConvLayer,
+    DropoutLayer,
+    FCLayer,
+    InputLayer,
+    LRNLayer,
+    PoolLayer,
+    ReLULayer,
+    SoftmaxLayer,
+)
+from repro.nn.model import Model
+from repro.nn.network import Network
+from repro.sim import SeededRng
+
+
+def smallnet_network(num_classes: int = 10) -> Network:
+    return Network(
+        "smallnet",
+        [
+            InputLayer((3, 32, 32)),
+            ConvLayer("conv1", 8, kernel=5, stride=1, pad=2),
+            ReLULayer("relu1"),
+            PoolLayer("pool1", kernel=2, stride=2),
+            LRNLayer("norm1", local_size=3),
+            ConvLayer("conv2", 16, kernel=3, pad=1),
+            ReLULayer("relu2"),
+            PoolLayer("pool2", kernel=2, stride=2),
+            FCLayer("fc3", 32),
+            ReLULayer("relu3"),
+            DropoutLayer("drop3", rate=0.5),
+            FCLayer("fc4", num_classes),
+            SoftmaxLayer("prob"),
+        ],
+    )
+
+
+def smallnet(seed: int = 0, num_classes: int = 10) -> Model:
+    network = smallnet_network(num_classes)
+    network.build(SeededRng(seed, "zoo/smallnet"))
+    return Model("smallnet", network)
+
+
+def tinynet_network() -> Network:
+    return Network(
+        "tinynet",
+        [
+            InputLayer((1, 8, 8)),
+            ConvLayer("conv1", 4, kernel=3, pad=1),
+            ReLULayer("relu1"),
+            PoolLayer("pool1", kernel=2, stride=2),
+            FCLayer("fc2", 4),
+            SoftmaxLayer("prob"),
+        ],
+    )
+
+
+def tinynet(seed: int = 0) -> Model:
+    network = tinynet_network()
+    network.build(SeededRng(seed, "zoo/tinynet"))
+    return Model("tinynet", network)

@@ -1,0 +1,43 @@
+"""Discrete-event simulation kernel.
+
+This package provides the virtual-time substrate used by every other
+subsystem of the reproduction: a monotonic virtual :class:`~repro.sim.clock.Clock`,
+an ordered event queue, a :class:`~repro.sim.kernel.Simulator` event loop, and
+generator-based simulated processes (:mod:`repro.sim.process`) in the style of
+SimPy, but small enough to reason about and to property-test.
+
+The paper's measurements (client/server DNN execution, snapshot transfer over
+a 30 Mbps netem-shaped link, VM synthesis) are all *durations*; this kernel is
+what turns the analytic cost models into an end-to-end timeline with correct
+interleaving (e.g. the pre-send ACK racing the first offload request).
+"""
+
+from repro.sim.clock import Clock
+from repro.sim.events import EventQueue, ScheduledEvent
+from repro.sim.kernel import Simulator, SimulationError
+from repro.sim.process import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    Process,
+    ProcessDied,
+    SimEvent,
+    Timeout,
+)
+from repro.sim.rng import SeededRng
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Clock",
+    "EventQueue",
+    "Interrupt",
+    "Process",
+    "ProcessDied",
+    "ScheduledEvent",
+    "SeededRng",
+    "SimEvent",
+    "Simulator",
+    "SimulationError",
+    "Timeout",
+]

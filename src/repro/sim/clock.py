@@ -1,0 +1,53 @@
+"""Virtual clock for the discrete-event simulator.
+
+The clock only ever moves forward and only under the control of the event
+loop.  All components read time through the clock rather than the wall clock,
+so simulations are deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+
+class ClockError(RuntimeError):
+    """Raised when the clock would move backwards."""
+
+
+class Clock:
+    """A monotonic virtual clock measured in seconds.
+
+    The unit is the second because every quantity in the paper (inference
+    times, migration times, synthesis times) is reported in seconds.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ClockError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.
+
+        Raises :class:`ClockError` if ``when`` is in the past; equal time is
+        allowed because many events share a timestamp.
+        """
+        if when < self._now:
+            raise ClockError(
+                f"cannot move clock backwards from {self._now!r} to {when!r}"
+            )
+        self._now = float(when)
+
+    def advance_by(self, delta: float) -> None:
+        """Move the clock forward by ``delta`` seconds."""
+        if delta < 0:
+            raise ClockError(f"cannot advance clock by negative delta {delta!r}")
+        self._now += float(delta)
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self._now:.6f})"

@@ -1,0 +1,44 @@
+"""VM synthesis: on-demand installation of the offloading system.
+
+Paper §III.B.3 / §IV.C: when an edge server lacks the offloading system,
+the client ships a *VM overlay* — the compressed delta between a base VM
+image (plain Ubuntu) and one with the offloading server program, the
+browser, the support libraries and optionally the DNN model installed.
+The server synthesizes a runnable VM by applying the overlay to its base
+image (elijah-cloudlet style [26]).
+
+* :mod:`repro.vmsynth.image` — chunked disk images, delta and apply.
+* :mod:`repro.vmsynth.components` — the installable software components
+  with the paper's sizes (browser ~45 MB, libraries ~54 MB, server
+  program ~1 MB, plus the model) and their compression behaviour.
+* :mod:`repro.vmsynth.overlay` — overlay construction and sizing.
+* :mod:`repro.vmsynth.synthesis` — timing: transfer + decompress + apply.
+"""
+
+from repro.vmsynth.components import (
+    SoftwareComponent,
+    browser_component,
+    libraries_component,
+    model_component,
+    offloading_stack,
+    server_program_component,
+)
+from repro.vmsynth.image import DiskImage, apply_delta, delta_chunks
+from repro.vmsynth.overlay import VMOverlay, build_overlay
+from repro.vmsynth.synthesis import SynthesisEstimate, estimate_installation
+
+__all__ = [
+    "DiskImage",
+    "SoftwareComponent",
+    "SynthesisEstimate",
+    "VMOverlay",
+    "apply_delta",
+    "browser_component",
+    "build_overlay",
+    "delta_chunks",
+    "estimate_installation",
+    "libraries_component",
+    "model_component",
+    "offloading_stack",
+    "server_program_component",
+]

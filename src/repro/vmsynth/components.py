@@ -1,0 +1,72 @@
+"""Installable software components and their compression behaviour.
+
+The paper itemizes its overlay: "the browser (~45MB), the libraries
+(~54MB), the offloading server program (~1MB), and the model (rest) before
+compression", compressed with LZMA to 65 MB (GoogLeNet) or 82 MB
+(AgeNet/GenderNet).  Those numbers pin the compression ratios: executable
+binaries and libraries LZMA-compress to roughly a third of their size,
+while trained float32 parameters are nearly incompressible — solving the
+paper's two overlay equations gives ~0.37 for the system stack and ~0.98
+for models, which is what we use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.model import Model
+
+MB = 1_000_000
+
+#: LZMA ratio for executable code / shared libraries
+BINARY_COMPRESSION_RATIO = 0.374
+#: LZMA ratio for float32 model parameters (high-entropy data)
+MODEL_COMPRESSION_RATIO = 0.98
+
+
+@dataclass(frozen=True)
+class SoftwareComponent:
+    """One installable piece of the offloading system."""
+
+    name: str
+    raw_bytes: int
+    compression_ratio: float
+
+    def __post_init__(self) -> None:
+        if self.raw_bytes <= 0:
+            raise ValueError(f"component {self.name!r} must have positive size")
+        if not 0.0 < self.compression_ratio <= 1.0:
+            raise ValueError(
+                f"compression ratio must be in (0, 1], got {self.compression_ratio}"
+            )
+
+    @property
+    def compressed_bytes(self) -> int:
+        return int(round(self.raw_bytes * self.compression_ratio))
+
+
+def browser_component() -> SoftwareComponent:
+    """The WebKit browser build (~45 MB)."""
+    return SoftwareComponent("webkit-browser", 45 * MB, BINARY_COMPRESSION_RATIO)
+
+
+def libraries_component() -> SoftwareComponent:
+    """Support libraries (~54 MB)."""
+    return SoftwareComponent("support-libraries", 54 * MB, BINARY_COMPRESSION_RATIO)
+
+
+def server_program_component() -> SoftwareComponent:
+    """The offloading server program (~1 MB)."""
+    return SoftwareComponent("offloading-server", 1 * MB, BINARY_COMPRESSION_RATIO)
+
+
+def offloading_stack() -> list:
+    """Everything the offloading system itself needs."""
+    return [browser_component(), libraries_component(), server_program_component()]
+
+
+def model_component(model: Model) -> SoftwareComponent:
+    """A DNN model's files as an overlay component."""
+    return SoftwareComponent(
+        f"model-{model.name}", model.total_bytes, MODEL_COMPRESSION_RATIO
+    )

@@ -1,0 +1,103 @@
+"""Chunked disk images: the substrate of VM synthesis.
+
+A disk image is a map *chunk index → content id* (a content hash stands in
+for the chunk's bytes).  Installing software appends/overwrites chunks;
+the *delta* between a base image and a customized image is the chunk set
+VM synthesis ships, and *apply* reconstructs the customized image on the
+server — with verification, so synthesis against the wrong base fails
+loudly instead of producing a corrupt VM.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+#: chunk granularity of the content store (1 MB, cloudlet-like)
+CHUNK_BYTES = 1_000_000
+
+
+class ImageMismatchError(RuntimeError):
+    """Raised when a delta is applied to an unexpected base image."""
+
+
+def _content_id(*parts: str) -> str:
+    return hashlib.sha1("|".join(parts).encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class DiskImage:
+    """An immutable-by-convention chunked disk image."""
+
+    name: str
+    chunks: Dict[int, str] = field(default_factory=dict)
+    chunk_bytes: int = CHUNK_BYTES
+
+    @classmethod
+    def synthetic(cls, name: str, size_bytes: int, seed: str = "") -> "DiskImage":
+        """A deterministic synthetic image of roughly ``size_bytes``."""
+        count = max(1, (size_bytes + CHUNK_BYTES - 1) // CHUNK_BYTES)
+        return cls(
+            name=name,
+            chunks={i: _content_id(name, seed, str(i)) for i in range(count)},
+        )
+
+    @classmethod
+    def ubuntu_base(cls, size_bytes: int = 600 * 1_000_000) -> "DiskImage":
+        """The base VM image: "a VM image that contains an OS" (Ubuntu)."""
+        return cls.synthetic("ubuntu-12.04-base", size_bytes, seed="base")
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.chunks) * self.chunk_bytes
+
+    def fingerprint(self) -> str:
+        digest = hashlib.sha1()
+        for index in sorted(self.chunks):
+            digest.update(f"{index}:{self.chunks[index]};".encode("ascii"))
+        return digest.hexdigest()[:16]
+
+    def with_installed(self, components: Iterable) -> "DiskImage":
+        """A new image with the components' chunks written after the end."""
+        chunks = dict(self.chunks)
+        next_index = max(chunks) + 1 if chunks else 0
+        for component in components:
+            count = max(
+                1, (component.raw_bytes + self.chunk_bytes - 1) // self.chunk_bytes
+            )
+            for i in range(count):
+                chunks[next_index] = _content_id(component.name, str(i))
+                next_index += 1
+        return DiskImage(
+            name=f"{self.name}+custom", chunks=chunks, chunk_bytes=self.chunk_bytes
+        )
+
+
+def delta_chunks(base: DiskImage, modified: DiskImage) -> Dict[int, str]:
+    """Chunks present/changed in ``modified`` relative to ``base``."""
+    if base.chunk_bytes != modified.chunk_bytes:
+        raise ImageMismatchError("chunk size mismatch between images")
+    return {
+        index: content
+        for index, content in modified.chunks.items()
+        if base.chunks.get(index) != content
+    }
+
+
+def apply_delta(
+    base: DiskImage,
+    delta: Dict[int, str],
+    expected_fingerprint: str = "",
+    name: str = "synthesized",
+) -> DiskImage:
+    """Reconstruct the customized image: base chunks overlaid with delta."""
+    chunks = dict(base.chunks)
+    chunks.update(delta)
+    image = DiskImage(name=name, chunks=chunks, chunk_bytes=base.chunk_bytes)
+    if expected_fingerprint and image.fingerprint() != expected_fingerprint:
+        raise ImageMismatchError(
+            "synthesized image does not match the expected fingerprint; "
+            "wrong base VM image?"
+        )
+    return image

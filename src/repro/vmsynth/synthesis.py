@@ -1,0 +1,54 @@
+"""Installation timing: what Table 1 calls "synthesis time".
+
+The paper measures "the time to perform VM synthesis (including the time
+to upload VM overlay and the time to synthesize a VM instance)".
+:func:`estimate_installation` computes that analytically for planning;
+:func:`deliver_overlay` performs it for real over the simulated network
+(used by the handover example and integration tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.channel import ChannelEnd
+from repro.netsim.link import NetemProfile
+from repro.vmsynth.overlay import VMOverlay
+
+
+@dataclass(frozen=True)
+class SynthesisEstimate:
+    """Predicted installation cost of one overlay."""
+
+    overlay_bytes: int
+    transfer_seconds: float
+    synthesis_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.transfer_seconds + self.synthesis_seconds
+
+    @property
+    def overlay_mb(self) -> float:
+        return self.overlay_bytes / 1e6
+
+
+def estimate_installation(overlay: VMOverlay, link: NetemProfile) -> SynthesisEstimate:
+    """Upload time at the link's rate plus server-side synthesis."""
+    return SynthesisEstimate(
+        overlay_bytes=overlay.size_bytes,
+        transfer_seconds=link.transfer_seconds(overlay.size_bytes),
+        synthesis_seconds=overlay.synthesis_seconds(),
+    )
+
+
+def deliver_overlay(endpoint: ChannelEnd, overlay: VMOverlay):
+    """Simulated process: ship the overlay and wait for VM_READY.
+
+    Returns the virtual time at which the server became ready.
+    """
+    from repro.core import protocol
+
+    endpoint.send(protocol.VM_OVERLAY, overlay, size_bytes=overlay.size_bytes)
+    ready = yield endpoint.recv_kind(protocol.VM_READY)
+    return ready.delivered_at

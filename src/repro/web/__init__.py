@@ -1,0 +1,41 @@
+"""A miniature web-app runtime (the reproduction's "browser").
+
+The paper's mechanism only needs a browser to be four things: a JS-like
+heap of global variables and objects (:mod:`repro.web.values`,
+:mod:`repro.web.heap`), a DOM tree (:mod:`repro.web.dom`), an event system
+with ``addEventListener`` / ``dispatchEvent`` including custom events
+(:mod:`repro.web.events`), and app code stored as *source text* executed in
+a sandboxed namespace (:mod:`repro.web.scripts`).  :class:`~repro.web.runtime.WebRuntime`
+binds them together and :class:`~repro.web.app.WebApp` packages an app the
+way HTML + script tags would.
+
+State lives in plain inspectable structures so the snapshot subsystem
+(:mod:`repro.core.snapshot`) can walk, serialize and faithfully rebuild it
+— including shared references and cycles, which real JS heaps are full of.
+"""
+
+from repro.web.values import UNDEFINED, ImageData, JSArray, JSObject, TypedArray
+from repro.web.dom import Document, Element, TextNode
+from repro.web.events import Event, EventSystem
+from repro.web.scripts import ScriptContext, ScriptError, compile_functions
+from repro.web.runtime import MissingModelError, WebRuntime
+from repro.web.app import WebApp
+
+__all__ = [
+    "Document",
+    "Element",
+    "Event",
+    "EventSystem",
+    "ImageData",
+    "JSArray",
+    "JSObject",
+    "MissingModelError",
+    "ScriptContext",
+    "ScriptError",
+    "TextNode",
+    "TypedArray",
+    "UNDEFINED",
+    "WebApp",
+    "WebRuntime",
+    "compile_functions",
+]

@@ -1,0 +1,210 @@
+"""Web app bundles: what HTML + script tags + model files add up to.
+
+A :class:`WebApp` is the installable unit — a declarative DOM body spec
+(the HTML), a script source string (the ``<script>`` tag), static listener
+registrations (``onclick`` attributes), model references, and an optional
+onload handler.  :func:`make_inference_app` builds the paper's Fig. 2
+example; :func:`make_partial_inference_app` builds the Fig. 5 variant with
+``front()`` / ``rear()`` handlers and the custom ``front_complete`` event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.nn.model import Model
+
+
+@dataclass
+class WebApp:
+    """An installable web app."""
+
+    name: str
+    body_spec: List[dict]
+    script: str
+    models: Dict[str, Model] = field(default_factory=dict)
+    listeners: List[Tuple[str, str, str]] = field(default_factory=list)
+    onload: Optional[str] = None
+    #: local names of the models to pre-send (None = all).  Partial-
+    #: inference apps list only "rear": withholding the front model is the
+    #: paper's defense against feature inversion.
+    presend_names: Optional[List[str]] = None
+
+    def model_list(self) -> List[Model]:
+        """All models the app carries, in declaration order."""
+        return list(self.models.values())
+
+    def presend_models(self) -> List[Model]:
+        """Models that should be pre-sent to the edge server."""
+        if self.presend_names is None:
+            return self.model_list()
+        return [self.models[name] for name in self.presend_names]
+
+
+# --------------------------------------------------------------------------
+# The paper's example apps
+# --------------------------------------------------------------------------
+
+_INFERENCE_APP_SCRIPT = '''
+def load_image(ctx):
+    """Fig. 2 image-loading handler: draw pixels, remember them."""
+    canvas = ctx.document.get("canvas")
+    canvas.draw_image(ctx.globals["pending_pixels"])
+    ctx.globals["image_loaded"] = True
+
+def on_inference(ctx):
+    """Fig. 2 inference handler: classify and show the result."""
+    canvas = ctx.document.get("canvas")
+    image = canvas.get_image_data()
+    probs = ctx.models["classifier"].inference(image.data)
+    best = int(np.argmax(probs))
+    ctx.globals["result_label"] = best
+    ctx.globals["result_score"] = float(probs[best])
+    result = ctx.document.get("result")
+    result.set_text("label " + str(best) + " (" + str(round(float(probs[best]), 4)) + ")")
+'''
+
+_PARTIAL_APP_SCRIPT = '''
+def load_image(ctx):
+    canvas = ctx.document.get("canvas")
+    canvas.draw_image(ctx.globals["pending_pixels"])
+    ctx.globals["image_loaded"] = True
+
+def front(ctx):
+    """Fig. 5 front(): local partial inference, then the custom event."""
+    canvas = ctx.document.get("canvas")
+    image = canvas.get_image_data()
+    feature = ctx.models["front"].inference(image.data)
+    ctx.globals["feature"] = TypedArray(feature)
+    ctx.dispatch_event("front_complete", "infer_btn")
+
+def rear(ctx):
+    """Fig. 5 rear(): finish inference from the feature data."""
+    feature = ctx.globals["feature"]
+    probs = ctx.models["rear"].inference(feature.data)
+    best = int(np.argmax(probs))
+    ctx.globals["result_label"] = best
+    result = ctx.document.get("result")
+    result.set_text("label " + str(best))
+'''
+
+_DEMOGRAPHICS_SCRIPT = '''
+def load_image(ctx):
+    canvas = ctx.document.get("canvas")
+    canvas.draw_image(ctx.globals["pending_pixels"])
+    ctx.globals["image_loaded"] = True
+
+def on_inference(ctx):
+    """One click, two DNNs: the snapshot's flexibility argument — any
+    computation (here: two models plus post-processing) can offload."""
+    canvas = ctx.document.get("canvas")
+    image = canvas.get_image_data()
+    age_probs = ctx.models["age"].inference(image.data)
+    gender_probs = ctx.models["gender"].inference(image.data)
+    age = int(np.argmax(age_probs))
+    gender = int(np.argmax(gender_probs))
+    ctx.globals["result_label"] = age * 2 + gender  # combined demographic bin
+    ctx.globals["age_label"] = age
+    ctx.globals["gender_label"] = gender
+    result = ctx.document.get("result")
+    result.set_text("age " + str(age) + " gender " + str(gender))
+'''
+
+_APP_BODY = [
+    {"tag": "button", "id": "load_btn", "text": "Load image"},
+    {"tag": "button", "id": "infer_btn", "text": "Inference"},
+    {"tag": "canvas", "id": "canvas"},
+    {"tag": "div", "id": "result"},
+]
+
+
+def make_inference_app(model: Model, name: Optional[str] = None) -> WebApp:
+    """The Fig. 2 app: load an image, classify it with one DNN."""
+    return WebApp(
+        name=name or f"{model.name}-app",
+        body_spec=list(_APP_BODY),
+        script=_INFERENCE_APP_SCRIPT,
+        models={"classifier": model},
+        listeners=[
+            ("load_btn", "click", "load_image"),
+            ("infer_btn", "click", "on_inference"),
+        ],
+    )
+
+
+_VIDEO_APP_SCRIPT = '''
+def start_camera(ctx):
+    ctx.globals["frame_log"] = JSArray()
+
+def on_frame(ctx):
+    """Classify the current camera frame and append to the result log."""
+    frame = ctx.globals["frame"]
+    probs = ctx.models["classifier"].inference(frame.data)
+    label = int(np.argmax(probs))
+    ctx.globals["result_label"] = label
+    log = ctx.globals["frame_log"]
+    log.push(label)
+    result = ctx.document.get("result")
+    result.set_text("frame " + str(len(log)) + ": label " + str(label))
+'''
+
+
+def make_video_app(model: Model, name: Optional[str] = None) -> WebApp:
+    """A continuous-processing app: classify every camera frame.
+
+    The paper's §I motivating example for specialized edge servers (video
+    surveillance / streaming); here it is an ordinary web app whose
+    ``frame`` events offload through the generic snapshot mechanism — with
+    the session cache, each frame travels as a small delta.
+    """
+    return WebApp(
+        name=name or f"{model.name}-video",
+        body_spec=[
+            {"tag": "video", "id": "camera"},
+            {"tag": "div", "id": "result"},
+        ],
+        script=_VIDEO_APP_SCRIPT,
+        models={"classifier": model},
+        listeners=[("camera", "frame", "on_frame")],
+        onload="start_camera",
+    )
+
+
+def make_demographics_app(
+    age_model: Model, gender_model: Model, name: str = "demographics-app"
+) -> WebApp:
+    """An app running TWO DNNs per interaction (age + gender on one photo).
+
+    Exercises multi-model pre-sending and snapshots whose model_refs list
+    several models — the "more flexible offloading" the paper claims over
+    ML-specialized servers.
+    """
+    return WebApp(
+        name=name,
+        body_spec=list(_APP_BODY),
+        script=_DEMOGRAPHICS_SCRIPT,
+        models={"age": age_model, "gender": gender_model},
+        listeners=[
+            ("load_btn", "click", "load_image"),
+            ("infer_btn", "click", "on_inference"),
+        ],
+    )
+
+
+def make_partial_inference_app(
+    front_model: Model, rear_model: Model, name: str = "partial-app"
+) -> WebApp:
+    """The Fig. 5 app: front() locally, rear() offloaded at front_complete."""
+    return WebApp(
+        name=name,
+        body_spec=list(_APP_BODY),
+        script=_PARTIAL_APP_SCRIPT,
+        models={"front": front_model, "rear": rear_model},
+        listeners=[
+            ("load_btn", "click", "load_image"),
+            ("infer_btn", "click", "front"),
+            ("infer_btn", "front_complete", "rear"),
+        ],
+        presend_names=["rear"],
+    )

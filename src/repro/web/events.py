@@ -1,0 +1,116 @@
+"""The event system: listeners, dispatch, custom events.
+
+Two properties matter for offloading:
+
+* Listeners are registered as *(element id, event type) → handler function
+  name* — names, not closures — so the listener table serializes into a
+  snapshot and rebinds cleanly after restore (the paper's snapshot must
+  re-register ``addEventListener`` calls on the server).
+* Dispatch can be *intercepted*: the offloading client agent marks certain
+  event types (e.g. the ``front_complete`` custom event in Fig. 5) as
+  offload points; when such an event fires, the runtime does not run the
+  handler locally but hands the event to the interceptor, which snapshots
+  and ships it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Event:
+    """A dispatched event instance."""
+
+    event_type: str
+    target_id: str
+    payload: Any = None
+
+
+@dataclass
+class Listener:
+    element_id: str
+    event_type: str
+    handler_name: str
+
+
+class EventSystem:
+    """Listener table plus dispatch with interception support."""
+
+    def __init__(self) -> None:
+        self._listeners: List[Listener] = []
+        #: event types whose dispatch is diverted to the interceptor
+        self.offload_event_types: set = set()
+        self._interceptor: Optional[Callable[[Event], None]] = None
+        self.dispatch_log: List[Event] = []
+
+    # -- registration ------------------------------------------------------------
+    def add_listener(self, element_id: str, event_type: str, handler_name: str) -> None:
+        listener = Listener(element_id, event_type, handler_name)
+        if not self.has_listener(element_id, event_type, handler_name):
+            self._listeners.append(listener)
+
+    def remove_listener(self, element_id: str, event_type: str, handler_name: str) -> None:
+        self._listeners = [
+            listener
+            for listener in self._listeners
+            if not (
+                listener.element_id == element_id
+                and listener.event_type == event_type
+                and listener.handler_name == handler_name
+            )
+        ]
+
+    def has_listener(self, element_id: str, event_type: str, handler_name: str) -> bool:
+        return any(
+            listener.element_id == element_id
+            and listener.event_type == event_type
+            and listener.handler_name == handler_name
+            for listener in self._listeners
+        )
+
+    def handlers_for(self, element_id: str, event_type: str) -> List[str]:
+        return [
+            listener.handler_name
+            for listener in self._listeners
+            if listener.element_id == element_id and listener.event_type == event_type
+        ]
+
+    def all_listeners(self) -> List[Tuple[str, str, str]]:
+        """Serializable listener table."""
+        return [
+            (listener.element_id, listener.event_type, listener.handler_name)
+            for listener in self._listeners
+        ]
+
+    def restore_listeners(self, listeners) -> None:
+        self._listeners = [Listener(*entry) for entry in listeners]
+
+    # -- interception --------------------------------------------------------------
+    def mark_offload_event(self, event_type: str, target_id: Optional[str] = None) -> None:
+        """Divert future dispatches to the interceptor.
+
+        ``target_id=None`` intercepts the event type on any element;
+        otherwise only dispatches targeting that element are diverted.
+        """
+        self.offload_event_types.add((event_type, target_id))
+
+    def unmark_offload_event(self, event_type: str, target_id: Optional[str] = None) -> None:
+        self.offload_event_types.discard((event_type, target_id))
+
+    def set_interceptor(self, interceptor: Optional[Callable[[Event], None]]) -> None:
+        self._interceptor = interceptor
+
+    def should_intercept(self, event: Event) -> bool:
+        if self._interceptor is None:
+            return False
+        return (
+            (event.event_type, event.target_id) in self.offload_event_types
+            or (event.event_type, None) in self.offload_event_types
+        )
+
+    def intercept(self, event: Event) -> None:
+        if self._interceptor is None:
+            raise RuntimeError("no interceptor installed")
+        self._interceptor(event)

@@ -1,0 +1,221 @@
+"""JS-like values: objects, arrays, typed arrays, undefined.
+
+Snapshot codegen needs to reconstruct *identity*, not just structure — two
+variables pointing at the same object must still alias after restore, and
+cycles must close.  That requires heap values to be distinguishable mutable
+nodes, so objects and arrays are small wrapper classes rather than plain
+dicts/lists.
+
+Scalars map directly: Python ``None`` is JS ``null``; bools, numbers and
+strings are themselves; :data:`UNDEFINED` stands in for JS ``undefined``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+
+class _Undefined:
+    """The JS ``undefined`` singleton."""
+
+    _instance: Optional["_Undefined"] = None
+
+    def __new__(cls) -> "_Undefined":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "undefined"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+UNDEFINED = _Undefined()
+
+
+class JSObject:
+    """A mutable property bag, like a plain JS object."""
+
+    __slots__ = ("properties",)
+
+    def __init__(self, **properties: Any):
+        self.properties: Dict[str, Any] = dict(properties)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.properties.get(key, UNDEFINED)
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self.properties[key] = value
+
+    def __delitem__(self, key: str) -> None:
+        self.properties.pop(key, None)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.properties
+
+    def keys(self) -> List[str]:
+        return list(self.properties)
+
+    def items(self) -> Iterator[Tuple[str, Any]]:
+        return iter(self.properties.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JSObject({list(self.properties)})"
+
+
+class JSArray:
+    """A mutable sequence, like a JS array."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Optional[List[Any]] = None):
+        self.items: List[Any] = list(items) if items is not None else []
+
+    def __getitem__(self, index: int) -> Any:
+        return self.items[index]
+
+    def __setitem__(self, index: int, value: Any) -> None:
+        self.items[index] = value
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.items)
+
+    def push(self, value: Any) -> None:
+        self.items.append(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JSArray(len={len(self.items)})"
+
+
+class TypedArray:
+    """A Float32Array analog wrapping a numpy array.
+
+    Image pixel data, DNN feature tensors and inference outputs all live in
+    typed arrays; they dominate snapshot size, exactly as in the paper.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data):
+        array = np.asarray(data, dtype=np.float32)
+        self.data: np.ndarray = array
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(self.data.shape)
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def __len__(self) -> int:
+        return int(self.data.shape[0]) if self.data.ndim else 1
+
+    def equals(self, other: "TypedArray") -> bool:
+        return (
+            isinstance(other, TypedArray)
+            and self.shape == other.shape
+            and bool(np.array_equal(self.data, other.data))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TypedArray(shape={self.shape})"
+
+
+class JSClosure:
+    """A function value with captured environment (closure).
+
+    Real JS snapshots must reconstruct closures — the hard case solved by
+    "Web Application Migration with Closure Reconstruction" (WWW'17, the
+    paper's reference [11]).  We model a closure as a *named* function from
+    the app script plus a mutable captured environment; the snapshot
+    serializes the pair, and the restored closure rebinds to the (also
+    shipped) function source.  Closure functions take ``(ctx, env)``.
+    """
+
+    __slots__ = ("function_name", "env")
+
+    def __init__(self, function_name: str, env: Optional[Dict[str, Any]] = None):
+        if not function_name:
+            raise ValueError("closure needs a function name")
+        self.function_name = function_name
+        self.env: Dict[str, Any] = dict(env) if env else {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JSClosure({self.function_name!r}, env={list(self.env)})"
+
+
+class ImageData(TypedArray):
+    """Decoded image pixels whose *serialized* form is a compressed blob.
+
+    Browsers never serialize canvas/image content as float literals — a
+    snapshot carries it as a data URL (PNG/JPEG bytes).  We keep the exact
+    decoded pixels for computation but charge ``encoded_bytes`` when the
+    value crosses the network, defaulting to an 8-bit-per-channel PNG-like
+    estimate.  This matches the paper's sub-second migration times for the
+    full-offload case, where the "feature data" is the input photo itself.
+    """
+
+    __slots__ = ("encoded_bytes",)
+
+    def __init__(self, data, encoded_bytes: Optional[int] = None):
+        super().__init__(data)
+        if encoded_bytes is None:
+            # ~1 byte per pixel-channel plus container overhead.
+            encoded_bytes = int(self.data.size) + 1024
+        if encoded_bytes <= 0:
+            raise ValueError(f"encoded_bytes must be positive, got {encoded_bytes}")
+        self.encoded_bytes = int(encoded_bytes)
+
+
+def is_heap_value(value: Any) -> bool:
+    """True for values that live on the heap (have identity)."""
+    return isinstance(value, (JSObject, JSArray, TypedArray, JSClosure))
+
+
+def is_scalar(value: Any) -> bool:
+    """True for identity-free values that serialize as literals."""
+    return value is None or value is UNDEFINED or isinstance(value, (bool, int, float, str))
+
+
+def deep_equal(a: Any, b: Any, _seen: Optional[set] = None) -> bool:
+    """Structural equality over the JS value model (cycle-safe).
+
+    Aliasing-insensitive: two structurally identical graphs compare equal
+    even if their sharing differs.  Used by round-trip tests alongside the
+    alias-sensitive checks they add on top.
+    """
+    if _seen is None:
+        _seen = set()
+    if is_scalar(a) or is_scalar(b):
+        if isinstance(a, bool) != isinstance(b, bool):
+            return False
+        return a is b if (a is UNDEFINED or b is UNDEFINED) else a == b
+    pair = (id(a), id(b))
+    if pair in _seen:
+        return True  # assume equal along cycles
+    _seen.add(pair)
+    if isinstance(a, JSObject) and isinstance(b, JSObject):
+        if set(a.properties) != set(b.properties):
+            return False
+        return all(deep_equal(a[key], b[key], _seen) for key in a.properties)
+    if isinstance(a, JSArray) and isinstance(b, JSArray):
+        if len(a) != len(b):
+            return False
+        return all(deep_equal(x, y, _seen) for x, y in zip(a, b))
+    if isinstance(a, TypedArray) and isinstance(b, TypedArray):
+        return a.equals(b)
+    if isinstance(a, JSClosure) and isinstance(b, JSClosure):
+        if a.function_name != b.function_name:
+            return False
+        if set(a.env) != set(b.env):
+            return False
+        return all(deep_equal(a.env[key], b.env[key], _seen) for key in a.env)
+    return False

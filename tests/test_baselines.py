@@ -1,0 +1,149 @@
+"""Tests for the comparison baselines (specialized service, MAUI-style)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    MauiServer,
+    SpecializedEdgeService,
+    maui_exec,
+    maui_install,
+    specialized_request,
+)
+from repro.devices import Device, edge_server_x86
+from repro.netsim import Channel, NetemProfile
+from repro.nn.zoo import smallnet
+from repro.sim import SeededRng, Simulator
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    channel = Channel(sim, "client", "edge", NetemProfile.wifi_30mbps())
+    device = Device(sim, edge_server_x86())
+    return sim, channel, device
+
+
+@pytest.fixture
+def pixels():
+    return SeededRng(0, "px").uniform_array((3, 32, 32), 0, 255)
+
+
+def run(sim, process_gen):
+    process = sim.spawn(process_gen)
+    sim.run_until(lambda: process.triggered)
+    if process.ok is False:
+        raise process.value
+    return process.value
+
+
+class TestSpecializedService:
+    def test_serves_its_own_task(self, world, pixels):
+        sim, channel, device = world
+        model = smallnet()
+        service = SpecializedEdgeService(sim, device, model, service="smallnet")
+        service.serve(channel.end_b)
+        label, elapsed = run(
+            sim, specialized_request(channel.end_a, "smallnet", pixels)
+        )
+        assert label == int(np.argmax(model.inference(pixels)))
+        assert elapsed > 0
+        assert service.requests_served == 1
+
+    def test_refuses_other_apps(self, world, pixels):
+        sim, channel, device = world
+        service = SpecializedEdgeService(sim, device, smallnet(), service="smallnet")
+        service.serve(channel.end_b)
+        with pytest.raises(RuntimeError, match="only provides"):
+            run(sim, specialized_request(channel.end_a, "face-recognition", pixels))
+        assert service.refused == 1
+
+    def test_latency_is_transfer_plus_exec(self, world, pixels):
+        sim, channel, device = world
+        model = smallnet()
+        service = SpecializedEdgeService(sim, device, model, service="smallnet")
+        service.serve(channel.end_b)
+        _label, elapsed = run(
+            sim, specialized_request(channel.end_a, "smallnet", pixels)
+        )
+        from repro.nn.cost import network_costs
+        from repro.nn.tensor import text_serialized_bytes
+
+        exec_seconds = device.forward_seconds(network_costs(model.network))
+        transfer = channel.link_ab.profile.transfer_seconds(
+            text_serialized_bytes((3, 32, 32))
+        )
+        assert elapsed == pytest.approx(exec_seconds + transfer, rel=0.2)
+
+
+class TestMauiServer:
+    def test_exec_requires_installation(self, world, pixels):
+        sim, channel, device = world
+        maui = MauiServer(sim, device)
+        maui.serve(channel.end_b)
+        with pytest.raises(RuntimeError, match="not installed"):
+            run(sim, maui_exec(channel.end_a, "smallnet", pixels))
+        assert maui.refused == 1
+
+    def test_install_then_exec(self, world, pixels):
+        sim, channel, device = world
+        model = smallnet()
+        maui = MauiServer(sim, device)
+        maui.serve(channel.end_b)
+        install_seconds = run(sim, maui_install(channel.end_a, "smallnet", model))
+        # Executable + model cross the 30 Mbps link: a visible cost.
+        assert install_seconds > (model.total_bytes * 8) / 30e6
+        label, _elapsed = run(sim, maui_exec(channel.end_a, "smallnet", pixels))
+        assert label == int(np.argmax(model.inference(pixels)))
+        assert maui.requests_served == 1
+
+    def test_new_server_needs_reinstall(self, world, pixels):
+        sim, channel, device = world
+        model = smallnet()
+        first = MauiServer(sim, device, name="maui-A")
+        first.serve(channel.end_b)
+        run(sim, maui_install(channel.end_a, "smallnet", model))
+        run(sim, maui_exec(channel.end_a, "smallnet", pixels))
+        # Handover: a fresh MAUI server knows nothing about the app.
+        channel2 = Channel(sim, "client", "edge-B", NetemProfile.wifi_30mbps())
+        second = MauiServer(sim, Device(sim, edge_server_x86()), name="maui-B")
+        second.serve(channel2.end_b)
+        with pytest.raises(RuntimeError, match="not installed"):
+            run(sim, maui_exec(channel2.end_a, "smallnet", pixels))
+
+    def test_multiple_apps_installable(self, world, pixels):
+        sim, channel, device = world
+        maui = MauiServer(sim, device)
+        maui.serve(channel.end_b)
+        run(sim, maui_install(channel.end_a, "app-a", smallnet(seed=1)))
+        run(sim, maui_install(channel.end_a, "app-b", smallnet(seed=2)))
+        assert set(maui.installed_apps) == {"app-a", "app-b"}
+
+
+class TestComparisonStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        from repro.eval.ablations import baseline_comparison_study
+
+        return baseline_comparison_study("agenet")
+
+    def test_only_snapshots_are_general(self, rows):
+        by_approach = {row.approach: row for row in rows}
+        snapshot = by_approach["snapshot offloading"]
+        assert snapshot.any_app and snapshot.stateless_handover
+        for row in rows:
+            if row is not snapshot:
+                assert not row.any_app
+                assert not row.stateless_handover
+
+    def test_snapshot_steady_state_competitive(self, rows):
+        by_approach = {row.approach: row for row in rows}
+        snapshot = by_approach["snapshot offloading"].steady_state_seconds
+        specialized = by_approach["specialized service"].steady_state_seconds
+        # "comparable to running the app entirely on the server": within 25%
+        assert snapshot < 1.25 * specialized
+
+    def test_maui_first_use_pays_installation(self, rows):
+        by_approach = {row.approach: row for row in rows}
+        maui = by_approach["MAUI-style (pre-installed app)"]
+        assert maui.first_use_seconds > 3 * maui.steady_state_seconds

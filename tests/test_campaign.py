@@ -1,0 +1,43 @@
+"""Tests for the all-artifacts campaign driver."""
+
+import pytest
+
+from repro.eval.campaign import run_campaign, write_report
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    return run_campaign(quick=True, include_ablations=False)
+
+
+class TestCampaign:
+    def test_quick_campaign_claims_hold(self, quick_result):
+        assert quick_result.all_claims_hold, quick_result.violations
+
+    def test_report_contains_every_artifact(self, quick_result):
+        report = quick_result.report_markdown
+        for heading in ("Fig. 1", "Fig. 6", "Fig. 7", "Fig. 8", "Table 1"):
+            assert heading in report
+
+    def test_report_has_verification_section(self, quick_result):
+        assert "Shape-claim verification" in quick_result.report_markdown
+        assert "PASS" in quick_result.report_markdown
+
+    def test_quick_mode_restricts_models(self, quick_result):
+        assert "Models: agenet." in quick_result.report_markdown
+        assert "gendernet" not in quick_result.report_markdown
+
+    def test_write_report(self, tmp_path, quick_result):
+        path = write_report(str(tmp_path / "r.md"), quick_result)
+        with open(path, "r", encoding="utf-8") as handle:
+            assert handle.read() == quick_result.report_markdown
+
+    def test_wall_time_recorded(self, quick_result):
+        assert quick_result.wall_seconds > 0
+
+    def test_cli_campaign_quick(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = str(tmp_path / "cli.md")
+        assert main(["campaign", "--quick", "--out", out]) == 0
+        assert "report written" in capsys.readouterr().out

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure9000"])
+
+    def test_fig6_model_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig6", "--models", "resnet"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig6"])
+        assert args.bandwidth == 30.0
+        assert "googlenet" in args.models
+
+
+class TestCommands:
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "64x56x56" in out
+
+    def test_fig6_smallnet_runs(self, capsys):
+        # smallnet violates the paper's DNN-scale shape claims (offloading
+        # a tiny net does not pay), so the CLI must report violations.
+        code = main(["fig6", "--models", "smallnet"])
+        out = capsys.readouterr()
+        assert "smallnet" in out.out
+        assert code == 1
+        assert "SHAPE VIOLATIONS" in out.err
+
+    def test_fig6_agenet_holds(self, capsys):
+        assert main(["fig6", "--models", "agenet"]) == 0
+        assert "all shape claims hold" in capsys.readouterr().out
+
+    def test_fig8_with_max_points(self, capsys):
+        # input / 1st_conv / 1st_pool suffice for all Fig. 8 claims.
+        assert main(["fig8", "--models", "agenet", "--max-points", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "1st_conv" in out
+        assert "2nd_conv" not in out
+
+    def test_table1_agenet(self, capsys):
+        assert main(["table1", "--models", "agenet"]) == 0
+        assert "VM synthesis" in capsys.readouterr().out
+
+    def test_ablation_partition(self, capsys):
+        assert main(["ablation", "partition"]) == 0
+        assert "1st_pool" in capsys.readouterr().out
+
+    def test_ablation_contention(self, capsys):
+        assert main(["ablation", "contention"]) == 0
+        assert "clients" in capsys.readouterr().out
+
+    def test_ablation_quantization(self, capsys):
+        assert main(["ablation", "quantization"]) == 0
+        assert "agreement" in capsys.readouterr().out
+
+    def test_ablation_placement(self, capsys):
+        assert main(["ablation", "placement"]) == 0
+        out = capsys.readouterr().out
+        assert "edge" in out and "cloud" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "correct: True" in out

@@ -1,0 +1,125 @@
+"""Closure reconstruction across snapshots (the paper's reference [11])."""
+
+import pytest
+
+from repro.core.snapshot import CaptureOptions, capture_snapshot, restore_snapshot
+from repro.web import WebRuntime
+from repro.web.app import WebApp
+from repro.web.events import Event
+from repro.web.scripts import ScriptError
+from repro.web.values import JSArray, JSClosure, deep_equal
+
+CLOSURE_APP_SCRIPT = '''
+def make_counter(ctx):
+    ctx.globals["counter"] = ctx.make_closure("step", count=0, by=1)
+
+def step(ctx, env):
+    env["count"] = env["count"] + env["by"]
+    return env["count"]
+
+def on_tick(ctx):
+    value = ctx.call(ctx.globals["counter"])
+    ctx.document.get("result").set_text("count " + str(value))
+'''
+
+
+def make_app():
+    return WebApp(
+        name="closure-app",
+        body_spec=[
+            {"tag": "button", "id": "tick"},
+            {"tag": "div", "id": "result"},
+        ],
+        script=CLOSURE_APP_SCRIPT,
+        listeners=[("tick", "click", "on_tick")],
+        onload="make_counter",
+    )
+
+
+class TestClosureValues:
+    def test_closure_requires_function_name(self):
+        with pytest.raises(ValueError):
+            JSClosure("")
+
+    def test_make_closure_validates_function(self):
+        runtime = WebRuntime()
+        runtime.load_app(make_app())
+        from repro.web.scripts import ScriptContext
+
+        context = ScriptContext(runtime)
+        with pytest.raises(ScriptError):
+            context.make_closure("ghost_function")
+
+    def test_closure_call_mutates_env(self):
+        runtime = WebRuntime()
+        runtime.load_app(make_app())
+        runtime.dispatch("click", "tick")
+        runtime.dispatch("click", "tick")
+        assert runtime.globals["counter"].env["count"] == 2
+        assert runtime.document.get("result").text_content == "count 2"
+
+    def test_call_unknown_closure_function(self):
+        runtime = WebRuntime()
+        runtime.load_app(make_app())
+        with pytest.raises(ScriptError):
+            runtime.call_closure(JSClosure("nowhere"))
+
+    def test_deep_equal_on_closures(self):
+        a = JSClosure("f", {"x": 1})
+        b = JSClosure("f", {"x": 1})
+        c = JSClosure("f", {"x": 2})
+        d = JSClosure("g", {"x": 1})
+        assert deep_equal(a, b)
+        assert not deep_equal(a, c)
+        assert not deep_equal(a, d)
+
+
+class TestClosureSnapshots:
+    def test_closure_state_survives_migration(self):
+        client = WebRuntime("client")
+        client.load_app(make_app())
+        client.dispatch("click", "tick")  # count = 1
+        snapshot = capture_snapshot(
+            client, Event("click", "tick"), CaptureOptions(live_only=False)
+        )
+        server = WebRuntime("server")
+        report = restore_snapshot(snapshot, server)
+        # The restored closure continues from the migrated count.
+        server.run_event(report.pending_event)
+        assert server.globals["counter"].env["count"] == 2
+        assert server.document.get("result").text_content == "count 2"
+
+    def test_closure_env_aliasing_preserved(self):
+        client = WebRuntime("client")
+        client.load_app(make_app())
+        shared = JSArray([1, 2])
+        client.globals["counter"].env["log"] = shared
+        client.globals["shared_log"] = shared
+        snapshot = capture_snapshot(client, None, CaptureOptions(live_only=False))
+        server = WebRuntime("server")
+        restore_snapshot(snapshot, server)
+        assert server.globals["counter"].env["log"] is server.globals["shared_log"]
+
+    def test_closure_cycle_through_env(self):
+        client = WebRuntime("client")
+        client.load_app(make_app())
+        closure = client.globals["counter"]
+        closure.env["self"] = closure  # closure capturing itself
+        snapshot = capture_snapshot(client, None, CaptureOptions(live_only=False))
+        server = WebRuntime("server")
+        restore_snapshot(snapshot, server)
+        restored = server.globals["counter"]
+        assert restored.env["self"] is restored
+
+    def test_closure_in_delta_snapshot(self):
+        from repro.core.snapshot import capture_delta, fingerprint_runtime
+
+        client = WebRuntime("client")
+        client.load_app(make_app())
+        baseline = fingerprint_runtime(client)
+        client.dispatch("click", "tick")  # env mutated -> closure changed
+        delta = capture_delta(client, baseline)
+        fresh = WebRuntime("fresh")
+        fresh.load_app(make_app())
+        restore_snapshot(delta, fresh)
+        assert fresh.globals["counter"].env["count"] == 1

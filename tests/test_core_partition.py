@@ -1,0 +1,116 @@
+"""Tests for the partition-point optimizer (paper §III.B.2)."""
+
+import pytest
+
+from repro.core.partition import PartitionOptimizer, predictions_by_label
+from repro.devices import edge_server_x86, odroid_xu4_client
+from repro.devices.predictor import fit_predictor_for
+from repro.netsim import NetemProfile
+from repro.nn.cost import network_costs
+from repro.nn.zoo import smallnet
+
+
+@pytest.fixture(scope="module")
+def network():
+    return smallnet().network
+
+
+@pytest.fixture(scope="module")
+def optimizer(network):
+    costs = network_costs(network)
+    client_profile = odroid_xu4_client()
+    server_profile = edge_server_x86()
+    return PartitionOptimizer(
+        fit_predictor_for(client_profile, costs, noise=0.0),
+        fit_predictor_for(server_profile, costs, noise=0.0),
+        client_profile,
+        server_profile,
+    )
+
+
+@pytest.fixture
+def link():
+    return NetemProfile.wifi_30mbps()
+
+
+class TestEstimates:
+    def test_estimate_components_positive(self, network, optimizer, link):
+        point = network.point_by_label("1st_pool")
+        estimate = optimizer.estimate(network, point, link)
+        assert estimate.client_seconds > 0
+        assert estimate.server_seconds > 0
+        assert estimate.transfer_seconds > 0
+        assert estimate.total_seconds == pytest.approx(
+            estimate.client_seconds
+            + estimate.server_seconds
+            + estimate.transfer_seconds
+            + estimate.overhead_seconds
+        )
+
+    def test_deeper_split_shifts_work_to_client(self, network, optimizer, link):
+        early = optimizer.estimate(network, network.point_by_label("input"), link)
+        late = optimizer.estimate(network, network.point_by_label("2nd_pool"), link)
+        assert late.client_seconds > early.client_seconds
+        assert late.server_seconds < early.server_seconds
+
+    def test_feature_bytes_match_layer_output(self, network, optimizer, link):
+        from repro.nn.tensor import text_serialized_bytes
+
+        point = network.point_by_label("1st_conv")
+        estimate = optimizer.estimate(network, point, link)
+        expected = text_serialized_bytes(network.layers[point.index].out_shape)
+        assert estimate.feature_bytes == expected
+
+    def test_sweep_covers_all_points(self, network, optimizer, link):
+        estimates = optimizer.sweep(network, link)
+        assert len(estimates) == len(network.offload_points())
+
+    def test_predictions_by_label(self, network, optimizer, link):
+        table = predictions_by_label(optimizer.sweep(network, link))
+        assert "1st_pool" in table
+        assert all(value > 0 for value in table.values())
+
+
+class TestChoice:
+    def test_choice_is_minimum_of_sweep(self, network, optimizer, link):
+        choice = optimizer.choose(network, link, denature=False)
+        best_total = min(e.total_seconds for e in choice.estimates)
+        assert choice.best.total_seconds == best_total
+
+    def test_denature_excludes_pre_conv_points(self, network, optimizer, link):
+        choice = optimizer.choose(network, link, denature=True)
+        first_conv = next(
+            i for i, layer in enumerate(network.layers) if layer.kind == "conv"
+        )
+        assert all(e.point.index >= first_conv for e in choice.estimates)
+
+    def test_without_denature_input_point_allowed(self, network, optimizer, link):
+        choice = optimizer.choose(network, link, denature=False)
+        labels = {e.point.label for e in choice.estimates}
+        assert "input" in labels
+
+    def test_fast_network_prefers_early_offload(self, network, optimizer):
+        fast = NetemProfile(bandwidth_bps=1e9, latency_s=0.0001)
+        choice = optimizer.choose(network, fast, denature=False)
+        # With a gigabit link the client should do as little as possible.
+        assert choice.point.label == "input"
+
+    def test_slow_network_moves_split_deeper(self, network, optimizer):
+        slow = NetemProfile(bandwidth_bps=2e5)  # 200 kbps
+        fast = NetemProfile(bandwidth_bps=1e9)
+        slow_choice = optimizer.choose(network, slow, denature=False)
+        fast_choice = optimizer.choose(network, fast, denature=False)
+        assert slow_choice.point.index >= fast_choice.point.index
+
+    def test_estimate_for_label_lookup(self, network, optimizer, link):
+        choice = optimizer.choose(network, link, denature=True)
+        estimate = choice.estimate_for("1st_pool")
+        assert estimate.point.label == "1st_pool"
+        with pytest.raises(KeyError):
+            choice.estimate_for("not-a-point")
+
+    def test_optimizer_never_worse_than_any_candidate(self, network, optimizer, link):
+        """The optimizer's choice is optimal among swept candidates."""
+        choice = optimizer.choose(network, link, denature=True)
+        for estimate in choice.estimates:
+            assert choice.best.total_seconds <= estimate.total_seconds + 1e-9

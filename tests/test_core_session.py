@@ -1,0 +1,112 @@
+"""End-to-end session tests across all Fig. 6 modes (smallnet-scale)."""
+
+import pytest
+
+from repro.eval.scenarios import Testbed, build_paper_model, paper_input_for
+
+
+MODEL = "smallnet"
+
+
+class TestModes:
+    def test_client_only(self):
+        result = Testbed().run_client_only(MODEL)
+        assert result.mode == "client"
+        assert result.correct
+        assert result.phases.client_exec > 0
+        assert result.phases.server_exec == 0
+        assert result.total_seconds == pytest.approx(result.phases.total(), rel=1e-6)
+
+    def test_server_only(self):
+        result = Testbed().run_server_only(MODEL)
+        assert result.mode == "server"
+        assert result.correct
+        assert result.phases.server_exec > 0
+        assert result.phases.client_exec == 0
+
+    def test_server_faster_than_client(self):
+        client = Testbed().run_client_only(MODEL)
+        server = Testbed().run_server_only(MODEL)
+        assert server.total_seconds < client.total_seconds
+
+    def test_offload_after_ack(self):
+        result = Testbed().run_offload(MODEL, wait_for_ack=True)
+        assert result.mode == "offload-after-ack"
+        assert result.correct
+        assert result.delivery_bytes == 0
+        assert result.phases.server_exec > 0
+        assert result.snapshot_bytes > 0
+        assert result.delta_bytes > 0
+
+    def test_offload_before_ack_ships_model(self):
+        # A slow link so the background upload barely progresses before the
+        # click: the model must ride along with the snapshot.
+        result = Testbed(bandwidth_bps=1e6).run_offload(MODEL, wait_for_ack=False)
+        assert result.mode == "offload-before-ack"
+        assert result.correct
+        model = build_paper_model(MODEL)
+        assert result.delivery_bytes > 0.5 * model.total_bytes
+
+    def test_before_ack_slower_than_after(self):
+        before = Testbed().run_offload(MODEL, wait_for_ack=False)
+        after = Testbed().run_offload(MODEL, wait_for_ack=True)
+        assert after.total_seconds < before.total_seconds
+
+    def test_partial_inference(self):
+        result = Testbed().run_offload_partial(MODEL, "1st_pool")
+        assert result.mode == "offload-partial"
+        assert result.correct
+        assert result.partition_label == "1st_pool"
+        assert result.phases.client_exec > 0  # front ran on the client
+        assert result.phases.server_exec > 0  # rear ran on the server
+
+    def test_partial_inference_feature_smaller_than_full_input(self):
+        partial = Testbed().run_offload_partial(MODEL, "1st_pool")
+        full = Testbed().run_offload(MODEL, wait_for_ack=True)
+        assert partial.snapshot_feature_bytes < full.snapshot_feature_bytes
+
+    def test_phase_breakdown_sums_to_total(self):
+        result = Testbed().run_offload(MODEL, wait_for_ack=True)
+        assert result.phases.total() == pytest.approx(result.total_seconds, rel=1e-6)
+        assert result.phases.other >= 0
+
+    def test_migration_time_excludes_dnn_exec(self):
+        result = Testbed().run_offload(MODEL, wait_for_ack=True)
+        assert result.migration_seconds == pytest.approx(
+            result.total_seconds - result.phases.server_exec, rel=1e-6
+        )
+
+    def test_deterministic_repetition(self):
+        a = Testbed().run_offload(MODEL, wait_for_ack=True)
+        b = Testbed().run_offload(MODEL, wait_for_ack=True)
+        assert a.total_seconds == pytest.approx(b.total_seconds, rel=1e-9)
+        assert a.result_label == b.result_label
+
+
+class TestBandwidthEffects:
+    def test_slower_link_slower_offload(self):
+        slow = Testbed(bandwidth_bps=2e6).run_offload(MODEL, wait_for_ack=True)
+        fast = Testbed(bandwidth_bps=100e6).run_offload(MODEL, wait_for_ack=True)
+        assert fast.total_seconds < slow.total_seconds
+
+    def test_bandwidth_does_not_change_result(self):
+        slow = Testbed(bandwidth_bps=2e6).run_offload(MODEL, wait_for_ack=True)
+        fast = Testbed(bandwidth_bps=100e6).run_offload(MODEL, wait_for_ack=True)
+        assert slow.result_label == fast.result_label
+
+
+class TestInputs:
+    def test_paper_input_cached_and_shaped(self):
+        image = paper_input_for(MODEL)
+        assert image.shape == build_paper_model(MODEL).network.input_shape
+        assert paper_input_for(MODEL) is image
+
+    def test_all_modes_agree_on_label(self):
+        labels = {
+            Testbed().run_client_only(MODEL).result_label,
+            Testbed().run_server_only(MODEL).result_label,
+            Testbed().run_offload(MODEL, wait_for_ack=True).result_label,
+            Testbed().run_offload(MODEL, wait_for_ack=False).result_label,
+            Testbed().run_offload_partial(MODEL, "1st_pool").result_label,
+        }
+        assert len(labels) == 1

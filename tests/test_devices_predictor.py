@@ -1,0 +1,95 @@
+"""Tests for the Neurosurgeon-style latency predictor."""
+
+import pytest
+
+from repro.devices import Device, LatencyPredictor, ProfiledSample, odroid_xu4_client
+from repro.devices.predictor import fit_predictor_for, prediction_error, profile_device
+from repro.nn.cost import network_costs
+from repro.nn.zoo import smallnet
+from repro.sim import SeededRng, Simulator
+
+
+@pytest.fixture
+def costs():
+    return network_costs(smallnet().network)
+
+
+class TestFitting:
+    def test_fit_recovers_linear_model_exactly(self):
+        samples = [
+            ProfiledSample("conv", flops, 2.0 * flops / 1e9 + 0.01)
+            for flops in (1e8, 5e8, 1e9, 2e9)
+        ]
+        predictor = LatencyPredictor().fit(samples)
+        assert predictor.predict_layer("conv", 3e9) == pytest.approx(6.01, rel=1e-6)
+
+    def test_fit_on_zero_samples_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyPredictor().fit([])
+
+    def test_single_sample_degenerate_fit(self):
+        predictor = LatencyPredictor().fit([ProfiledSample("conv", 1e9, 2.0)])
+        assert predictor.predict_layer("conv", 2e9) == pytest.approx(4.0)
+
+    def test_unknown_kind_uses_fallback(self):
+        predictor = LatencyPredictor().fit(
+            [
+                ProfiledSample("conv", 1e9, 1.0),
+                ProfiledSample("conv", 2e9, 2.0),
+            ]
+        )
+        assert predictor.predict_layer("never_seen", 1e9) == pytest.approx(1.0, abs=0.1)
+
+    def test_unfitted_predictor_raises(self):
+        with pytest.raises(RuntimeError):
+            LatencyPredictor().predict_layer("conv", 1e9)
+
+    def test_predictions_never_negative(self):
+        samples = [
+            ProfiledSample("pool", 1e9, 0.1),
+            ProfiledSample("pool", 2e9, 0.05),  # noisy downward slope
+        ]
+        predictor = LatencyPredictor().fit(samples)
+        assert predictor.predict_layer("pool", 1e5) >= 0.0
+
+
+class TestProfiling:
+    def test_profile_device_generates_repetitions(self, costs):
+        samples = profile_device(odroid_xu4_client(), costs, repetitions=3, noise=0.0)
+        assert len(samples) == 3 * len(costs)
+
+    def test_noiseless_profiling_gives_near_exact_predictor(self, costs):
+        sim = Simulator()
+        device = Device(sim, odroid_xu4_client())
+        predictor = fit_predictor_for(
+            odroid_xu4_client(), costs, repetitions=1, noise=0.0
+        )
+        assert prediction_error(predictor, device, costs) < 0.05
+
+    def test_noisy_profiling_stays_reasonable(self, costs):
+        sim = Simulator()
+        device = Device(sim, odroid_xu4_client())
+        predictor = fit_predictor_for(
+            odroid_xu4_client(),
+            costs,
+            repetitions=5,
+            noise=0.05,
+            rng=SeededRng(7, "test"),
+        )
+        # Neurosurgeon-grade accuracy: well under 25% mean relative error.
+        assert prediction_error(predictor, device, costs) < 0.25
+
+    def test_forward_prediction_close_to_ground_truth(self, costs):
+        sim = Simulator()
+        device = Device(sim, odroid_xu4_client())
+        predictor = fit_predictor_for(
+            odroid_xu4_client(), costs, repetitions=3, noise=0.02
+        )
+        truth = device.forward_seconds(costs)
+        predicted = predictor.predict_forward(costs)
+        assert predicted == pytest.approx(truth, rel=0.2)
+
+    def test_kinds_reported(self, costs):
+        predictor = fit_predictor_for(odroid_xu4_client(), costs, noise=0.0)
+        assert "conv" in predictor.kinds
+        assert "pool" in predictor.kinds

@@ -1,0 +1,58 @@
+"""Tests for Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.eval.scenarios import Testbed
+from repro.eval.traces import session_to_events, sessions_to_trace, write_chrome_trace
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Testbed().run_offload("smallnet", wait_for_ack=True)
+
+
+class TestTraceExport:
+    def test_events_cover_all_nonzero_phases(self, result):
+        events = session_to_events(result)
+        spans = [event for event in events if event["ph"] == "X"]
+        phase_seconds = {
+            key: value for key, value in result.phases.as_dict().items() if value > 0
+        }
+        assert {span["cat"] for span in spans} == set(phase_seconds)
+
+    def test_span_durations_match_breakdown(self, result):
+        spans = [e for e in session_to_events(result) if e["ph"] == "X"]
+        total_us = sum(span["dur"] for span in spans)
+        assert total_us == pytest.approx(result.total_seconds * 1e6, rel=1e-3)
+
+    def test_spans_sequential_non_overlapping(self, result):
+        spans = sorted(
+            (e for e in session_to_events(result) if e["ph"] == "X"),
+            key=lambda e: e["ts"],
+        )
+        for earlier, later in zip(spans, spans[1:]):
+            assert later["ts"] >= earlier["ts"] + earlier["dur"] - 1e-3
+
+    def test_metadata_names_tracks(self, result):
+        events = session_to_events(result)
+        thread_names = {
+            event["args"]["name"]
+            for event in events
+            if event["name"] == "thread_name"
+        }
+        assert thread_names == {"client", "network", "server"}
+
+    def test_multi_session_document(self, result):
+        other = Testbed().run_offload_partial("smallnet", "1st_pool")
+        document = sessions_to_trace([result, other])
+        pids = {event["pid"] for event in document["traceEvents"]}
+        assert pids == {1, 2}
+
+    def test_write_valid_json(self, tmp_path, result):
+        path = write_chrome_trace(str(tmp_path / "trace.json"), [result])
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert "traceEvents" in document
+        assert any(event["ph"] == "X" for event in document["traceEvents"])

@@ -1,0 +1,34 @@
+"""Smoke tests: every example script must run to completion."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    ("quickstart.py", [], "phase timeline"),
+    ("image_recognition_app.py", ["agenet"], "Fig. 6"),
+    ("privacy_partial_inference.py", [], "defense effective"),
+    ("mobile_handover.py", [], "handover is stateless"),
+    ("partition_explorer.py", ["agenet", "30"], "optimizer choice"),
+    ("multi_client_edge.py", ["2"], "mean latency"),
+    ("model_files_workflow.py", [], "chrome://tracing"),
+    ("video_stream.py", ["smallnet", "4", "5"], "per-frame log"),
+]
+
+
+@pytest.mark.parametrize("script,args,needle", EXAMPLES)
+def test_example_runs(script, args, needle, tmp_path):
+    if script == "model_files_workflow.py":
+        args = [str(tmp_path)]
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert needle in result.stdout

@@ -1,0 +1,123 @@
+"""Tests for apps using several DNNs in one interaction."""
+
+import numpy as np
+import pytest
+
+from repro.core.client import ClientAgent
+from repro.core.server import EdgeServer
+from repro.core.snapshot import CaptureOptions
+from repro.devices import Device, edge_server_x86, odroid_xu4_client
+from repro.netsim import Channel, NetemProfile
+from repro.nn.cost import network_costs
+from repro.nn.zoo import smallnet
+from repro.sim import SeededRng, Simulator
+from repro.web import WebRuntime
+from repro.web.app import make_demographics_app
+from repro.web.values import TypedArray
+
+
+@pytest.fixture
+def models():
+    age = smallnet(seed=1, num_classes=8)
+    age.name = "agenet-mini"
+    gender = smallnet(seed=2, num_classes=2)
+    gender.name = "gendernet-mini"
+    return age, gender
+
+
+@pytest.fixture
+def pixels():
+    return TypedArray(SeededRng(3, "px").uniform_array((3, 32, 32), 0, 255))
+
+
+def expected_labels(models, pixels):
+    age, gender = models
+    return (
+        int(np.argmax(age.inference(pixels.data))),
+        int(np.argmax(gender.inference(pixels.data))),
+    )
+
+
+class TestLocalExecution:
+    def test_two_models_one_click(self, models, pixels):
+        runtime = WebRuntime()
+        runtime.load_app(make_demographics_app(*models))
+        runtime.globals["pending_pixels"] = pixels
+        runtime.dispatch("click", "load_btn")
+        runtime.dispatch("click", "infer_btn")
+        age, gender = expected_labels(models, pixels)
+        assert runtime.globals["age_label"] == age
+        assert runtime.globals["gender_label"] == gender
+        assert f"age {age} gender {gender}" in runtime.document.get(
+            "result"
+        ).text_content
+
+    def test_app_declares_both_models(self, models):
+        app = make_demographics_app(*models)
+        assert len(app.presend_models()) == 2
+
+
+class TestOffloadedExecution:
+    def test_both_models_presend_and_offload(self, models, pixels):
+        sim = Simulator()
+        channel = Channel(sim, "client", "edge", NetemProfile.wifi_30mbps())
+        server = EdgeServer(sim, Device(sim, edge_server_x86()), name="edge")
+        server.serve(channel.end_b)
+        client = ClientAgent(
+            sim,
+            Device(sim, odroid_xu4_client()),
+            channel.end_a,
+            capture_options=CaptureOptions(include_canvas_pixels=True),
+        )
+        age, gender = models
+        client.start_app(make_demographics_app(age, gender), presend=True)
+        client.runtime.globals["pending_pixels"] = pixels
+        client.runtime.dispatch("click", "load_btn")
+        client.mark_offload_point("click", "infer_btn")
+        sim.run()  # both uploads finish and ACK
+        assert server.store.has_complete(age.model_id)
+        assert server.store.has_complete(gender.model_id)
+
+        client.runtime.dispatch("click", "infer_btn")
+        event = client.take_intercepted()
+        costs = network_costs(age.network) + network_costs(gender.network)
+        process = sim.spawn(client.offload(event, server_costs=costs))
+        sim.run()
+        assert process.ok, process.value
+        expected_age, expected_gender = expected_labels(models, pixels)
+        assert client.runtime.globals["age_label"] == expected_age
+        assert client.runtime.globals["gender_label"] == expected_gender
+        # The snapshot referenced both models but contained neither.
+        snapshot = process.value.snapshot
+        assert set(snapshot.model_refs) == {"age", "gender"}
+        assert snapshot.size_bytes < (age.total_bytes + gender.total_bytes) / 2
+
+    def test_offload_before_ack_ships_both(self, models, pixels):
+        sim = Simulator()
+        channel = Channel(
+            sim, "client", "edge", NetemProfile(bandwidth_bps=1e6)
+        )  # slow: nothing pre-sent yet
+        server = EdgeServer(sim, Device(sim, edge_server_x86()), name="edge")
+        server.serve(channel.end_b)
+        client = ClientAgent(
+            sim,
+            Device(sim, odroid_xu4_client()),
+            channel.end_a,
+            capture_options=CaptureOptions(include_canvas_pixels=True),
+        )
+        age, gender = models
+        client.start_app(make_demographics_app(age, gender), presend=True)
+        client.runtime.globals["pending_pixels"] = pixels
+        client.runtime.dispatch("click", "load_btn")
+        client.mark_offload_point("click", "infer_btn")
+        client.runtime.dispatch("click", "infer_btn")
+        event = client.take_intercepted()
+        costs = network_costs(age.network) + network_costs(gender.network)
+        process = sim.spawn(client.offload(event, server_costs=costs))
+        sim.run()
+        assert process.ok, process.value
+        outcome = process.value
+        assert outcome.delivery_bytes > 0.5 * (age.total_bytes + gender.total_bytes)
+        expected_age, expected_gender = expected_labels(models, pixels)
+        assert client.runtime.globals["age_label"] == expected_age
+        assert client.runtime.globals["gender_label"] == expected_gender

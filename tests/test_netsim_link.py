@@ -1,0 +1,172 @@
+"""Unit tests for links, shaping profiles and message sizing."""
+
+import pytest
+
+from repro.netsim.link import Link, LinkDown, NetemProfile
+from repro.netsim.message import FRAME_OVERHEAD_BYTES, Message, payload_size
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestPayloadSize:
+    def test_none_is_zero(self):
+        assert payload_size(None) == 0
+
+    def test_bytes(self):
+        assert payload_size(b"abcd") == 4
+
+    def test_str_utf8(self):
+        assert payload_size("héllo") == 6
+
+    def test_numbers(self):
+        assert payload_size(3) == 8
+        assert payload_size(2.5) == 8
+        assert payload_size(True) == 1
+
+    def test_object_with_size_bytes_attribute(self):
+        class Blob:
+            size_bytes = 1000
+
+        assert payload_size(Blob()) == 1000
+
+    def test_object_with_size_bytes_method(self):
+        class Blob:
+            def size_bytes(self):
+                return 123
+
+        assert payload_size(Blob()) == 123
+
+    def test_containers(self):
+        assert payload_size([b"ab", b"c"]) == 3
+        assert payload_size({"k": b"vv"}) == 1 + 2
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            payload_size(object())
+
+
+class TestMessage:
+    def test_auto_size_includes_frame_overhead(self):
+        message = Message(kind="PING", payload=b"x" * 100)
+        assert message.size_bytes == 100 + FRAME_OVERHEAD_BYTES
+
+    def test_explicit_size_wins(self):
+        message = Message(kind="BLOB", payload=b"x", size_bytes=5000)
+        assert message.size_bytes == 5000
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Message(kind="BAD", size_bytes=-1)
+
+    def test_ids_are_unique(self):
+        first = Message(kind="A")
+        second = Message(kind="B")
+        assert first.msg_id != second.msg_id
+
+
+class TestNetemProfile:
+    def test_transfer_seconds(self):
+        profile = NetemProfile(bandwidth_bps=8e6, latency_s=0.5)
+        # 1 MB at 8 Mbps = 1 second serialization + 0.5 latency.
+        assert profile.transfer_seconds(1_000_000) == pytest.approx(1.5)
+
+    def test_paper_wifi_preset(self):
+        profile = NetemProfile.wifi_30mbps()
+        assert profile.bandwidth_bps == 30e6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetemProfile(bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            NetemProfile(latency_s=-1)
+        with pytest.raises(ValueError):
+            NetemProfile(loss=1.0)
+
+    def test_with_bandwidth_is_functional(self):
+        base = NetemProfile.wifi_30mbps()
+        fast = base.with_bandwidth(60e6)
+        assert base.bandwidth_bps == 30e6
+        assert fast.bandwidth_bps == 60e6
+        assert fast.latency_s == base.latency_s
+
+
+class TestLink:
+    def _send(self, sim, link, size_bytes, kind="DATA"):
+        delivered = []
+        message = Message(kind=kind, size_bytes=size_bytes)
+        event = link.transmit(message, delivered.append)
+        return event, delivered
+
+    def test_delivery_time_matches_profile(self, sim):
+        profile = NetemProfile(bandwidth_bps=8e6, latency_s=0.25)
+        link = Link(sim, profile)
+        event, delivered = self._send(sim, link, 1_000_000)
+        sim.run()
+        assert delivered[0].delivered_at == pytest.approx(1.25)
+        assert event.ok
+
+    def test_fifo_serialization_queues_second_message(self, sim):
+        profile = NetemProfile(bandwidth_bps=8e6, latency_s=0.0)
+        link = Link(sim, profile)
+        _, delivered_a = self._send(sim, link, 1_000_000, kind="A")
+        _, delivered_b = self._send(sim, link, 1_000_000, kind="B")
+        sim.run()
+        # Second message waits for the first one's serialization to finish.
+        assert delivered_a[0].delivered_at == pytest.approx(1.0)
+        assert delivered_b[0].delivered_at == pytest.approx(2.0)
+
+    def test_down_link_fails_event(self, sim):
+        link = Link(sim, NetemProfile.wifi_30mbps())
+        link.go_down()
+        event, delivered = self._send(sim, link, 1000)
+        sim.run()
+        assert event.ok is False
+        assert isinstance(event.value, LinkDown)
+        assert delivered == []
+
+    def test_link_down_in_flight_drops_message(self, sim):
+        profile = NetemProfile(bandwidth_bps=8e6, latency_s=0.0)
+        link = Link(sim, profile)
+        event, delivered = self._send(sim, link, 1_000_000)  # delivers at 1.0
+        sim.schedule(0.5, link.go_down)
+        sim.run()
+        assert event.ok is False
+        assert delivered == []
+        assert link.dropped_count == 1
+
+    def test_total_loss_never_delivers(self, sim):
+        profile = NetemProfile(bandwidth_bps=8e6, loss=0.999999)
+        link = Link(sim, profile)
+        failures = 0
+        for _ in range(20):
+            event, delivered = self._send(sim, link, 1000)
+            sim.run()
+            if event.ok is False:
+                failures += 1
+        assert failures >= 19  # overwhelmingly lost
+
+    def test_estimated_transfer_includes_queueing(self, sim):
+        profile = NetemProfile(bandwidth_bps=8e6, latency_s=0.0)
+        link = Link(sim, profile)
+        self._send(sim, link, 1_000_000)  # occupies wire until t=1.0
+        estimate = link.estimated_transfer_seconds(1_000_000)
+        assert estimate == pytest.approx(2.0)
+
+    def test_set_bandwidth_affects_future_transfers(self, sim):
+        profile = NetemProfile(bandwidth_bps=8e6, latency_s=0.0)
+        link = Link(sim, profile)
+        link.set_bandwidth(16e6)
+        _, delivered = self._send(sim, link, 1_000_000)
+        sim.run()
+        assert delivered[0].delivered_at == pytest.approx(0.5)
+
+    def test_counters(self, sim):
+        link = Link(sim, NetemProfile(bandwidth_bps=8e6))
+        self._send(sim, link, 500)
+        sim.run()
+        assert link.delivered_count == 1
+        assert link.bytes_sent == 500

@@ -1,0 +1,88 @@
+"""Tests for time-varying network shaping."""
+
+import pytest
+
+from repro.netsim import Channel, NetemProfile
+from repro.netsim.variability import BandwidthSchedule, random_walk_schedule
+from repro.sim import SeededRng, Simulator
+
+
+def profile(mbps: float) -> NetemProfile:
+    return NetemProfile(bandwidth_bps=mbps * 1e6, latency_s=0.001)
+
+
+class TestBandwidthSchedule:
+    def test_profile_at_piecewise_lookup(self):
+        schedule = BandwidthSchedule(
+            steps=((0.0, profile(30)), (10.0, profile(5)), (20.0, profile(50)))
+        )
+        assert schedule.profile_at(0.0).bandwidth_bps == 30e6
+        assert schedule.profile_at(9.9).bandwidth_bps == 30e6
+        assert schedule.profile_at(10.0).bandwidth_bps == 5e6
+        assert schedule.profile_at(25.0).bandwidth_bps == 50e6
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthSchedule(steps=())
+
+    def test_unordered_steps_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthSchedule(steps=((5.0, profile(1)), (1.0, profile(2))))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthSchedule(steps=((-1.0, profile(1)),))
+
+    def test_apply_reshapes_channel_over_time(self):
+        sim = Simulator()
+        channel = Channel(sim, "a", "b", profile(30))
+        schedule = BandwidthSchedule(steps=((0.0, profile(30)), (5.0, profile(2))))
+        schedule.apply(sim, channel.set_profile)
+        sim.run(until=1.0)
+        assert channel.link_ab.profile.bandwidth_bps == 30e6
+        sim.run(until=6.0)
+        assert channel.link_ab.profile.bandwidth_bps == 2e6
+
+    def test_reshape_affects_future_transfers_only(self):
+        sim = Simulator()
+        channel = Channel(sim, "a", "b", profile(8))  # 1 MB/s
+        schedule = BandwidthSchedule(steps=((0.5, profile(80)),))
+        schedule.apply(sim, channel.set_profile)
+        first = channel.end_a.send("EARLY", size_bytes=1_000_000)
+        sim.run()
+        # Started before the reshape: finishes at the old rate (~1s).
+        assert first.value.delivered_at == pytest.approx(1.0, abs=0.01)
+        # Sent after the reshape: 10x faster serialization.
+        second = channel.end_a.send("LATE", size_bytes=1_000_000)
+        sim.run()
+        assert second.value.delivered_at == pytest.approx(1.102, abs=0.01)
+
+
+class TestRandomWalk:
+    def test_deterministic_per_seed(self):
+        a = random_walk_schedule(SeededRng(1, "w"))
+        b = random_walk_schedule(SeededRng(1, "w"))
+        assert a.steps == b.steps
+
+    def test_bounds_respected(self):
+        schedule = random_walk_schedule(
+            SeededRng(2, "w"), min_mbps=3.0, max_mbps=40.0, fade_mbps=3.0
+        )
+        for _time, step_profile in schedule.steps:
+            assert 3.0e6 <= step_profile.bandwidth_bps <= 40.0e6
+
+    def test_duration_and_step(self):
+        schedule = random_walk_schedule(SeededRng(3, "w"), duration_s=30, step_s=10)
+        times = [time for time, _ in schedule.steps]
+        assert times == [0.0, 10.0, 20.0, 30.0]
+
+    def test_fades_occur(self):
+        schedule = random_walk_schedule(
+            SeededRng(4, "w"),
+            duration_s=500,
+            fade_probability=0.3,
+            fade_mbps=1.0,
+            min_mbps=1.0,
+        )
+        rates = [p.bandwidth_bps for _, p in schedule.steps]
+        assert min(rates) == pytest.approx(1e6)

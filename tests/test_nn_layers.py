@@ -1,0 +1,266 @@
+"""Unit tests for individual layer semantics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    ConvLayer,
+    DropoutLayer,
+    FCLayer,
+    InceptionModule,
+    InputLayer,
+    LRNLayer,
+    PoolLayer,
+    ReLULayer,
+    SoftmaxLayer,
+)
+from repro.nn.layers.base import LayerShapeError
+from repro.nn.tensor import conv_output_hw, pool_output_hw
+from repro.sim import SeededRng
+
+
+RNG = SeededRng(0, "layer-tests")
+
+
+def build(layer, shape):
+    layer.build(shape, RNG.child(layer.name))
+    return layer
+
+
+class TestShapes:
+    def test_conv_floor_formula(self):
+        assert conv_output_hw(224, 224, kernel=7, stride=2, pad=3) == (112, 112)
+        assert conv_output_hw(227, 227, kernel=7, stride=4, pad=0) == (56, 56)
+
+    def test_pool_ceil_formula(self):
+        # Caffe ceil mode: (112 - 3) / 2 -> ceil(54.5) + 1 = 56
+        assert pool_output_hw(112, 112, kernel=3, stride=2) == (56, 56)
+        assert pool_output_hw(56, 56, kernel=3, stride=2) == (28, 28)
+        assert pool_output_hw(14, 14, kernel=3, stride=2) == (7, 7)
+
+    def test_pool_pad_clamp(self):
+        # Padded pooling must not create a window starting outside the image.
+        out_h, out_w = pool_output_hw(28, 28, kernel=3, stride=1, pad=1)
+        assert (out_h, out_w) == (28, 28)
+
+    def test_conv_too_large_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            conv_output_hw(4, 4, kernel=7, stride=1, pad=0)
+
+
+class TestInputLayer:
+    def test_identity_forward(self):
+        layer = build(InputLayer((3, 4, 4)), (3, 4, 4))
+        x = np.ones((3, 4, 4), dtype=np.float32)
+        assert np.array_equal(layer.forward(x), x)
+
+    def test_shape_mismatch_rejected(self):
+        layer = InputLayer((3, 4, 4))
+        with pytest.raises(LayerShapeError):
+            layer.build((3, 5, 5), RNG)
+
+    def test_bad_declared_shape_rejected(self):
+        with pytest.raises(LayerShapeError):
+            InputLayer((3, 0, 4))
+
+
+class TestConvLayer:
+    def test_output_shape_and_params(self):
+        layer = build(ConvLayer("c", 8, kernel=3, pad=1), (3, 10, 10))
+        assert layer.out_shape == (8, 10, 10)
+        assert layer.params["weight"].shape == (8, 3, 3, 3)
+        assert layer.param_count == 8 * 3 * 3 * 3 + 8
+
+    def test_matches_naive_convolution(self):
+        layer = build(ConvLayer("c", 2, kernel=3, stride=2, pad=1), (2, 7, 7))
+        x = SeededRng(1, "x").normal_array((2, 7, 7))
+        out = layer.forward(x)
+        weight, bias = layer.params["weight"], layer.params["bias"]
+        padded = np.pad(x, ((0, 0), (1, 1), (1, 1)))
+        for f in range(2):
+            for i in range(out.shape[1]):
+                for j in range(out.shape[2]):
+                    patch = padded[:, i * 2 : i * 2 + 3, j * 2 : j * 2 + 3]
+                    expected = (patch * weight[f]).sum() + bias[f]
+                    assert out[f, i, j] == pytest.approx(expected, rel=1e-4)
+
+    def test_flops_formula(self):
+        layer = build(ConvLayer("c", 4, kernel=3), (2, 6, 6))
+        # out 4x4x4; 2 * F*C*k*k per output element
+        assert layer.count_flops() == 2 * 4 * 2 * 9 * 16
+
+    def test_bias_applied(self):
+        layer = build(ConvLayer("c", 1, kernel=1), (1, 2, 2))
+        layer.params["weight"][:] = 0.0
+        layer.params["bias"][:] = 3.0
+        out = layer.forward(np.ones((1, 2, 2), dtype=np.float32))
+        assert np.allclose(out, 3.0)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(LayerShapeError):
+            ConvLayer("c", 0, kernel=3)
+        with pytest.raises(LayerShapeError):
+            ConvLayer("c", 1, kernel=3, stride=0)
+
+    def test_wrong_input_shape_rejected(self):
+        layer = build(ConvLayer("c", 2, kernel=3), (3, 8, 8))
+        with pytest.raises(LayerShapeError):
+            layer.forward(np.zeros((3, 9, 9), dtype=np.float32))
+
+
+class TestPoolLayer:
+    def test_max_pooling_values(self):
+        layer = build(PoolLayer("p", kernel=2, stride=2), (1, 4, 4))
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4)
+        out = layer.forward(x)
+        assert out.shape == (1, 2, 2)
+        assert out.tolist() == [[[5.0, 7.0], [13.0, 15.0]]]
+
+    def test_avg_pooling_values(self):
+        layer = build(PoolLayer("p", kernel=2, stride=2, mode="avg"), (1, 4, 4))
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4)
+        out = layer.forward(x)
+        assert out.tolist() == [[[2.5, 4.5], [10.5, 12.5]]]
+
+    def test_ceil_mode_partial_window(self):
+        layer = build(PoolLayer("p", kernel=3, stride=2), (1, 6, 6))
+        x = np.arange(36, dtype=np.float32).reshape(1, 6, 6)
+        out = layer.forward(x)
+        # ceil((6-3)/2)+1 = 3 outputs; the last window is clipped at the edge
+        assert out.shape == (1, 3, 3)
+        assert out[0, 2, 2] == 35.0
+
+    def test_padded_max_pool_ignores_padding(self):
+        layer = build(PoolLayer("p", kernel=3, stride=1, pad=1), (1, 3, 3))
+        x = -np.ones((1, 3, 3), dtype=np.float32)
+        out = layer.forward(x)
+        # All-negative input: padding zeros must not win the max.
+        assert out.max() == pytest.approx(-1.0)
+
+    def test_output_never_larger_than_input(self):
+        layer = build(PoolLayer("p", kernel=3, stride=2), (8, 28, 28))
+        assert layer.output_elements < 8 * 28 * 28
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(LayerShapeError):
+            PoolLayer("p", kernel=2, stride=2, mode="median")
+
+
+class TestFCLayer:
+    def test_flattens_input(self):
+        layer = build(FCLayer("fc", 5), (2, 3, 3))
+        assert layer.in_features == 18
+        out = layer.forward(np.ones((2, 3, 3), dtype=np.float32))
+        assert out.shape == (5,)
+
+    def test_matches_matmul(self):
+        layer = build(FCLayer("fc", 3), (4,))
+        x = np.array([1.0, 2.0, 3.0, 4.0], dtype=np.float32)
+        expected = layer.params["weight"] @ x + layer.params["bias"]
+        assert np.allclose(layer.forward(x), expected)
+
+    def test_flops(self):
+        layer = build(FCLayer("fc", 10), (20,))
+        assert layer.count_flops() == 2 * 20 * 10
+
+    def test_zero_features_rejected(self):
+        with pytest.raises(LayerShapeError):
+            FCLayer("fc", 0)
+
+
+class TestActivations:
+    def test_relu(self):
+        layer = build(ReLULayer("r"), (1, 2, 2))
+        x = np.array([[[-1.0, 2.0], [0.0, -3.0]]], dtype=np.float32)
+        assert layer.forward(x).tolist() == [[[0.0, 2.0], [0.0, 0.0]]]
+
+    def test_dropout_is_identity_at_inference(self):
+        layer = build(DropoutLayer("d", rate=0.5), (3,))
+        x = np.array([1.0, -2.0, 3.0], dtype=np.float32)
+        assert np.array_equal(layer.forward(x), x)
+
+    def test_dropout_rate_validated(self):
+        with pytest.raises(LayerShapeError):
+            DropoutLayer("d", rate=1.0)
+
+    def test_softmax_sums_to_one(self):
+        layer = build(SoftmaxLayer("s"), (10,))
+        out = layer.forward(SeededRng(2, "s").normal_array((10,), 5.0))
+        assert out.sum() == pytest.approx(1.0, rel=1e-5)
+        assert (out >= 0).all()
+
+    def test_softmax_numerically_stable(self):
+        layer = build(SoftmaxLayer("s"), (3,))
+        out = layer.forward(np.array([1000.0, 1000.0, 1000.0], dtype=np.float32))
+        assert np.allclose(out, [1 / 3] * 3, atol=1e-5)
+
+
+class TestLRN:
+    def test_matches_naive_formula(self):
+        layer = build(LRNLayer("n", local_size=3, alpha=2.0, beta=0.5, k=1.0), (4, 2, 2))
+        x = SeededRng(3, "lrn").normal_array((4, 2, 2))
+        out = layer.forward(x)
+        for c in range(4):
+            lo, hi = max(0, c - 1), min(4, c + 2)
+            window = (x[lo:hi] ** 2).sum(axis=0)
+            expected = x[c] / (1.0 + (2.0 / 3) * window) ** 0.5
+            assert np.allclose(out[c], expected, atol=1e-5)
+
+    def test_even_local_size_rejected(self):
+        with pytest.raises(LayerShapeError):
+            LRNLayer("n", local_size=4)
+
+    def test_preserves_shape(self):
+        layer = build(LRNLayer("n"), (8, 5, 5))
+        assert layer.out_shape == (8, 5, 5)
+
+
+class TestInceptionModule:
+    def _module(self):
+        return InceptionModule(
+            "inc",
+            branches=[
+                [ConvLayer("a_1x1", 4, kernel=1), ReLULayer("a_relu")],
+                [ConvLayer("b_3x3", 6, kernel=3, pad=1), ReLULayer("b_relu")],
+                [PoolLayer("c_pool", kernel=3, stride=1, pad=1)],
+            ],
+        )
+
+    def test_channel_concat(self):
+        module = self._module()
+        module.build((3, 8, 8), RNG.child("inc"))
+        assert module.out_shape == (4 + 6 + 3, 8, 8)
+        x = SeededRng(4, "inc").normal_array((3, 8, 8))
+        out = module.forward(x)
+        assert out.shape == (13, 8, 8)
+        # The pool branch output must appear verbatim in the concat tail.
+        pool_out = module.branches[2][0].forward(x)
+        assert np.allclose(out[10:], pool_out)
+
+    def test_mismatched_spatial_dims_rejected(self):
+        module = InceptionModule(
+            "bad",
+            branches=[
+                [ConvLayer("a", 2, kernel=1)],
+                [ConvLayer("b", 2, kernel=3)],  # shrinks without padding
+            ],
+        )
+        with pytest.raises(LayerShapeError):
+            module.build((3, 8, 8), RNG)
+
+    def test_param_count_sums_branches(self):
+        module = self._module()
+        module.build((3, 8, 8), RNG.child("inc2"))
+        expected = sum(layer.param_count for layer in module.inner_layers())
+        assert module.param_count == expected
+        assert module.param_count > 0
+
+    def test_empty_branches_rejected(self):
+        with pytest.raises(LayerShapeError):
+            InceptionModule("bad", branches=[])
+
+    def test_flops_include_concat_copy(self):
+        module = self._module()
+        module.build((3, 8, 8), RNG.child("inc3"))
+        inner = sum(layer.count_flops() for layer in module.inner_layers())
+        assert module.count_flops() == inner + 13 * 8 * 8

@@ -1,0 +1,266 @@
+"""Tests for Caffe prototxt parsing/emission and grouped convolutions."""
+
+import numpy as np
+import pytest
+
+from repro.nn.cost import total_flops
+from repro.nn.layers import ConvLayer
+from repro.nn.layers.base import LayerShapeError
+from repro.nn.prototxt import (
+    PrototxtError,
+    network_from_prototxt,
+    network_to_prototxt,
+    parse_text,
+)
+from repro.nn.zoo import agenet, alexnet, googlenet
+from repro.sim import SeededRng
+
+
+class TestTextFormat:
+    def test_scalar_fields(self):
+        root = parse_text('name: "net"\ncount: 3\nratio: 0.5\nflag: true\n')
+        assert root["name"] == ["net"]
+        assert root["count"] == [3]
+        assert root["ratio"] == [0.5]
+        assert root["flag"] == [True]
+
+    def test_nested_messages(self):
+        root = parse_text("layer { name: \"c\" param { num: 1 } }")
+        layer = root["layer"][0]
+        assert layer["name"] == ["c"]
+        assert layer["param"][0]["num"] == [1]
+
+    def test_repeated_fields(self):
+        root = parse_text('bottom: "a"\nbottom: "b"\n')
+        assert root["bottom"] == ["a", "b"]
+
+    def test_comments_ignored(self):
+        root = parse_text("# header\ncount: 1 # trailing\n")
+        assert root["count"] == [1]
+
+    def test_enums(self):
+        root = parse_text("pool: MAX\n")
+        assert root["pool"] == ["MAX"]
+
+    def test_block_without_colon(self):
+        root = parse_text("shape { dim: 1 dim: 3 }")
+        assert root["shape"][0]["dim"] == [1, 3]
+
+    def test_unclosed_brace_rejected(self):
+        with pytest.raises(PrototxtError):
+            parse_text("layer { name: \"x\"")
+
+    def test_stray_brace_rejected(self):
+        with pytest.raises(PrototxtError):
+            parse_text("}")
+
+
+HANDWRITTEN = '''
+name: "MiniNet"
+# classic deploy-style input declaration
+input: "data"
+input_dim: 1
+input_dim: 3
+input_dim: 16
+input_dim: 16
+layer {
+  name: "conv1"
+  type: "Convolution"
+  bottom: "data"
+  top: "conv1"
+  convolution_param { num_output: 4 kernel_size: 3 pad: 1 }
+}
+layer {
+  name: "relu1"
+  type: "ReLU"
+  bottom: "conv1"
+  top: "conv1"   # in-place, like real Caffe files
+}
+layer {
+  name: "pool1"
+  type: "Pooling"
+  bottom: "conv1"
+  top: "pool1"
+  pooling_param { pool: MAX kernel_size: 2 stride: 2 }
+}
+layer {
+  name: "fc"
+  type: "InnerProduct"
+  bottom: "pool1"
+  top: "fc"
+  inner_product_param { num_output: 5 }
+}
+layer {
+  name: "prob"
+  type: "Softmax"
+  bottom: "fc"
+  top: "prob"
+}
+'''
+
+
+class TestParseNetwork:
+    def test_handwritten_deploy_file(self):
+        network = network_from_prototxt(HANDWRITTEN)
+        assert network.name == "MiniNet"
+        assert [l.kind for l in network.layers] == [
+            "input", "conv", "relu", "pool", "fc", "softmax",
+        ]
+        assert network.output_shape == (5,)
+        probs = network.forward(
+            SeededRng(0, "p").uniform_array((3, 16, 16), 0, 255)
+        )
+        assert probs.sum() == pytest.approx(1.0, rel=1e-4)
+
+    def test_input_layer_style(self):
+        text = '''
+        layer {
+          name: "data" type: "Input" top: "data"
+          input_param { shape { dim: 1 dim: 3 dim: 8 dim: 8 } }
+        }
+        layer {
+          name: "conv" type: "Convolution" bottom: "data" top: "conv"
+          convolution_param { num_output: 2 kernel_size: 3 }
+        }
+        '''
+        network = network_from_prototxt(text)
+        assert network.input_shape == (3, 8, 8)
+        assert network.output_shape == (2, 6, 6)
+
+    def test_global_pooling(self):
+        text = '''
+        input: "data"
+        input_dim: 1 input_dim: 4 input_dim: 7 input_dim: 7
+        layer {
+          name: "gap" type: "Pooling" bottom: "data" top: "gap"
+          pooling_param { pool: AVE global_pooling: true }
+        }
+        '''
+        network = network_from_prototxt(text)
+        assert network.output_shape == (4, 1, 1)
+
+    def test_missing_input_rejected(self):
+        with pytest.raises(PrototxtError):
+            network_from_prototxt('layer { name: "x" type: "ReLU" }')
+
+    def test_unknown_type_rejected(self):
+        text = '''
+        input: "data"
+        input_dim: 1 input_dim: 3 input_dim: 8 input_dim: 8
+        layer { name: "w" type: "Warp" bottom: "data" top: "w" }
+        '''
+        with pytest.raises(PrototxtError):
+            network_from_prototxt(text)
+
+    def test_unreachable_layer_rejected(self):
+        text = HANDWRITTEN + '''
+        layer {
+          name: "orphan" type: "ReLU" bottom: "nowhere" top: "orphan"
+        }
+        '''
+        with pytest.raises(PrototxtError):
+            network_from_prototxt(text)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("builder", [agenet, alexnet, googlenet])
+    def test_zoo_roundtrip_preserves_architecture(self, builder):
+        model = builder()
+        text = network_to_prototxt(model.network)
+        rebuilt = network_from_prototxt(text)
+        assert [l.kind for l in rebuilt.layers] == [
+            l.kind for l in model.network.layers
+        ]
+        assert rebuilt.param_count == model.network.param_count
+        assert rebuilt.output_shape == model.network.output_shape
+        assert total_flops(rebuilt) == pytest.approx(total_flops(model.network))
+
+    def test_googlenet_inceptions_reconstructed(self):
+        text = network_to_prototxt(googlenet().network)
+        rebuilt = network_from_prototxt(text)
+        inceptions = [l for l in rebuilt.layers if l.kind == "inception"]
+        assert len(inceptions) == 9
+        assert inceptions[0].out_shape == (256, 28, 28)
+        # Branch order preserved: 1x1 first, pool-proj last.
+        assert len(inceptions[0].branches) == 4
+
+    def test_double_roundtrip_stable(self):
+        text1 = network_to_prototxt(agenet().network)
+        text2 = network_to_prototxt(network_from_prototxt(text1))
+        assert text1 == text2
+
+    def test_emit_requires_built_network(self):
+        from repro.nn.zoo.smallnet import smallnet_network
+
+        with pytest.raises(PrototxtError):
+            network_to_prototxt(smallnet_network())
+
+
+class TestGroupedConvolution:
+    def test_group_shapes_and_params(self):
+        layer = ConvLayer("c", 8, kernel=3, pad=1, groups=2)
+        layer.build((4, 6, 6), SeededRng(0, "g"))
+        assert layer.out_shape == (8, 6, 6)
+        # Each filter only sees C/groups input channels.
+        assert layer.params["weight"].shape == (8, 2, 3, 3)
+
+    def test_group_forward_matches_manual_split(self):
+        layer = ConvLayer("c", 4, kernel=1, groups=2)
+        layer.build((4, 3, 3), SeededRng(1, "g"))
+        x = SeededRng(2, "x").normal_array((4, 3, 3))
+        out = layer.forward(x)
+        weight, bias = layer.params["weight"], layer.params["bias"]
+        for f in range(4):
+            group = f // 2
+            x_slice = x[group * 2 : (group + 1) * 2]
+            expected = (weight[f][:, 0, 0][:, None, None] * x_slice).sum(axis=0) + bias[f]
+            assert np.allclose(out[f], expected, atol=1e-5)
+
+    def test_groups_halve_flops(self):
+        plain = ConvLayer("a", 8, kernel=3, pad=1, groups=1)
+        grouped = ConvLayer("b", 8, kernel=3, pad=1, groups=2)
+        plain.build((4, 6, 6), SeededRng(3, "g"))
+        grouped.build((4, 6, 6), SeededRng(3, "g"))
+        assert grouped.count_flops() == plain.count_flops() / 2
+
+    def test_invalid_groups_rejected(self):
+        with pytest.raises(LayerShapeError):
+            ConvLayer("c", 8, kernel=3, groups=3)  # 3 does not divide 8
+        layer = ConvLayer("c", 8, kernel=3, groups=2)
+        with pytest.raises(LayerShapeError):
+            layer.build((3, 6, 6), SeededRng(0, "g"))  # 2 does not divide 3
+
+
+class TestAlexNet:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return alexnet()
+
+    def test_canonical_shapes(self, model):
+        from repro.nn.cost import spine_costs
+
+        by_name = {p.name: p for p in spine_costs(model.network)}
+        assert by_name["conv1"].output_shape == (96, 55, 55)
+        assert by_name["pool1"].output_shape == (96, 27, 27)
+        assert by_name["conv2"].output_shape == (256, 27, 27)
+        assert by_name["pool5"].output_shape == (256, 6, 6)
+
+    def test_233mb_model(self, model):
+        # bvlc_alexnet.caffemodel is ~233 MB (61M params).
+        assert model.network.param_count == pytest.approx(61e6, rel=0.01)
+        assert 230 < model.size_mib < 235
+
+    def test_flops(self, model):
+        assert total_flops(model.network) == pytest.approx(1.45e9, rel=0.1)
+
+    def test_forward_distribution(self, model):
+        x = SeededRng(4, "a").uniform_array((3, 227, 227), 0, 255)
+        probs = model.inference(x)
+        assert probs.shape == (1000,)
+        assert probs.sum() == pytest.approx(1.0, rel=1e-4)
+
+    def test_grouped_conv_split_inference_consistent(self, model):
+        x = SeededRng(5, "a").uniform_array((3, 227, 227), 0, 255)
+        point = model.network.point_by_label("2nd_conv")  # the grouped conv
+        halves = model.network.split(point.index)
+        assert np.allclose(halves.forward(x), model.inference(x), atol=1e-4)

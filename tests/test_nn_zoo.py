@@ -1,0 +1,128 @@
+"""Tests pinning the zoo architectures to the paper's reported numbers.
+
+These are the reproduction's anchor facts: Fig. 1's feature dimensions, the
+27 / 44 / 44 MB model sizes in Table 1, and the conv-surge / pool-dip
+feature sizes behind Fig. 8.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.cost import spine_costs, total_flops
+from repro.nn.zoo import agenet, build_model, gendernet, googlenet
+from repro.sim import SeededRng
+
+
+@pytest.fixture(scope="module")
+def gnet():
+    return googlenet()
+
+
+@pytest.fixture(scope="module")
+def anet():
+    return agenet()
+
+
+class TestGoogLeNetArchitecture:
+    def test_fig1_spine_shapes(self, gnet):
+        by_name = {p.name: p for p in spine_costs(gnet.network)}
+        assert by_name["input"].output_shape == (3, 224, 224)
+        assert by_name["conv1_7x7_s2"].output_shape == (64, 112, 112)
+        # Fig. 1's "56x56x64" checkpoint.
+        assert by_name["pool1_3x3_s2"].output_shape == (64, 56, 56)
+        assert by_name["pool2_3x3_s2"].output_shape == (192, 28, 28)
+        assert by_name["inception_3a"].output_shape == (256, 28, 28)
+        assert by_name["inception_3b"].output_shape == (480, 28, 28)
+        assert by_name["pool4_3x3_s2"].output_shape == (832, 7, 7)
+        assert by_name["inception_5b"].output_shape == (1024, 7, 7)
+        assert by_name["pool5_7x7_s1"].output_shape == (1024, 1, 1)
+
+    def test_classifies_to_1000_labels(self, gnet):
+        assert gnet.network.output_shape == (1000,)
+
+    def test_param_count_matches_27mb_model(self, gnet):
+        # bvlc GoogLeNet deploy model: ~7.0M params -> ~27 MB file.
+        assert gnet.network.param_count == pytest.approx(7.0e6, rel=0.02)
+        assert 26.0 < gnet.size_mib < 28.0
+
+    def test_flops_in_known_range(self, gnet):
+        # ~1.5 GMACs = ~3 GFLOPs for GoogLeNet inference.
+        assert total_flops(gnet.network) == pytest.approx(3.2e9, rel=0.1)
+
+    def test_forward_produces_distribution(self, gnet):
+        x = SeededRng(9, "img").uniform_array((3, 224, 224), 0, 255)
+        probs = gnet.inference(x)
+        assert probs.shape == (1000,)
+        assert probs.sum() == pytest.approx(1.0, rel=1e-4)
+        assert (probs >= 0).all()
+
+    def test_feature_surge_at_conv_dip_at_pool(self, gnet):
+        """The Fig. 8 observation: 14.7 MB at 1st_conv vs 2.9 MB at 1st_pool."""
+        by_name = {p.name: p for p in spine_costs(gnet.network)}
+        conv_bytes = by_name["conv1_7x7_s2"].feature_text_bytes
+        pool_bytes = by_name["pool1_3x3_s2"].feature_text_bytes
+        # Absolute sizes within ~25% of the paper's numbers...
+        assert conv_bytes / 1e6 == pytest.approx(14.7, rel=0.25)
+        assert pool_bytes / 1e6 == pytest.approx(2.9, rel=0.35)
+        # ...and the shape claim: pooling shrinks the feature ~4-5x.
+        assert 3.5 < conv_bytes / pool_bytes < 5.5
+
+    def test_inception_count(self, gnet):
+        inception = [l for l in gnet.network.layers if l.kind == "inception"]
+        assert len(inception) == 9
+
+
+class TestLeviHassnerNets:
+    def test_agenet_spine_shapes(self, anet):
+        by_name = {p.name: p for p in spine_costs(anet.network)}
+        assert by_name["conv1"].output_shape == (96, 56, 56)
+        assert by_name["pool1"].output_shape == (96, 28, 28)
+        assert by_name["conv2"].output_shape == (256, 28, 28)
+        assert by_name["pool2"].output_shape == (256, 14, 14)
+        assert by_name["conv3"].output_shape == (384, 14, 14)
+        assert by_name["pool3"].output_shape == (384, 7, 7)
+
+    def test_agenet_8_classes_gendernet_2(self, anet):
+        assert anet.network.output_shape == (8,)
+        assert gendernet().network.output_shape == (2,)
+
+    def test_model_sizes_match_44mb(self, anet):
+        # Paper Table 1: AgeNet / GenderNet model = 44 MB.
+        assert 42.5 < anet.size_mib < 45.0
+        assert 42.5 < gendernet().size_mib < 45.0
+
+    def test_backbones_share_architecture(self, anet):
+        gnet = gendernet()
+        age_kinds = [l.kind for l in anet.network.layers]
+        gender_kinds = [l.kind for l in gnet.network.layers]
+        assert age_kinds == gender_kinds
+
+    def test_fc6_dominates_parameters(self, anet):
+        fc6 = next(l for l in anet.network.layers if l.name == "fc6")
+        assert fc6.param_count > 0.6 * anet.network.param_count
+
+    def test_agenet_forward(self, anet):
+        x = SeededRng(10, "img").uniform_array((3, 227, 227), 0, 255)
+        probs = anet.inference(x)
+        assert probs.sum() == pytest.approx(1.0, rel=1e-4)
+
+
+class TestBuilders:
+    def test_build_model_by_name(self):
+        model = build_model("smallnet")
+        assert model.name == "smallnet"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            build_model("resnet-9000")
+
+    def test_paper_models_constant(self):
+        from repro.nn.zoo import PAPER_MODELS
+
+        assert PAPER_MODELS == ("googlenet", "agenet", "gendernet")
+
+    def test_seeded_builds_reproducible(self):
+        a = build_model("tinynet", seed=5)
+        b = build_model("tinynet", seed=5)
+        x = SeededRng(11, "x").normal_array((1, 8, 8))
+        assert np.array_equal(a.inference(x), b.inference(x))

@@ -1,0 +1,111 @@
+"""Tests for the multivariate latency predictor vs the flops-only model."""
+
+import pytest
+
+from repro.devices import Device, DeviceProfile, odroid_xu4_client
+from repro.devices.predictor import (
+    LatencyPredictor,
+    MultivariatePredictor,
+    prediction_error,
+    profile_device,
+)
+from repro.nn.cost import network_costs
+from repro.nn.zoo import smallnet
+from repro.sim import SeededRng, Simulator
+
+
+def memory_bound_profile() -> DeviceProfile:
+    """A device where writing activations dominates cheap layers."""
+    return DeviceProfile(
+        name="membound",
+        gflops_by_kind={"conv": 1.0, "pool": 4.0, "relu": 8.0, "fc": 1.0},
+        default_gflops=2.0,
+        mem_bw_bps=50e6,  # 50 MB/s — activations hurt
+    )
+
+
+@pytest.fixture(scope="module")
+def costs():
+    return network_costs(smallnet().network)
+
+
+class TestMultivariate:
+    def test_fit_interface_matches_flops_only(self, costs):
+        samples = profile_device(odroid_xu4_client(), costs, noise=0.0)
+        predictor = MultivariatePredictor().fit(samples)
+        assert predictor.predict_layer("conv", 1e9, output_bytes=1000) > 0
+        assert "conv" in predictor.kinds
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            MultivariatePredictor().fit([])
+
+    def test_on_compute_bound_device_both_accurate(self, costs):
+        sim = Simulator()
+        device = Device(sim, odroid_xu4_client())
+        samples = profile_device(odroid_xu4_client(), costs, noise=0.0)
+        flops_only = LatencyPredictor().fit(samples)
+        multivariate = MultivariatePredictor().fit(samples)
+        assert prediction_error(flops_only, device, costs) < 0.1
+        assert prediction_error(multivariate, device, costs) < 0.1
+
+    def test_memory_bound_device_needs_output_feature(self):
+        """On a memory-bound device the flops-only model falls apart.
+
+        Profiling runs over a configuration grid (Neurosurgeon-style), so
+        FLOPs and activation sizes vary independently — the regime where a
+        single-feature regression cannot express the memory term.
+        """
+        from repro.devices.predictor import profiling_grid
+
+        grid = profiling_grid()
+        profile = memory_bound_profile()
+        sim = Simulator()
+        device = Device(sim, profile)
+        samples = profile_device(profile, grid, noise=0.0)
+        flops_only_error = prediction_error(
+            LatencyPredictor().fit(samples), device, grid
+        )
+        multivariate_error = prediction_error(
+            MultivariatePredictor().fit(samples), device, grid
+        )
+        assert multivariate_error < 0.05
+        assert flops_only_error > 5 * max(multivariate_error, 1e-6)
+
+    def test_grid_single_network_collinearity_demo(self, costs):
+        """On ONE network's layers both models fit — the grid is the point."""
+        profile = memory_bound_profile()
+        sim = Simulator()
+        device = Device(sim, profile)
+        samples = profile_device(profile, costs, noise=0.0)
+        flops_only_error = prediction_error(
+            LatencyPredictor().fit(samples), device, costs
+        )
+        assert flops_only_error < 0.05  # collinear features hide the term
+
+    def test_predict_forward_sums(self, costs):
+        samples = profile_device(memory_bound_profile(), costs, noise=0.0)
+        predictor = MultivariatePredictor().fit(samples)
+        total = predictor.predict_forward(costs)
+        parts = sum(
+            predictor.predict_layer(
+                c.kind, c.flops, output_bytes=c.output_elements * 4
+            )
+            for c in costs
+        )
+        assert total == pytest.approx(parts)
+
+    def test_mem_bw_term_changes_device_time(self, costs):
+        plain = DeviceProfile(name="p", default_gflops=1.0)
+        bound = DeviceProfile(name="b", default_gflops=1.0, mem_bw_bps=1e6)
+        assert bound.seconds_for("conv", 1e9, output_bytes=1_000_000) == (
+            pytest.approx(plain.seconds_for("conv", 1e9) + 1.0)
+        )
+
+    def test_paper_profiles_unaffected(self):
+        # The calibrated profiles have no memory term: times unchanged.
+        profile = odroid_xu4_client()
+        assert profile.mem_bw_bps is None
+        assert profile.seconds_for("conv", 1e9, output_bytes=10**9) == (
+            profile.seconds_for("conv", 1e9)
+        )

@@ -1,0 +1,135 @@
+"""End-to-end property: delta offloading is equivalent to full offloading.
+
+For arbitrary sequences of app-state mutations between two offloads, the
+session-cache path (second offload = delta against server state) must
+leave the client in exactly the state the no-cache path (second offload =
+full snapshot) produces.  This is the correctness contract of the
+future-work optimization: it may only change *bytes and time*, never
+results.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.client import ClientAgent
+from repro.core.server import EdgeServer
+from repro.core.snapshot import CaptureOptions
+from repro.devices import Device, edge_server_x86, odroid_xu4_client
+from repro.netsim import Channel, NetemProfile
+from repro.nn.cost import network_costs
+from repro.nn.zoo import smallnet
+from repro.sim import SeededRng, Simulator
+from repro.web.app import make_inference_app
+from repro.web.values import JSArray, JSObject, TypedArray
+
+MODEL = smallnet()
+COSTS = network_costs(MODEL.network)
+
+
+# A mutation is (kind, payload); applied to the client runtime between the
+# two offloads.
+mutations = st.lists(
+    st.one_of(
+        st.tuples(st.just("set_int"), st.integers(-100, 100)),
+        st.tuples(st.just("set_text"), st.text(max_size=12)),
+        st.tuples(st.just("new_image"), st.integers(0, 1000)),
+        st.tuples(st.just("nest"), st.integers(0, 5)),
+        st.tuples(st.just("del_global"), st.just(None)),
+    ),
+    max_size=4,
+)
+
+
+def build_world():
+    sim = Simulator()
+    channel = Channel(sim, "client", "edge", NetemProfile.wifi_30mbps())
+    server = EdgeServer(sim, Device(sim, edge_server_x86()), name="edge")
+    server.serve(channel.end_b)
+    client = ClientAgent(
+        sim,
+        Device(sim, odroid_xu4_client()),
+        channel.end_a,
+        capture_options=CaptureOptions(include_canvas_pixels=True),
+    )
+    client.start_app(make_inference_app(MODEL), presend=True)
+    client.runtime.globals["pending_pixels"] = TypedArray(
+        SeededRng(0, "base-image").uniform_array((3, 32, 32), 0, 255)
+    )
+    client.runtime.dispatch("click", "load_btn")
+    client.mark_offload_point("click", "infer_btn")
+    sim.run()
+    return sim, client, server
+
+
+def apply_mutation(client, mutation):
+    kind, payload = mutation
+    runtime = client.runtime
+    if kind == "set_int":
+        runtime.globals["knob"] = payload
+    elif kind == "set_text":
+        runtime.document.get("result").set_text(payload)
+    elif kind == "new_image":
+        runtime.globals["pending_pixels"] = TypedArray(
+            SeededRng(payload, "mut-image").uniform_array((3, 32, 32), 0, 255)
+        )
+        runtime.dispatch("click", "load_btn")
+    elif kind == "nest":
+        runtime.globals["tree"] = JSObject(
+            level=payload, items=JSArray(list(range(payload)))
+        )
+    elif kind == "del_global":
+        runtime.globals.pop("knob", None)
+
+
+def run_two_offloads(mutation_list, use_cache):
+    sim, client, server = build_world()
+    for round_index in range(2):
+        if round_index == 1:
+            for mutation in mutation_list:
+                apply_mutation(client, mutation)
+        client.runtime.dispatch("click", "infer_btn")
+        event = client.take_intercepted()
+        process = sim.spawn(
+            client.offload(event, server_costs=COSTS, use_session_cache=use_cache)
+        )
+        sim.run()
+        assert process.ok, process.value
+    runtime = client.runtime
+    canvas = runtime.document.get("canvas").image_data
+    return {
+        "result_text": runtime.document.get("result").text_content,
+        "result_label": runtime.globals.get("result_label"),
+        "result_score": runtime.globals.get("result_score"),
+        "canvas": canvas.data.tobytes() if canvas is not None else b"",
+        "second_kind": process.value.snapshot.kind,
+    }
+
+
+class TestDeltaEquivalence:
+    @given(mutation_list=mutations)
+    @settings(max_examples=12, deadline=None)
+    def test_delta_offload_equals_full_offload(self, mutation_list):
+        with_cache = run_two_offloads(mutation_list, use_cache=True)
+        without_cache = run_two_offloads(mutation_list, use_cache=False)
+        assert with_cache["second_kind"] == "delta"
+        assert without_cache["second_kind"] == "full"
+        for key in ("result_text", "result_label", "result_score", "canvas"):
+            assert with_cache[key] == without_cache[key], key
+
+    def test_new_image_changes_label_consistently(self):
+        # Sanity: a mutation that actually changes the inference input
+        # yields the same (new) answer under both paths.
+        mutation_list = [("new_image", 77)]
+        with_cache = run_two_offloads(mutation_list, use_cache=True)
+        without_cache = run_two_offloads(mutation_list, use_cache=False)
+        expected = int(
+            np.argmax(
+                MODEL.inference(
+                    SeededRng(77, "mut-image").uniform_array((3, 32, 32), 0, 255)
+                )
+            )
+        )
+        assert with_cache["result_label"] == expected
+        assert without_cache["result_label"] == expected

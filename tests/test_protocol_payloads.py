@@ -1,0 +1,89 @@
+"""Size accounting of protocol payloads, presets and small helpers."""
+
+import pytest
+
+from repro.core import protocol
+from repro.core.snapshot import CaptureOptions, capture_snapshot
+from repro.core.snapshot.wire import framing_overhead
+from repro.devices.profiles import PRESETS, DeviceProfile, register_preset
+from repro.netsim.message import payload_size
+from repro.netsim.topology import Host
+from repro.nn.zoo import smallnet
+from repro.sim import SeededRng
+from repro.web import WebRuntime
+from repro.web.app import make_inference_app
+from repro.web.events import Event
+from repro.web.values import TypedArray
+
+
+class TestPayloadSizing:
+    def test_model_object_payload_is_control_sized(self):
+        model = smallnet()
+        payload = protocol.ModelObjectPayload(model.model_id, model)
+        # The handle is bookkeeping: its bytes were the MODEL_FILE messages.
+        assert payload.size_bytes == protocol.CONTROL_BYTES
+        assert payload_size(payload) == protocol.CONTROL_BYTES
+
+    def test_capability_and_ack_are_tiny(self):
+        assert protocol.CapabilityPayload(True, "edge").size_bytes <= 128
+        assert payload_size(protocol.ack_payload("m:1")) < 64
+
+    def test_error_payload_scales_with_reason(self):
+        short = protocol.ErrorPayload("no")
+        long = protocol.ErrorPayload("x" * 500)
+        assert long.size_bytes - short.size_bytes == 498
+
+    def test_result_payload_includes_fingerprint(self):
+        from repro.core.snapshot import fingerprint_runtime
+
+        model = smallnet()
+        runtime = WebRuntime()
+        runtime.load_app(make_inference_app(model))
+        fingerprint = fingerprint_runtime(runtime)
+
+        class StubDelta:
+            size_bytes = 100
+
+        with_fp = protocol.ResultPayload(StubDelta(), fingerprint=fingerprint)
+        without_fp = protocol.ResultPayload(StubDelta())
+        assert with_fp.size_bytes - without_fp.size_bytes == fingerprint.size_bytes
+        assert fingerprint.size_bytes > 100
+
+
+class TestWireOverhead:
+    def test_framing_overhead_is_small_and_positive(self):
+        model = smallnet()
+        runtime = WebRuntime()
+        runtime.load_app(make_inference_app(model))
+        runtime.globals["pending_pixels"] = TypedArray(
+            SeededRng(0, "px").uniform_array((3, 32, 32), 0, 255)
+        )
+        runtime.dispatch("click", "load_btn")
+        snapshot = capture_snapshot(
+            runtime,
+            Event("click", "infer_btn"),
+            CaptureOptions(include_canvas_pixels=True),
+        )
+        overhead = framing_overhead(snapshot)
+        assert 0 < overhead < 2048
+
+
+class TestProfilesAndHosts:
+    def test_paper_presets_registered(self):
+        assert "odroid-xu4" in PRESETS
+        assert "edge-x86" in PRESETS
+        assert "edge-x86-80x" in PRESETS
+
+    def test_register_preset_roundtrip(self):
+        profile = DeviceProfile(name="test-box", default_gflops=1.0)
+        register_preset(profile)
+        assert PRESETS["test-box"] is profile
+
+    def test_host_role_validated(self):
+        Host("ok", role="edge")
+        with pytest.raises(ValueError):
+            Host("bad", role="mainframe")
+
+    def test_host_tags(self):
+        host = Host("edge-1", role="edge", tags={"zone": "a"})
+        assert host.tags["zone"] == "a"

@@ -1,0 +1,126 @@
+"""Edge-server failure paths: bad snapshots, crashing handlers, recovery."""
+
+import pytest
+
+from repro.core import protocol
+from repro.core.client import ClientAgent, OffloadError
+from repro.core.server import EdgeServer
+from repro.core.snapshot import CaptureOptions
+from repro.core.snapshot.capture import Snapshot
+from repro.devices import Device, edge_server_x86, odroid_xu4_client
+from repro.netsim import Channel, NetemProfile
+from repro.nn.cost import network_costs
+from repro.nn.zoo import smallnet
+from repro.sim import SeededRng, Simulator
+from repro.web.app import WebApp, make_inference_app
+from repro.web.values import TypedArray
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    channel = Channel(sim, "client", "edge", NetemProfile.wifi_30mbps())
+    server = EdgeServer(sim, Device(sim, edge_server_x86()), name="edge")
+    server.serve(channel.end_b)
+    client = ClientAgent(
+        sim,
+        Device(sim, odroid_xu4_client()),
+        channel.end_a,
+        capture_options=CaptureOptions(include_canvas_pixels=True),
+    )
+    return sim, channel, server, client
+
+
+def send_snapshot(sim, channel, snapshot, request_id=9):
+    reply_box = []
+
+    def probe():
+        channel.end_a.send(
+            protocol.SNAPSHOT,
+            protocol.SnapshotPayload(snapshot=snapshot, request_id=request_id),
+        )
+        message = yield channel.end_a.recv()
+        reply_box.append(message)
+
+    sim.spawn(probe())
+    sim.run()
+    return reply_box[0]
+
+
+class TestServerFailurePaths:
+    def test_corrupt_program_gets_error_reply(self, world):
+        sim, channel, server, _client = world
+        broken = Snapshot(app_name="x", kind="full", program="RT.bogus(")
+        reply = send_snapshot(sim, channel, broken)
+        assert reply.kind == protocol.ERROR
+        assert "restore failed" in reply.payload.reason
+
+    def test_crashing_handler_gets_error_reply(self, world):
+        sim, channel, server, _client = world
+        from repro.core.snapshot import capture_snapshot
+        from repro.web.events import Event
+        from repro.web.runtime import WebRuntime
+
+        app = WebApp(
+            name="crasher",
+            body_spec=[{"tag": "button", "id": "b"}, {"tag": "div", "id": "result"}],
+            script="def boom(ctx):\n    raise RuntimeError('kaput')\n",
+            listeners=[("b", "click", "boom")],
+        )
+        runtime = WebRuntime()
+        runtime.load_app(app)
+        snapshot = capture_snapshot(runtime, Event("click", "b"))
+        reply = send_snapshot(sim, channel, snapshot)
+        assert reply.kind == protocol.ERROR
+        assert "handler failed" in reply.payload.reason
+
+    def test_server_loop_survives_bad_request(self, world):
+        sim, channel, server, client = world
+        broken = Snapshot(app_name="x", kind="full", program="RT.bogus(")
+        send_snapshot(sim, channel, broken)
+        # The same server must still serve a good request afterwards.
+        model = smallnet()
+        client.start_app(make_inference_app(model), presend=True)
+        client.runtime.globals["pending_pixels"] = TypedArray(
+            SeededRng(0, "px").uniform_array((3, 32, 32), 0, 255)
+        )
+        client.runtime.dispatch("click", "load_btn")
+        client.mark_offload_point("click", "infer_btn")
+        sim.run()
+        client.runtime.dispatch("click", "infer_btn")
+        event = client.take_intercepted()
+        process = sim.spawn(
+            client.offload(event, server_costs=network_costs(model.network))
+        )
+        sim.run()
+        assert process.ok
+        assert server.served_requests == 1
+
+    def test_delta_without_session_gets_error(self, world):
+        sim, channel, server, _client = world
+        orphan_delta = Snapshot(
+            app_name="ghost-app", kind="delta", program="RT.expect_app('ghost-app')\n"
+        )
+        reply = send_snapshot(sim, channel, orphan_delta)
+        assert reply.kind == protocol.ERROR
+        assert "no cached session" in reply.payload.reason
+
+    def test_unknown_message_kind_gets_error(self, world):
+        sim, channel, server, _client = world
+        replies = []
+
+        def probe():
+            channel.end_a.send("FROBNICATE", None)
+            message = yield channel.end_a.recv()
+            replies.append(message)
+
+        sim.spawn(probe())
+        sim.run()
+        assert replies[0].kind == protocol.ERROR
+        assert "unknown message kind" in replies[0].payload.reason
+
+    def test_errors_recorded_on_server(self, world):
+        sim, channel, server, _client = world
+        broken = Snapshot(app_name="x", kind="full", program="RT.bogus(")
+        send_snapshot(sim, channel, broken)
+        assert any("restore failed" in error for error in server.errors)

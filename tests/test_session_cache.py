@@ -1,0 +1,195 @@
+"""Tests for server-side session caching (the paper's §VI future work).
+
+After the first offload, the server keeps the restored browser; follow-up
+offloads send deltas against the fingerprint the server returned, and the
+client falls back to a full snapshot when the session is gone.
+"""
+
+import pytest
+
+from repro.core.client import ClientAgent
+from repro.core.server import EdgeServer
+from repro.core.snapshot import CaptureOptions
+from repro.devices import Device, edge_server_x86, odroid_xu4_client
+from repro.netsim import Channel, NetemProfile
+from repro.nn.cost import network_costs
+from repro.nn.zoo import smallnet
+from repro.sim import SeededRng, Simulator
+from repro.web.app import make_inference_app
+from repro.web.values import TypedArray
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    channel = Channel(sim, "client", "edge", NetemProfile.wifi_30mbps())
+    server = EdgeServer(sim, Device(sim, edge_server_x86()), name="edge")
+    server.serve(channel.end_b)
+    client = ClientAgent(
+        sim,
+        Device(sim, odroid_xu4_client()),
+        channel.end_a,
+        capture_options=CaptureOptions(include_canvas_pixels=True),
+    )
+    model = smallnet()
+    client.start_app(make_inference_app(model), presend=True)
+    client.runtime.globals["pending_pixels"] = TypedArray(
+        SeededRng(0, "px").uniform_array((3, 32, 32), 0, 255)
+    )
+    client.runtime.dispatch("click", "load_btn")
+    client.mark_offload_point("click", "infer_btn")
+    sim.run()  # finish pre-sending
+    return sim, client, server, model
+
+
+def offload_once(sim, client, model, **kwargs):
+    client.runtime.dispatch("click", "infer_btn")
+    event = client.take_intercepted()
+    process = sim.spawn(
+        client.offload(event, server_costs=network_costs(model.network), **kwargs)
+    )
+    sim.run()
+    assert process.ok, process.value
+    return process.value
+
+
+class TestSessionCache:
+    def test_first_offload_is_full_then_delta(self, world):
+        sim, client, server, model = world
+        first = offload_once(sim, client, model)
+        second = offload_once(sim, client, model)
+        assert first.snapshot.kind == "full"
+        assert second.snapshot.kind == "delta"
+
+    def test_repeat_delta_is_tiny(self, world):
+        sim, client, server, model = world
+        first = offload_once(sim, client, model)
+        second = offload_once(sim, client, model)
+        # Nothing changed between inferences: the delta is ~a header.
+        assert second.snapshot.size_bytes < first.snapshot.size_bytes / 100
+        assert second.total_seconds < first.total_seconds
+
+    def test_delta_offload_still_correct(self, world):
+        sim, client, server, model = world
+        offload_once(sim, client, model)
+        offload_once(sim, client, model)
+        text = client.runtime.document.get("result").text_content
+        assert "label" in text
+        assert server.served_requests == 2
+
+    def test_new_image_travels_in_delta(self, world):
+        sim, client, server, model = world
+        offload_once(sim, client, model)
+        # The user loads a different photo.
+        client.runtime.globals["pending_pixels"] = TypedArray(
+            SeededRng(1, "px2").uniform_array((3, 32, 32), 0, 255)
+        )
+        client.runtime.dispatch("click", "load_btn")
+        second = offload_once(sim, client, model)
+        assert second.snapshot.kind == "delta"
+        # The delta carries the new canvas pixels (big), little else.
+        assert second.snapshot.feature_bytes > 10_000
+        # Server computed on the NEW image: its canvas matches the client's.
+        server_canvas = server.last_runtime.document.get("canvas").image_data
+        client_canvas = client.runtime.document.get("canvas").image_data
+        assert server_canvas.equals(client_canvas)
+
+    def test_session_loss_falls_back_to_full(self, world):
+        sim, client, server, model = world
+        offload_once(sim, client, model)
+        server._sessions.clear()  # server restarted / evicted the session
+        recovered = offload_once(sim, client, model)
+        assert recovered.snapshot.kind == "full"
+        assert server.served_requests == 2
+
+    def test_cache_disabled_always_full(self, world):
+        sim, client, server, model = world
+        offload_once(sim, client, model)
+        second = offload_once(sim, client, model, use_session_cache=False)
+        assert second.snapshot.kind == "full"
+
+    def test_server_cache_disabled_never_returns_fingerprint(self):
+        sim = Simulator()
+        channel = Channel(sim, "client", "edge", NetemProfile.wifi_30mbps())
+        server = EdgeServer(
+            sim, Device(sim, edge_server_x86()), name="edge", session_cache=False
+        )
+        server.serve(channel.end_b)
+        client = ClientAgent(
+            sim,
+            Device(sim, odroid_xu4_client()),
+            channel.end_a,
+            capture_options=CaptureOptions(include_canvas_pixels=True),
+        )
+        model = smallnet()
+        client.start_app(make_inference_app(model), presend=True)
+        client.runtime.globals["pending_pixels"] = TypedArray(
+            SeededRng(0, "px").uniform_array((3, 32, 32), 0, 255)
+        )
+        client.runtime.dispatch("click", "load_btn")
+        client.mark_offload_point("click", "infer_btn")
+        sim.run()
+        first = offload_once(sim, client, model)
+        second = offload_once(sim, client, model)
+        assert second.snapshot.kind == "full"
+        assert client.session_baselines == {}
+
+    def test_fingerprint_travels_with_realistic_size(self, world):
+        sim, client, server, model = world
+        offload_once(sim, client, model)
+        baseline = client.session_baselines["smallnet-app"]
+        assert 100 < baseline.size_bytes < 10_000
+
+    def test_lru_eviction_bounds_memory(self):
+        """A capacity-1 server keeps only the most recent session."""
+        sim = Simulator()
+        server = EdgeServer(
+            sim,
+            Device(sim, edge_server_x86()),
+            name="edge",
+            session_cache_capacity=1,
+        )
+        clients = []
+        for index in range(2):
+            channel = Channel(sim, f"client-{index}", "edge", NetemProfile.wifi_30mbps())
+            server.serve(channel.end_b)
+            client = ClientAgent(
+                sim,
+                Device(sim, odroid_xu4_client()),
+                channel.end_a,
+                capture_options=CaptureOptions(include_canvas_pixels=True),
+            )
+            model = smallnet(seed=index)
+            client.start_app(make_inference_app(model), presend=True)
+            client.runtime.globals["pending_pixels"] = TypedArray(
+                SeededRng(index, "px").uniform_array((3, 32, 32), 0, 255)
+            )
+            client.runtime.dispatch("click", "load_btn")
+            client.mark_offload_point("click", "infer_btn")
+            clients.append((client, model))
+        sim.run()
+        # Client 0 offloads, then client 1: client 0's session is evicted.
+        offload_once(sim, *clients[0])
+        offload_once(sim, *clients[1])
+        assert server.evicted_sessions == 1
+        assert len(server._sessions) == 1
+        # Client 0's next offload transparently falls back to full.
+        recovered = offload_once(sim, *clients[0])
+        assert recovered.snapshot.kind == "full"
+
+    def test_invalid_capacity_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            EdgeServer(
+                sim,
+                Device(sim, edge_server_x86()),
+                session_cache_capacity=0,
+            )
+
+    def test_dead_local_changes_not_shipped(self, world):
+        sim, client, server, model = world
+        offload_once(sim, client, model)
+        # Local-only state the inference handler never reads.
+        client.runtime.globals["ui_theme"] = "dark"
+        second = offload_once(sim, client, model)
+        assert "ui_theme" not in second.snapshot.program

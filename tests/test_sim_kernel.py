@@ -1,0 +1,188 @@
+"""Unit tests for the discrete-event kernel (clock, queue, loop)."""
+
+import pytest
+
+from repro.sim import Simulator, SimulationError
+from repro.sim.clock import Clock, ClockError
+from repro.sim.events import EventQueue
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_custom_start(self):
+        assert Clock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            Clock(-1.0)
+
+    def test_advance_to(self):
+        clock = Clock()
+        clock.advance_to(3.5)
+        assert clock.now == 3.5
+
+    def test_advance_to_same_time_allowed(self):
+        clock = Clock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_advance_backwards_rejected(self):
+        clock = Clock(2.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(1.0)
+
+    def test_advance_by(self):
+        clock = Clock(1.0)
+        clock.advance_by(0.5)
+        assert clock.now == 1.5
+
+    def test_advance_by_negative_rejected(self):
+        with pytest.raises(ClockError):
+            Clock().advance_by(-0.1)
+
+
+class TestEventQueue:
+    def test_pop_order_by_time(self):
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, order.append, ("b",))
+        queue.push(1.0, order.append, ("a",))
+        queue.push(3.0, order.append, ("c",))
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            event.fire()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        for name in "abc":
+            queue.push(1.0, order.append, (name,))
+        while queue:
+            queue.pop().fire()
+        assert order == ["a", "b", "c"]
+
+    def test_priority_beats_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, order.append, ("normal",), priority=1)
+        queue.push(1.0, order.append, ("urgent",), priority=0)
+        while queue:
+            queue.pop().fire()
+        assert order == ["urgent", "normal"]
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.push(1.0, fired.append, ("x",))
+        event.cancel()
+        assert queue.pop() is None
+        assert fired == []
+
+    def test_len_ignores_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(4.0, lambda: None)
+        first = queue.push(2.0, lambda: None)
+        assert queue.peek_time() == 2.0
+        first.cancel()
+        assert queue.peek_time() == 4.0
+
+
+class TestSimulator:
+    def test_schedule_and_run(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(sim.now))
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        end = sim.run()
+        assert seen == [1.0, 2.5]
+        assert end == 2.5
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator(start=10.0)
+        seen = []
+        sim.schedule_at(12.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [12.0]
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator(start=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(9.0, lambda: None)
+
+    def test_run_until_time_limit(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append("early"))
+        sim.schedule(5.0, lambda: seen.append("late"))
+        sim.run(until=3.0)
+        assert seen == ["early"]
+        assert sim.now == 3.0
+        sim.run()
+        assert seen == ["early", "late"]
+
+    def test_run_with_until_advances_idle_clock(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            sim.schedule(1.0, lambda: seen.append(("second", sim.now)))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == [("second", 2.0)]
+
+    def test_max_events_guard(self):
+        sim = Simulator(max_events=10)
+
+        def loop():
+            sim.schedule(0.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_run_until_condition(self):
+        sim = Simulator()
+        counter = []
+        for i in range(5):
+            sim.schedule(float(i), lambda: counter.append(1))
+        sim.run_until(lambda: len(counter) >= 3)
+        assert len(counter) == 3
+        assert sim.now == 2.0
+
+    def test_run_until_condition_idle_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.run_until(lambda: False)
+
+    def test_tracing(self):
+        sim = Simulator()
+        sim.trace("ignored before enable")
+        sim.enable_tracing()
+        sim.schedule(1.0, lambda: sim.trace("hello"))
+        sim.run()
+        assert sim.trace_log == [(1.0, "hello")]

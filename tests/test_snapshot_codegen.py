@@ -1,0 +1,217 @@
+"""Tests for snapshot code generation: identity, cycles, tensors, DOM."""
+
+import numpy as np
+import pytest
+
+from repro.core.snapshot.codegen import (
+    CodegenError,
+    HeapCodegen,
+    canonical_dom_entries,
+    canonical_value_code,
+    dom_node_key,
+    parse_tensor_text,
+    render_tensor_text,
+    serialize_dom,
+    serialize_globals,
+)
+from repro.web.dom import Document
+from repro.web.values import UNDEFINED, ImageData, JSArray, JSObject, TypedArray
+
+
+def exec_heap(lines, root_exprs, attachments=None):
+    """Execute generated heap code and return the named roots."""
+    from repro.web.values import ImageData as IMG_cls
+
+    namespace = {
+        "__builtins__": {},
+        "JSObject": JSObject,
+        "JSArray": JSArray,
+        "TA": lambda text, shape: TypedArray(parse_tensor_text(text, shape)),
+        "NP": lambda text, shape: parse_tensor_text(text, shape),
+        "IMG": lambda data, shape, enc: IMG_cls(
+            np.array(data, copy=True).reshape(shape), encoded_bytes=enc
+        ),
+        "ATTACH": attachments or {},
+        "UNDEFINED": UNDEFINED,
+        "G": {},
+    }
+    exec("\n".join(lines + [f"G['{n}'] = {e}" for n, e in root_exprs.items()]), namespace)
+    return namespace["G"]
+
+
+class TestTensorText:
+    def test_roundtrip_exact_float32(self):
+        values = np.array([1.5, -2.25, 3.3333333, 1e-20, 7e8], dtype=np.float32)
+        text = render_tensor_text(values)
+        back = parse_tensor_text(text, (5,))
+        assert np.array_equal(values, back)
+
+    def test_empty(self):
+        assert parse_tensor_text("", (0,)).size == 0
+
+    def test_text_size_near_analytic_model(self):
+        from repro.nn.tensor import TEXT_BYTES_PER_VALUE
+
+        values = np.random.default_rng(0).normal(0, 1, 1000).astype(np.float32)
+        text = render_tensor_text(values)
+        per_value = len(text) / 1000
+        assert per_value == pytest.approx(TEXT_BYTES_PER_VALUE, rel=0.15)
+
+
+class TestHeapCodegen:
+    def _roundtrip(self, value):
+        codegen = HeapCodegen()
+        expr = codegen.root_expression(value)
+        return exec_heap(codegen.lines, {"root": expr}, codegen.attachments)["root"]
+
+    def test_scalars(self):
+        codegen = HeapCodegen()
+        assert codegen.root_expression(None) == "None"
+        assert codegen.root_expression(True) == "True"
+        assert codegen.root_expression(3) == "3"
+        assert codegen.root_expression("s") == "'s'"
+        assert codegen.root_expression(UNDEFINED) == "UNDEFINED"
+
+    def test_object_roundtrip(self):
+        obj = JSObject(x=1, y="two", z=None)
+        restored = self._roundtrip(obj)
+        assert restored["x"] == 1
+        assert restored["y"] == "two"
+        assert restored["z"] is None
+
+    def test_aliasing_preserved(self):
+        shared = JSArray([1, 2])
+        root = JSObject(a=shared, b=shared)
+        restored = self._roundtrip(root)
+        assert restored["a"] is restored["b"]
+
+    def test_cycle_preserved(self):
+        obj = JSObject()
+        obj["self"] = obj
+        restored = self._roundtrip(obj)
+        assert restored["self"] is restored
+
+    def test_mutual_cycle(self):
+        a = JSObject()
+        b = JSObject()
+        a["peer"] = b
+        b["peer"] = a
+        restored = self._roundtrip(a)
+        assert restored["peer"]["peer"] is restored
+
+    def test_typed_array_values_exact(self):
+        ta = TypedArray(np.array([[1.5, -2.5], [0.1, 1e7]], dtype=np.float32))
+        restored = self._roundtrip(ta)
+        assert restored.equals(ta)
+
+    def test_image_data_becomes_attachment(self):
+        img = ImageData(np.ones((3, 2, 2), dtype=np.float32), encoded_bytes=999)
+        codegen = HeapCodegen()
+        expr = codegen.root_expression(img)
+        assert len(codegen.attachments) == 1
+        assert codegen.attachment_bytes == 999
+        restored = exec_heap(codegen.lines, {"r": expr}, codegen.attachments)["r"]
+        assert restored.equals(img)
+        assert restored.encoded_bytes == 999
+        # restored pixels are a copy, not an alias of the attachment
+        assert restored.data is not img.data
+
+    def test_plain_dict_and_list(self):
+        value = {"k": [1, 2, {"nested": True}]}
+        restored = self._roundtrip(value)
+        assert restored == value
+
+    def test_raw_ndarray(self):
+        arr = np.arange(6, dtype=np.float32).reshape(2, 3)
+        restored = self._roundtrip(arr)
+        assert isinstance(restored, np.ndarray)
+        assert np.array_equal(restored, arr)
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(CodegenError):
+            HeapCodegen().root_expression(object())
+
+    def test_non_scalar_dict_key_rejected(self):
+        with pytest.raises(CodegenError):
+            HeapCodegen().root_expression({(1, 2): "tuple key"})
+
+    def test_tensor_text_bytes_counted(self):
+        ta = TypedArray(np.ones(100, dtype=np.float32))
+        codegen = HeapCodegen()
+        codegen.root_expression(ta)
+        assert codegen.tensor_text_bytes > 100 * 10
+
+
+class TestSerializeGlobals:
+    def test_keep_filter(self):
+        lines, codegen = serialize_globals(
+            {"a": 1, "b": 2}, keep={"a"}
+        )
+        joined = "\n".join(lines)
+        assert "G['a'] = 1" in joined
+        assert "'b'" not in joined
+
+    def test_deterministic_order(self):
+        lines1, _ = serialize_globals({"b": 2, "a": 1})
+        lines2, _ = serialize_globals({"a": 1, "b": 2})
+        assert lines1 == lines2
+
+
+class TestCanonicalValueCode:
+    def test_same_structure_same_code(self):
+        a = JSObject(x=JSArray([1, 2]))
+        b = JSObject(x=JSArray([1, 2]))
+        assert canonical_value_code(a) == canonical_value_code(b)
+
+    def test_different_values_differ(self):
+        assert canonical_value_code(JSObject(x=1)) != canonical_value_code(
+            JSObject(x=2)
+        )
+
+
+class TestDomCodegen:
+    def _doc(self):
+        doc = Document()
+        div = doc.create_element("div", element_id="box", **{"class": "big"})
+        doc.body.append_child(div)
+        div.append_text("hello")
+        span = doc.create_element("span")
+        div.append_child(span)
+        return doc
+
+    def test_dom_node_key_uses_ids(self):
+        doc = self._doc()
+        assert dom_node_key(doc.get("box")) == "box"
+
+    def test_dom_node_key_path_fallback(self):
+        doc = self._doc()
+        span = doc.get("box").children[1]
+        assert "span[0]" in dom_node_key(span)
+
+    def test_serialize_dom_lines(self):
+        doc = self._doc()
+        codegen = HeapCodegen()
+        lines = serialize_dom(doc, codegen)
+        joined = "\n".join(lines)
+        assert "RT.create('div', 'box'" in joined
+        assert "RT.append_text" in joined
+
+    def test_canvas_pixels_skipped_by_default(self):
+        doc = Document()
+        canvas = doc.create_element("canvas", element_id="cv")
+        doc.body.append_child(canvas)
+        canvas.draw_image(np.ones((1, 2, 2), dtype=np.float32))
+        codegen = HeapCodegen()
+        lines = serialize_dom(doc, codegen)
+        assert not any("RT.draw" in line for line in lines)
+        lines_with = serialize_dom(doc, HeapCodegen(), include_canvas_pixels=True)
+        assert any("RT.draw" in line for line in lines_with)
+
+    def test_canonical_dom_entries_change_detection(self):
+        doc = self._doc()
+        before = canonical_dom_entries(doc)
+        # Mutate the text node in place so the tree structure is unchanged.
+        doc.get("box").children[0].text = "changed"
+        after = canonical_dom_entries(doc)
+        assert before["box"] != after["box"]
+        assert set(before) == set(after)

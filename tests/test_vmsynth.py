@@ -1,0 +1,184 @@
+"""Tests for the VM-synthesis substrate and on-demand installation."""
+
+import pytest
+
+from repro.core import protocol
+from repro.core.client import ClientAgent, OffloadError
+from repro.core.server import EdgeServer
+from repro.devices import Device, edge_server_x86, odroid_xu4_client
+from repro.netsim import Channel, NetemProfile
+from repro.nn.zoo import smallnet
+from repro.sim import SeededRng, Simulator
+from repro.vmsynth import (
+    DiskImage,
+    SoftwareComponent,
+    apply_delta,
+    build_overlay,
+    delta_chunks,
+    estimate_installation,
+    model_component,
+    offloading_stack,
+)
+from repro.vmsynth.image import ImageMismatchError
+from repro.vmsynth.synthesis import deliver_overlay
+
+
+class TestComponents:
+    def test_paper_component_sizes(self):
+        stack = offloading_stack()
+        by_name = {component.name: component for component in stack}
+        assert by_name["webkit-browser"].raw_bytes == 45_000_000
+        assert by_name["support-libraries"].raw_bytes == 54_000_000
+        assert by_name["offloading-server"].raw_bytes == 1_000_000
+
+    def test_binaries_compress_models_do_not(self):
+        stack = offloading_stack()
+        model = model_component(smallnet())
+        for component in stack:
+            assert component.compressed_bytes < 0.5 * component.raw_bytes
+        assert model.compressed_bytes > 0.9 * model.raw_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SoftwareComponent("bad", 0, 0.5)
+        with pytest.raises(ValueError):
+            SoftwareComponent("bad", 100, 0.0)
+
+
+class TestDiskImage:
+    def test_synthetic_deterministic(self):
+        a = DiskImage.synthetic("img", 5_000_000, seed="s")
+        b = DiskImage.synthetic("img", 5_000_000, seed="s")
+        assert a.chunks == b.chunks
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_install_appends_chunks(self):
+        base = DiskImage.ubuntu_base(10_000_000)
+        custom = base.with_installed(offloading_stack())
+        assert len(custom.chunks) > len(base.chunks)
+        # base content untouched
+        assert all(custom.chunks[i] == c for i, c in base.chunks.items())
+
+    def test_delta_and_apply_roundtrip(self):
+        base = DiskImage.ubuntu_base(10_000_000)
+        custom = base.with_installed(offloading_stack())
+        delta = delta_chunks(base, custom)
+        rebuilt = apply_delta(base, delta, expected_fingerprint=custom.fingerprint())
+        assert rebuilt.chunks == custom.chunks
+
+    def test_apply_to_wrong_base_detected(self):
+        base = DiskImage.ubuntu_base(10_000_000)
+        other = DiskImage.synthetic("debian", 10_000_000, seed="other")
+        custom = base.with_installed(offloading_stack())
+        delta = delta_chunks(base, custom)
+        with pytest.raises(ImageMismatchError):
+            apply_delta(other, delta, expected_fingerprint=custom.fingerprint())
+
+    def test_delta_only_contains_changes(self):
+        base = DiskImage.ubuntu_base(10_000_000)
+        custom = base.with_installed([offloading_stack()[2]])  # 1 MB program
+        delta = delta_chunks(base, custom)
+        assert 1 <= len(delta) <= 2
+
+
+class TestOverlay:
+    def test_paper_overlay_sizes(self):
+        """The headline Table 1 numbers: 65 MB and 82 MB overlays."""
+        from repro.eval.scenarios import build_paper_model
+
+        base = DiskImage.ubuntu_base()
+        googlenet_overlay = build_overlay(base, [build_paper_model("googlenet")])
+        agenet_overlay = build_overlay(base, [build_paper_model("agenet")])
+        assert googlenet_overlay.size_mb == pytest.approx(65.0, rel=0.05)
+        assert agenet_overlay.size_mb == pytest.approx(82.0, rel=0.05)
+
+    def test_synthesis_time_in_paper_band(self):
+        from repro.eval.calibration import paper_link
+        from repro.eval.scenarios import build_paper_model
+
+        base = DiskImage.ubuntu_base()
+        overlay = build_overlay(base, [build_paper_model("googlenet")])
+        estimate = estimate_installation(overlay, paper_link())
+        assert 17.0 < estimate.total_seconds < 22.0
+        overlay_big = build_overlay(base, [build_paper_model("agenet")])
+        estimate_big = estimate_installation(overlay_big, paper_link())
+        assert 22.0 < estimate_big.total_seconds < 27.0
+
+    def test_overlay_without_models(self):
+        base = DiskImage.ubuntu_base()
+        overlay = build_overlay(base, [])
+        assert overlay.bundled_models == []
+        assert overlay.size_mb == pytest.approx(100 * 0.374, rel=0.02)
+
+    def test_overlay_delta_matches_target(self):
+        base = DiskImage.ubuntu_base()
+        overlay = build_overlay(base, [smallnet()])
+        rebuilt = apply_delta(
+            base, overlay.delta, expected_fingerprint=overlay.target_fingerprint
+        )
+        assert rebuilt.fingerprint() == overlay.target_fingerprint
+
+
+class TestOnDemandInstallation:
+    """Paper §III.B.3: install the offloading system at runtime, then offload."""
+
+    def _world(self):
+        sim = Simulator()
+        channel = Channel(sim, "client", "edge", NetemProfile.wifi_30mbps())
+        server = EdgeServer(
+            sim, Device(sim, edge_server_x86()), name="edge", installed=False
+        )
+        server.serve(channel.end_b)
+        client = ClientAgent(sim, Device(sim, odroid_xu4_client()), channel.end_a)
+        return sim, channel, server, client
+
+    def test_overlay_installs_system(self):
+        sim, channel, server, _client = self._world()
+        base = DiskImage.ubuntu_base()
+        overlay = build_overlay(base, [smallnet()])
+        process = sim.spawn(deliver_overlay(channel.end_a, overlay))
+        sim.run()
+        assert process.ok
+        assert server.installed
+        assert server.store.has_complete(smallnet().model_id)
+
+    def test_install_time_includes_transfer_and_synthesis(self):
+        sim, channel, server, _client = self._world()
+        base = DiskImage.ubuntu_base()
+        overlay = build_overlay(base, [smallnet()])
+        estimate = estimate_installation(overlay, channel.link_ab.profile)
+        process = sim.spawn(deliver_overlay(channel.end_a, overlay))
+        sim.run()
+        ready_at = process.value
+        assert ready_at == pytest.approx(estimate.total_seconds, rel=0.05)
+
+    def test_offload_works_after_installation(self):
+        from repro.core.snapshot import CaptureOptions
+        from repro.nn.cost import network_costs
+        from repro.web.app import make_inference_app
+        from repro.web.values import TypedArray
+
+        sim, channel, server, client = self._world()
+        model = smallnet()
+        base = DiskImage.ubuntu_base()
+        overlay = build_overlay(base, [model])
+        install = sim.spawn(deliver_overlay(channel.end_a, overlay))
+        sim.run_until(lambda: install.triggered)
+
+        client.capture_options = CaptureOptions(include_canvas_pixels=True)
+        client.start_app(make_inference_app(model), presend=False)
+        client.runtime.globals["pending_pixels"] = TypedArray(
+            SeededRng(12, "px").uniform_array((3, 32, 32), 0, 255)
+        )
+        client.runtime.dispatch("click", "load_btn")
+        client.mark_offload_point("click", "infer_btn")
+        client.runtime.dispatch("click", "infer_btn")
+        event = client.take_intercepted()
+        offload = sim.spawn(
+            client.offload(event, server_costs=network_costs(model.network))
+        )
+        sim.run()
+        assert offload.ok
+        # The model came bundled in the overlay: nothing rode along.
+        assert offload.value.delivery_bytes == 0
+        assert "label" in client.runtime.document.get("result").text_content

@@ -1,0 +1,135 @@
+"""Tests for the DOM tree."""
+
+import numpy as np
+import pytest
+
+from repro.web.dom import Document, DOMError, Element, TextNode
+from repro.web.values import TypedArray
+
+
+@pytest.fixture
+def doc():
+    return Document()
+
+
+class TestTree:
+    def test_append_and_lookup(self, doc):
+        button = doc.create_element("button", element_id="btn")
+        doc.body.append_child(button)
+        assert doc.get("btn") is button
+
+    def test_missing_id_raises(self, doc):
+        with pytest.raises(DOMError):
+            doc.get("nope")
+        assert doc.find("nope") is None
+
+    def test_nested_lookup(self, doc):
+        outer = doc.create_element("div", element_id="outer")
+        inner = doc.create_element("span", element_id="inner")
+        outer.append_child(inner)
+        doc.body.append_child(outer)
+        assert doc.get("inner") is inner
+
+    def test_reparenting_moves_node(self, doc):
+        a = doc.create_element("div", element_id="a")
+        b = doc.create_element("div", element_id="b")
+        child = doc.create_element("span", element_id="c")
+        doc.body.append_child(a)
+        doc.body.append_child(b)
+        a.append_child(child)
+        b.append_child(child)
+        assert child.parent is b
+        assert child not in a.children
+
+    def test_cycle_rejected(self, doc):
+        a = doc.create_element("div", element_id="a")
+        b = doc.create_element("div", element_id="b")
+        doc.body.append_child(a)
+        a.append_child(b)
+        with pytest.raises(DOMError):
+            b.append_child(a)
+
+    def test_self_append_rejected(self, doc):
+        a = doc.create_element("div")
+        with pytest.raises(DOMError):
+            a.append_child(a)
+
+    def test_remove_child(self, doc):
+        a = doc.create_element("div", element_id="a")
+        doc.body.append_child(a)
+        doc.body.remove_child(a)
+        assert doc.find("a") is None
+        assert a.parent is None
+
+    def test_remove_non_child_raises(self, doc):
+        a = doc.create_element("div")
+        with pytest.raises(DOMError):
+            doc.body.remove_child(a)
+
+    def test_append_invalid_node_rejected(self, doc):
+        with pytest.raises(DOMError):
+            doc.body.append_child("not a node")
+
+    def test_element_count(self, doc):
+        assert doc.element_count() == 1  # body
+        doc.body.append_child(doc.create_element("div"))
+        assert doc.element_count() == 2
+
+
+class TestText:
+    def test_append_text(self, doc):
+        div = doc.create_element("div", element_id="d")
+        doc.body.append_child(div)
+        div.append_text("hello ")
+        div.append_text("world")
+        assert div.text_content == "hello world"
+
+    def test_set_text_replaces(self, doc):
+        div = doc.create_element("div")
+        div.append_text("old")
+        div.set_text("new")
+        assert div.text_content == "new"
+        assert len(div.children) == 1
+
+    def test_text_content_recurses(self, doc):
+        outer = doc.create_element("div")
+        inner = doc.create_element("span")
+        inner.append_text("inner")
+        outer.append_text("outer ")
+        outer.append_child(inner)
+        assert outer.text_content == "outer inner"
+
+
+class TestAttributes:
+    def test_get_set(self, doc):
+        el = doc.create_element("div", **{"class": "big"})
+        assert el.get_attribute("class") == "big"
+        el.set_attribute("class", "small")
+        assert el.get_attribute("class") == "small"
+        assert el.get_attribute("missing", "dflt") == "dflt"
+
+
+class TestCanvas:
+    def test_draw_and_get_image_data(self, doc):
+        canvas = doc.create_element("canvas", element_id="cv")
+        pixels = np.ones((3, 2, 2), dtype=np.float32)
+        canvas.draw_image(pixels)
+        got = canvas.get_image_data()
+        assert isinstance(got, TypedArray)
+        assert got.shape == (3, 2, 2)
+
+    def test_draw_on_non_canvas_rejected(self, doc):
+        div = doc.create_element("div")
+        with pytest.raises(DOMError):
+            div.draw_image(np.ones((1, 1, 1)))
+
+    def test_get_image_data_without_draw_rejected(self, doc):
+        canvas = doc.create_element("canvas")
+        with pytest.raises(DOMError):
+            canvas.get_image_data()
+
+    def test_typed_array_preserved(self, doc):
+        canvas = doc.create_element("canvas")
+        ta = TypedArray(np.zeros((1, 2, 2)))
+        canvas.draw_image(ta)
+        assert canvas.get_image_data() is ta

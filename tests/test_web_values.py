@@ -1,0 +1,138 @@
+"""Tests for the JS-like value model."""
+
+import numpy as np
+import pytest
+
+from repro.web.values import (
+    UNDEFINED,
+    ImageData,
+    JSArray,
+    JSObject,
+    TypedArray,
+    deep_equal,
+    is_heap_value,
+    is_scalar,
+)
+
+
+class TestUndefined:
+    def test_singleton(self):
+        from repro.web.values import _Undefined
+
+        assert _Undefined() is UNDEFINED
+
+    def test_falsy(self):
+        assert not UNDEFINED
+
+    def test_repr(self):
+        assert repr(UNDEFINED) == "undefined"
+
+
+class TestJSObject:
+    def test_missing_property_is_undefined(self):
+        obj = JSObject(x=1)
+        assert obj["x"] == 1
+        assert obj["missing"] is UNDEFINED
+
+    def test_set_and_delete(self):
+        obj = JSObject()
+        obj["k"] = "v"
+        assert "k" in obj
+        del obj["k"]
+        assert "k" not in obj
+
+    def test_delete_missing_is_noop(self):
+        obj = JSObject()
+        del obj["nothing"]  # must not raise
+
+
+class TestJSArray:
+    def test_push_and_index(self):
+        arr = JSArray()
+        arr.push(1)
+        arr.push(2)
+        assert len(arr) == 2
+        assert arr[1] == 2
+        arr[0] = 10
+        assert list(arr) == [10, 2]
+
+
+class TestTypedArray:
+    def test_wraps_float32(self):
+        ta = TypedArray([1, 2, 3])
+        assert ta.data.dtype == np.float32
+        assert ta.shape == (3,)
+        assert ta.size == 3
+
+    def test_equals(self):
+        a = TypedArray([[1.0, 2.0]])
+        b = TypedArray([[1.0, 2.0]])
+        c = TypedArray([1.0, 2.0])
+        assert a.equals(b)
+        assert not a.equals(c)  # different shape
+
+
+class TestImageData:
+    def test_default_encoded_bytes(self):
+        img = ImageData(np.zeros((3, 4, 4)))
+        assert img.encoded_bytes == 3 * 4 * 4 + 1024
+
+    def test_explicit_encoded_bytes(self):
+        img = ImageData(np.zeros((3, 4, 4)), encoded_bytes=500)
+        assert img.encoded_bytes == 500
+
+    def test_invalid_encoded_bytes(self):
+        with pytest.raises(ValueError):
+            ImageData(np.zeros((2, 2)), encoded_bytes=0)
+
+    def test_is_a_typed_array(self):
+        img = ImageData(np.ones((2, 2)))
+        assert isinstance(img, TypedArray)
+
+
+class TestClassifiers:
+    def test_scalars(self):
+        for value in (None, UNDEFINED, True, 1, 2.5, "s"):
+            assert is_scalar(value)
+            assert not is_heap_value(value)
+
+    def test_heap_values(self):
+        for value in (JSObject(), JSArray(), TypedArray([1.0])):
+            assert is_heap_value(value)
+            assert not is_scalar(value)
+
+
+class TestDeepEqual:
+    def test_scalars(self):
+        assert deep_equal(1, 1)
+        assert not deep_equal(1, 2)
+        assert deep_equal(None, None)
+        assert deep_equal(UNDEFINED, UNDEFINED)
+        assert not deep_equal(None, UNDEFINED)
+
+    def test_bool_int_distinction(self):
+        assert not deep_equal(True, 1)
+
+    def test_nested_structures(self):
+        a = JSObject(x=JSArray([1, JSObject(y=2)]))
+        b = JSObject(x=JSArray([1, JSObject(y=2)]))
+        assert deep_equal(a, b)
+        b["x"][1]["y"] = 3
+        assert not deep_equal(a, b)
+
+    def test_typed_arrays(self):
+        assert deep_equal(TypedArray([1.0, 2.0]), TypedArray([1.0, 2.0]))
+        assert not deep_equal(TypedArray([1.0]), TypedArray([2.0]))
+
+    def test_cycles_do_not_hang(self):
+        a = JSObject()
+        a["self"] = a
+        b = JSObject()
+        b["self"] = b
+        assert deep_equal(a, b)
+
+    def test_key_mismatch(self):
+        assert not deep_equal(JSObject(x=1), JSObject(y=1))
+
+    def test_length_mismatch(self):
+        assert not deep_equal(JSArray([1]), JSArray([1, 2]))
