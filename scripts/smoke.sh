@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# End-to-end smoke check: unit tests, a quick campaign with telemetry
+# export, and a parse check on the exported metrics.
+#
+#   scripts/smoke.sh [output-dir]
+#
+# Exits non-zero if any stage fails.  Total runtime is a couple of
+# minutes; the campaign runs in --quick mode (one model, short sweeps).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+out_dir="${1:-$repo_root/smoke-out}"
+mkdir -p "$out_dir"
+cd "$repo_root"
+export PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== 1/3 unit + property tests"
+python -m pytest -x -q
+
+echo "== 2/3 quick campaign with telemetry export"
+python -m repro campaign --quick \
+    --out "$out_dir/report.md" \
+    --metrics-out "$out_dir/metrics.prom"
+
+echo "== 3/3 exported metrics parse + sanity"
+python - "$out_dir/metrics.prom" <<'PY'
+import sys
+
+from repro.obs import parse_prometheus_text
+
+with open(sys.argv[1], "r", encoding="utf-8") as handle:
+    parsed = parse_prometheus_text(handle.read())
+samples = parsed["samples"]
+sessions = sum(v for (name, _), v in samples.items() if name == "sessions_total")
+executions = sum(
+    v for (name, _), v in samples.items() if name == "server_executions_total"
+)
+assert sessions > 0, "campaign exported no sessions"
+assert executions > 0, "campaign exported no server executions"
+print(f"ok: {len(samples)} samples, {sessions:.0f} sessions, "
+      f"{executions:.0f} server executions")
+PY
+
+echo "smoke ok — artifacts in $out_dir"

@@ -10,9 +10,12 @@ Usage::
     python -m repro ablation {bandwidth,partition,decision,snapshot,gpu,
                               energy,cache,contention}
     python -m repro demo
+    python -m repro metrics [--format prometheus|json] [--trace-out t.json]
 
 Every command prints the same rows/series the paper reports and exits 0
-only if the paper's shape claims hold.
+only if the paper's shape claims hold.  Run/campaign commands accept
+``--metrics-out PATH`` to dump the merged telemetry of every simulator the
+command built (Prometheus text, or JSON when the path ends in ``.json``).
 """
 
 from __future__ import annotations
@@ -40,6 +43,16 @@ def _add_bandwidth_arg(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=30.0,
         help="link bandwidth in Mbps (paper: 30)",
+    )
+
+
+def _add_metrics_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write merged run telemetry here (.json -> JSON, else "
+        "Prometheus text)",
     )
 
 
@@ -230,6 +243,25 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Run one instrumented offload session and print its telemetry."""
+    from repro.eval.scenarios import Testbed
+    from repro.eval.traces import write_span_trace
+    from repro.obs import to_json, to_prometheus_text
+
+    testbed = Testbed()
+    testbed.run_offload(args.model, wait_for_ack=True)
+    registry = testbed.sim.metrics
+    if args.format == "json":
+        print(to_json(registry))
+    else:
+        print(to_prometheus_text(registry), end="")
+    if args.trace_out:
+        write_span_trace(args.trace_out, testbed.sim.spans)
+        print(f"# span trace written to {args.trace_out}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -245,11 +277,13 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=f"regenerate {name}")
         _add_models_arg(p)
         _add_bandwidth_arg(p)
+        _add_metrics_arg(p)
         p.set_defaults(func=func)
 
     p = sub.add_parser("fig8", help="partial-inference sweep")
     _add_models_arg(p)
     _add_bandwidth_arg(p)
+    _add_metrics_arg(p)
     p.add_argument("--max-points", type=int, default=None)
     p.set_defaults(func=cmd_fig8)
 
@@ -262,10 +296,35 @@ def build_parser() -> argparse.ArgumentParser:
             "scaling", "variability", "baselines", "placement", "streaming",
         ),
     )
+    _add_metrics_arg(p)
     p.set_defaults(func=cmd_ablation)
 
     p = sub.add_parser("demo", help="one offloaded GoogLeNet inference")
+    _add_metrics_arg(p)
     p.set_defaults(func=cmd_demo)
+
+    p = sub.add_parser(
+        "metrics", help="run one offload session and print its telemetry"
+    )
+    p.add_argument(
+        "--model",
+        default="smallnet",
+        choices=list(PAPER_MODELS) + ["smallnet", "tinynet"],
+        help="benchmark model to run (default: smallnet, fast)",
+    )
+    p.add_argument(
+        "--format",
+        default="prometheus",
+        choices=("prometheus", "json"),
+        help="exposition format to print",
+    )
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="also write the session's span trace (Chrome Trace Event JSON)",
+    )
+    p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser(
         "campaign", help="regenerate every artifact into one report"
@@ -274,13 +333,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--quick", action="store_true", help="one model, truncated sweeps"
     )
+    _add_metrics_arg(p)
     p.set_defaults(func=cmd_campaign)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not metrics_out:
+        return args.func(args)
+
+    from repro.obs import MetricsRegistry, collect_metrics, write_metrics
+
+    with collect_metrics() as registries:
+        code = args.func(args)
+    try:
+        write_metrics(metrics_out, MetricsRegistry.merged(registries))
+    except OSError as exc:
+        print(f"error: cannot write metrics to {metrics_out}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(f"metrics written to {metrics_out} ({len(registries)} runs merged)")
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

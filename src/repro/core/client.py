@@ -82,6 +82,35 @@ class ClientAgent:
         #: when present, follow-up offloads send deltas instead of full
         #: snapshots (the paper's future-work reuse of server-side state)
         self.session_baselines: Dict[str, Any] = {}
+        metrics = sim.metrics
+        labels = {"client": endpoint.name}
+        self._offload_counter = metrics.counter(
+            "client_offload_requests_total", help="offload round trips started",
+            **labels,
+        )
+        self._retransmit_counter = metrics.counter(
+            "client_retransmissions_total",
+            help="snapshot payloads retransmitted after a reply timeout",
+            **labels,
+        )
+        self._timeout_counter = metrics.counter(
+            "client_reply_timeouts_total", help="reply waits that timed out",
+            **labels,
+        )
+        self._fallback_counter = metrics.counter(
+            "client_session_fallbacks_total",
+            help="delta offloads retried as full snapshots (session lost)",
+            **labels,
+        )
+        self._failure_counter = metrics.counter(
+            "client_offload_failures_total",
+            help="offload round trips abandoned with an error", **labels,
+        )
+        self._local_counter = metrics.counter(
+            "client_local_executions_total",
+            help="events executed on the client device instead of offloaded",
+            **labels,
+        )
 
     # -- app lifecycle -----------------------------------------------------------
     def start_app(self, app: WebApp, presend: bool = True) -> None:
@@ -159,6 +188,7 @@ class ClientAgent:
         request id, so execution stays at-most-once).
         """
         started_at = self.sim.now
+        self._offload_counter.inc()
 
         # 1. Capture the execution state: full, or a delta against the
         # state cached on the server from the previous offload.
@@ -209,18 +239,22 @@ class ClientAgent:
             if status == "result":
                 break
             if status == "timeout":
+                self._timeout_counter.inc()
                 attempt += 1
                 if attempt > retries:
+                    self._failure_counter.inc()
                     raise OffloadError(
                         f"no reply to request {request_id} after "
                         f"{attempt} attempt(s)"
                     )
+                self._retransmit_counter.inc()
                 self.endpoint.send(protocol.SNAPSHOT, payload)
                 continue
             reason = reply.payload.reason
             if baseline is not None and "no cached session" in reason:
                 # The server lost our session (restart / handover): retry
                 # once with a full snapshot.
+                self._fallback_counter.inc()
                 self.session_baselines.pop(self.runtime.app_name, None)
                 outcome = yield from self.offload(
                     event,
@@ -231,6 +265,7 @@ class ClientAgent:
                     retries=retries,
                 )
                 return outcome
+            self._failure_counter.inc()
             raise OffloadError(reason)
 
         # 4. Apply the delta snapshot to continue execution locally.
@@ -265,6 +300,7 @@ class ClientAgent:
     # -- local execution -----------------------------------------------------------
     def run_local(self, event: Event, costs: List[Any]):
         """Simulated process: execute the event's handlers on the client."""
+        self._local_counter.inc()
         seconds = self.device.forward_seconds(costs)
         yield self.device.execute(seconds, label="local-dnn")
         self.runtime.run_event(event)

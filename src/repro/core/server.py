@@ -78,6 +78,68 @@ class EdgeServer:
         #: at-most-once execution: replies cached per (sender, request_id)
         #: so a retransmitted request is answered without re-executing
         self._replies: Dict[tuple, protocol.ResultPayload] = {}
+        metrics = sim.metrics
+        self._requests_counter = metrics.counter(
+            "server_requests_total", help="snapshot requests received",
+            server=name,
+        )
+        self._executions_counter = metrics.counter(
+            "server_executions_total",
+            help="offloaded computations actually executed (at-most-once "
+            "per request id: cached replies do not count)",
+            server=name,
+        )
+        self._cached_reply_counter = metrics.counter(
+            "server_replies_from_cache_total",
+            help="retransmitted requests answered from the reply cache",
+            server=name,
+        )
+        self._refused_counter = metrics.counter(
+            "server_refused_requests_total",
+            help="requests refused because no offloading system is installed",
+            server=name,
+        )
+        self._error_counter = metrics.counter(
+            "server_errors_total", help="ERROR replies sent", server=name
+        )
+        self._cache_hit_counter = metrics.counter(
+            "server_session_cache_hits_total",
+            help="delta requests served from a cached session", server=name,
+        )
+        self._cache_miss_counter = metrics.counter(
+            "server_session_cache_misses_total",
+            help="delta requests whose session was gone", server=name,
+        )
+        self._cache_evict_counter = metrics.counter(
+            "server_session_cache_evictions_total",
+            help="sessions evicted LRU beyond capacity", server=name,
+        )
+        self._cache_size_gauge = metrics.gauge(
+            "server_session_cache_size", help="sessions currently cached",
+            server=name,
+        )
+
+    @property
+    def executions(self) -> int:
+        """How many requests this server actually executed (not cached)."""
+        return int(self._executions_counter.value)
+
+    def restart(self) -> None:
+        """Simulate an offloading-server process restart.
+
+        All in-memory state is lost — cached sessions and the at-most-once
+        reply cache — so a client whose reply was in flight may observe a
+        re-execution, and delta offloads transparently fall back to full
+        snapshots.  The model store and the synthesized VM overlay survive
+        (they live on disk in the paper's design).
+        """
+        self._sessions.clear()
+        self._replies.clear()
+        self._cache_size_gauge.set(0)
+        self.sim.metrics.counter(
+            "server_restarts_total", help="simulated process restarts",
+            server=self.name,
+        ).inc()
 
     # -- wiring ---------------------------------------------------------------
     def serve(self, endpoint: ChannelEnd) -> None:
@@ -149,7 +211,9 @@ class EdgeServer:
     def _on_snapshot(self, endpoint: ChannelEnd, message: Message):
         """Returns the request-serving sub-process."""
         payload: protocol.SnapshotPayload = message.payload
+        self._requests_counter.inc()
         if not self.installed:
+            self._refused_counter.inc()
             self._error(
                 endpoint, "no offloading system installed", payload.request_id
             )
@@ -170,6 +234,7 @@ class EdgeServer:
         # delta snapshot twice would corrupt the cached session.
         reply_key = (sender, payload.request_id)
         if payload.request_id and reply_key in self._replies:
+            self._cached_reply_counter.inc()
             endpoint.send(protocol.RESULT, self._replies[reply_key])
             return
 
@@ -194,12 +259,14 @@ class EdgeServer:
         if snapshot.kind == "delta":
             browser = self._sessions.get(session_key)
             if browser is None:
+                self._cache_miss_counter.inc()
                 self._error(
                     endpoint,
                     f"no cached session for app {snapshot.app_name!r}",
                     payload.request_id,
                 )
                 return
+            self._cache_hit_counter.inc()
             self._sessions.move_to_end(session_key)  # LRU touch
         else:
             browser = WebRuntime(f"{self.name}-browser")
@@ -225,6 +292,7 @@ class EdgeServer:
         exec_seconds = self._execution_seconds(snapshot)
         yield self.device.execute(exec_seconds, label="dnn-exec")
         timings["exec"] = exec_seconds
+        self._executions_counter.inc()
         if report.pending_event is not None:
             try:
                 browser.run_event(report.pending_event)
@@ -250,6 +318,8 @@ class EdgeServer:
             while len(self._sessions) > self.session_cache_capacity:
                 self._sessions.popitem(last=False)  # evict least recent
                 self.evicted_sessions += 1
+                self._cache_evict_counter.inc()
+            self._cache_size_gauge.set(len(self._sessions))
             fingerprint = fingerprint_runtime(browser)
         reply = protocol.ResultPayload(
             delta=delta,
@@ -289,10 +359,12 @@ class EdgeServer:
     # -- helpers ---------------------------------------------------------------------
     def _require_installed(self, endpoint: ChannelEnd, what: str) -> bool:
         if not self.installed:
+            self._refused_counter.inc()
             self._error(endpoint, f"{what} refused: no offloading system installed")
             return False
         return True
 
     def _error(self, endpoint: ChannelEnd, reason: str, request_id: int = 0) -> None:
         self.errors.append(reason)
+        self._error_counter.inc()
         endpoint.send(protocol.ERROR, protocol.ErrorPayload(reason, request_id))

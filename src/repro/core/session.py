@@ -37,6 +37,21 @@ from repro.web.runtime import WebRuntime
 from repro.web.values import ImageData
 
 
+#: (phase key, display name, track) in execution order — the canonical
+#: timeline layout shared by span emission and the chrome-trace exporter
+PHASE_TRACKS: Tuple[Tuple[str, str, str], ...] = (
+    ("client_exec", "DNN exec (front/local)", "client"),
+    ("snapshot_capture_client", "snapshot capture", "client"),
+    ("transfer_to_server", "snapshot uplink", "network"),
+    ("snapshot_restore_server", "snapshot restore", "server"),
+    ("server_exec", "DNN exec", "server"),
+    ("snapshot_capture_server", "delta capture", "server"),
+    ("transfer_to_client", "delta downlink", "network"),
+    ("snapshot_restore_client", "delta restore", "client"),
+    ("other", "queueing / protocol", "network"),
+)
+
+
 @dataclass
 class PhaseBreakdown:
     """Durations of each phase of one inference (Fig. 7's segments)."""
@@ -115,6 +130,46 @@ class SessionResult:
         return self.total_seconds - self.phases.client_exec - self.phases.server_exec
 
 
+def record_session_telemetry(sim: Simulator, result: "SessionResult") -> None:
+    """Feed one finished session into ``sim.metrics`` and ``sim.spans``.
+
+    Every phase duration is observed into the ``session_phase_seconds``
+    histogram (labeled by phase and mode), and the positive phases are
+    emitted as spans on the client / network / server tracks, reconstructed
+    in execution order from ``started_at`` — the same timeline
+    :mod:`repro.eval.traces` renders, now queryable as data.
+    """
+    registry = sim.metrics
+    registry.counter(
+        "sessions_total", help="finished sessions", mode=result.mode
+    ).inc()
+    registry.histogram(
+        "session_total_seconds", help="wall time of one session",
+        mode=result.mode,
+    ).observe(result.total_seconds)
+    phases = result.phases.as_dict()
+    cursor = result.started_at
+    for key, label, track in PHASE_TRACKS:
+        duration = phases.get(key, 0.0)
+        registry.histogram(
+            "session_phase_seconds", help="duration of one session phase",
+            phase=key, mode=result.mode,
+        ).observe(duration)
+        if duration <= 0:
+            continue
+        sim.spans.add(
+            label,
+            cursor,
+            cursor + duration,
+            track=track,
+            category="session-phase",
+            phase=key,
+            mode=result.mode,
+            model=result.model_name,
+        )
+        cursor += duration
+
+
 class OffloadingSession:
     """Drives one user interaction through a configured execution mode."""
 
@@ -131,6 +186,8 @@ class OffloadingSession:
         rear_costs: Optional[List[LayerCost]] = None,
         expected_label: Optional[int] = None,
         partition_label: Optional[str] = None,
+        reply_timeout: Optional[float] = None,
+        retries: int = 0,
     ):
         self.sim = sim
         self.client = client
@@ -142,6 +199,9 @@ class OffloadingSession:
         self.rear_costs = rear_costs or []
         self.expected_label = expected_label
         self.partition_label = partition_label
+        #: loss tolerance for the offload modes (passed to ClientAgent.offload)
+        self.reply_timeout = reply_timeout
+        self.retries = retries
 
     # -- shared steps -----------------------------------------------------------
     def _load_image(self, runtime: WebRuntime) -> None:
@@ -177,6 +237,7 @@ class OffloadingSession:
             result.snapshot_feature_bytes = outcome.snapshot.feature_bytes
             result.delivery_bytes = outcome.delivery_bytes
             result.delta_bytes = outcome.delta.size_bytes
+        record_session_telemetry(self.sim, result)
         return result
 
     # -- modes --------------------------------------------------------------------
@@ -211,7 +272,12 @@ class OffloadingSession:
         self.client.mark_offload_point("click", "infer_btn")
         self.client.runtime.dispatch("click", "infer_btn")
         event = self.client.take_intercepted()
-        outcome = yield from self.client.offload(event, server_costs=self.full_costs)
+        outcome = yield from self.client.offload(
+            event,
+            server_costs=self.full_costs,
+            reply_timeout=self.reply_timeout,
+            retries=self.retries,
+        )
         phases = self._offload_phases(outcome, client_exec=0.0)
         mode = "offload-after-ack" if wait_for_ack else "offload-before-ack"
         return self._finish(mode, started_at, phases, self.client.runtime, outcome)
@@ -237,7 +303,12 @@ class OffloadingSession:
         yield self.client.device.execute(front_seconds, label="front-dnn")
         self.client.runtime.dispatch("click", "infer_btn")  # front() runs here
         event = self.client.take_intercepted()
-        outcome = yield from self.client.offload(event, server_costs=self.rear_costs)
+        outcome = yield from self.client.offload(
+            event,
+            server_costs=self.rear_costs,
+            reply_timeout=self.reply_timeout,
+            retries=self.retries,
+        )
         phases = self._offload_phases(outcome, client_exec=front_seconds)
         return self._finish(
             "offload-partial", started_at, phases, self.client.runtime, outcome
@@ -282,10 +353,12 @@ def run_server_only(
     runtime.run_event(Event("click", "infer_btn"))
     phases = PhaseBreakdown(server_exec=seconds)
     finished_at = sim.now
-    return SessionResult(
+    total = finished_at - started_at
+    phases.other = max(0.0, total - phases.accounted())
+    result = SessionResult(
         mode="server",
         model_name=model_name,
-        total_seconds=finished_at - started_at,
+        total_seconds=total,
         phases=phases,
         result_text=runtime.document.get("result").text_content,
         result_label=runtime.globals.get("result_label"),
@@ -293,6 +366,8 @@ def run_server_only(
         started_at=started_at,
         finished_at=finished_at,
     )
+    record_session_telemetry(sim, result)
+    return result
 
 
 def expected_label_for(model, input_image: ImageData) -> int:

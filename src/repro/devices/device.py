@@ -59,6 +59,15 @@ class Device:
         self.profile = profile
         self.cpu = FifoResource(sim, name=f"cpu:{profile.name}")
         self.busy_seconds = 0.0
+        self._queue_wait = sim.metrics.histogram(
+            "device_queue_wait_seconds",
+            help="time work items waited for the device's FIFO resource",
+            device=profile.name,
+        )
+        self._busy_counter = sim.metrics.counter(
+            "device_busy_seconds_total", help="seconds the device was executing",
+            device=profile.name,
+        )
 
     @property
     def name(self) -> str:
@@ -100,10 +109,14 @@ class Device:
         if seconds < 0:
             raise ValueError(f"cannot execute negative work ({seconds!r}s)")
         done = self.sim.event(label=f"{self.name}:{label}")
+        requested_at = self.sim.now
 
         def run(_event: Optional[SimEvent]) -> None:
+            self._queue_wait.observe(self.sim.now - requested_at)
+
             def finish() -> None:
                 self.busy_seconds += seconds
+                self._busy_counter.inc(seconds)
                 self.cpu.release()
                 done.succeed(seconds)
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.nn.zoo import PAPER_MODELS
+from repro.obs.metrics import MetricsRegistry, collect_metrics
 
 
 @dataclass
@@ -23,6 +24,8 @@ class CampaignResult:
     report_markdown: str
     violations: Dict[str, List[str]] = field(default_factory=dict)
     wall_seconds: float = 0.0
+    #: telemetry merged across every simulator the campaign built
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def all_claims_hold(self) -> bool:
@@ -44,7 +47,7 @@ def run_campaign(
     from repro.eval.fig6 import chart_fig6, check_fig6_shape, format_fig6, run_fig6
     from repro.eval.fig7 import check_fig7_shape, format_fig7, run_fig7
     from repro.eval.fig8 import check_fig8_shape, format_fig8, run_fig8
-    from repro.eval.reporting import format_table
+    from repro.eval.reporting import format_metrics_summary, format_table
     from repro.eval.table1 import check_table1_shape, format_table1, run_table1
 
     started = time.perf_counter()
@@ -59,78 +62,95 @@ def run_campaign(
         f"\nModels: {', '.join(models)}.",
     ]
 
-    sections.append("\n## Fig. 1 — GoogLeNet architecture walk\n")
-    sections.append(_code_block(format_fig1(run_fig1("googlenet"))))
+    with collect_metrics() as registries:
+        sections.append("\n## Fig. 1 — GoogLeNet architecture walk\n")
+        sections.append(_code_block(format_fig1(run_fig1("googlenet"))))
 
-    sections.append("\n## Fig. 6 — execution time of inference\n")
-    fig6_rows = run_fig6(models=models)
-    violations["fig6"] = check_fig6_shape(fig6_rows)
-    sections.append(_code_block(format_fig6(fig6_rows)))
-    sections.append(_code_block(chart_fig6(fig6_rows)))
+        sections.append("\n## Fig. 6 — execution time of inference\n")
+        fig6_rows = run_fig6(models=models)
+        violations["fig6"] = check_fig6_shape(fig6_rows)
+        sections.append(_code_block(format_fig6(fig6_rows)))
+        sections.append(_code_block(chart_fig6(fig6_rows)))
 
-    sections.append("\n## Fig. 7 — breakdown of the inference time\n")
-    fig7_bars = run_fig7(models=models)
-    violations["fig7"] = check_fig7_shape(fig7_bars)
-    sections.append(_code_block(format_fig7(fig7_bars)))
+        sections.append("\n## Fig. 7 — breakdown of the inference time\n")
+        fig7_bars = run_fig7(models=models)
+        violations["fig7"] = check_fig7_shape(fig7_bars)
+        sections.append(_code_block(format_fig7(fig7_bars)))
 
-    sections.append("\n## Fig. 8 — partial inference sweep\n")
-    fig8_points = run_fig8(models=models, max_points=6 if quick else None)
-    violations["fig8"] = check_fig8_shape(fig8_points)
-    sections.append(_code_block(format_fig8(fig8_points)))
+        sections.append("\n## Fig. 8 — partial inference sweep\n")
+        fig8_points = run_fig8(models=models, max_points=6 if quick else None)
+        violations["fig8"] = check_fig8_shape(fig8_points)
+        sections.append(_code_block(format_fig8(fig8_points)))
 
-    sections.append("\n## Table 1 — VM-based installation overhead\n")
-    table1_rows = run_table1(models=models)
-    violations["table1"] = check_table1_shape(table1_rows)
-    sections.append(_code_block(format_table1(table1_rows)))
+        sections.append("\n## Table 1 — VM-based installation overhead\n")
+        table1_rows = run_table1(models=models)
+        violations["table1"] = check_table1_shape(table1_rows)
+        sections.append(_code_block(format_table1(table1_rows)))
 
-    if include_ablations:
-        sections.append("\n## Ablations\n")
-        model = models[0]
-        sweep = ablations.bandwidth_sweep(model, (1, 4, 30, 120))
-        sections.append("### Bandwidth sweep\n")
-        sections.append(
-            _code_block(
-                format_table(
-                    ["Mbps", "offload s", "client s"],
-                    [
-                        [p.bandwidth_mbps, p.offload_seconds, p.client_seconds]
-                        for p in sweep
-                    ],
-                )
-            )
-        )
-        sections.append("### Baseline comparison\n")
-        sections.append(
-            _code_block(
-                format_table(
-                    ["approach", "first s", "steady s", "any app", "handover"],
-                    [
+        if include_ablations:
+            sections.append("\n## Ablations\n")
+            model = models[0]
+            sweep = ablations.bandwidth_sweep(model, (1, 4, 30, 120))
+            sections.append("### Bandwidth sweep\n")
+            sections.append(
+                _code_block(
+                    format_table(
+                        ["Mbps", "offload s", "client s"],
                         [
-                            row.approach,
-                            row.first_use_seconds,
-                            row.steady_state_seconds,
-                            str(row.any_app),
-                            str(row.stateless_handover),
-                        ]
-                        for row in ablations.baseline_comparison_study(model)
-                    ],
+                            [p.bandwidth_mbps, p.offload_seconds, p.client_seconds]
+                            for p in sweep
+                        ],
+                    )
                 )
             )
-        )
-        sections.append("### Session cache (the paper's future work)\n")
-        cache = ablations.session_cache_study(model)
-        sections.append(
-            _code_block(
-                format_table(
-                    ["quantity", "value"],
-                    [
-                        ["repeat w/o cache (s)", cache.repeat_without_cache_seconds],
-                        ["repeat w/ cache (s)", cache.repeat_with_cache_seconds],
-                        ["snapshot bytes saved", f"{cache.bytes_saving:.0%}"],
-                    ],
+            sections.append("### Baseline comparison\n")
+            sections.append(
+                _code_block(
+                    format_table(
+                        ["approach", "first s", "steady s", "any app", "handover"],
+                        [
+                            [
+                                row.approach,
+                                row.first_use_seconds,
+                                row.steady_state_seconds,
+                                str(row.any_app),
+                                str(row.stateless_handover),
+                            ]
+                            for row in ablations.baseline_comparison_study(model)
+                        ],
+                    )
                 )
             )
+            sections.append("### Session cache (the paper's future work)\n")
+            cache = ablations.session_cache_study(model)
+            sections.append(
+                _code_block(
+                    format_table(
+                        ["quantity", "value"],
+                        [
+                            ["repeat w/o cache (s)", cache.repeat_without_cache_seconds],
+                            ["repeat w/ cache (s)", cache.repeat_with_cache_seconds],
+                            ["snapshot bytes saved", f"{cache.bytes_saving:.0%}"],
+                        ],
+                    )
+                )
+            )
+
+    metrics = MetricsRegistry.merged(registries)
+    sections.append("\n## Telemetry\n")
+    sections.append(
+        f"Merged registry of {len(registries)} simulator runs "
+        f"({len(metrics)} series). Full export: rerun with "
+        "`python -m repro campaign --metrics-out metrics.prom`.\n"
+    )
+    sections.append(
+        _code_block(
+            format_metrics_summary(
+                metrics,
+                prefixes=("sessions_", "session_", "server_", "client_", "net_"),
+            )
         )
+    )
 
     sections.append("\n## Shape-claim verification\n")
     rows = [
@@ -148,6 +168,7 @@ def run_campaign(
         report_markdown="\n".join(sections) + "\n",
         violations=violations,
         wall_seconds=wall,
+        metrics=metrics,
     )
 
 

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
 
 
 def format_table(
@@ -81,6 +84,41 @@ def format_series(
     for index, label in enumerate(x_labels):
         rows.append([label] + [series[name][index] for name in series])
     return format_table(headers, rows, title=title)
+
+
+def format_metrics_summary(
+    registry: "MetricsRegistry",
+    title: str = "",
+    prefixes: Sequence[str] = (),
+) -> str:
+    """Render a registry snapshot as a table (one row per labeled series).
+
+    Counters and gauges show their value; histograms show count, sum and
+    mean.  ``prefixes`` restricts the output to matching family names
+    (e.g. ``("server_", "session_")``) so reports can show the series that
+    matter without the kernel-level firehose.
+    """
+    from repro.obs.metrics import Histogram
+
+    rows: List[List] = []
+    for metric in registry:
+        if prefixes and not any(metric.name.startswith(p) for p in prefixes):
+            continue
+        label_text = ",".join(f"{k}={v}" for k, v in metric.labels)
+        if isinstance(metric, Histogram):
+            rows.append(
+                [metric.name, label_text, metric.kind, metric.count,
+                 f"{metric.sum:.6g}", f"{metric.mean():.6g}"]
+            )
+        else:
+            rows.append(
+                [metric.name, label_text, metric.kind, "", f"{metric.value:.6g}", ""]
+            )
+    return format_table(
+        ["metric", "labels", "kind", "count", "value/sum", "mean"],
+        rows,
+        title=title,
+    )
 
 
 def format_bar_chart(

@@ -9,6 +9,12 @@ Spans are reconstructed from the phase breakdown in execution order
 (capture → uplink → restore → exec → capture → downlink → restore), which
 matches the actual timeline because the protocol is strictly sequential
 within one session.
+
+Sessions also record the same timeline live into their simulator's
+:class:`~repro.obs.spans.SpanRecorder` (``sim.spans``); use
+:func:`recorder_to_trace` / :func:`write_span_trace` to export everything a
+simulation traced — including spans other subsystems emitted — rather than
+reconstructing from one result.
 """
 
 from __future__ import annotations
@@ -16,20 +22,11 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Sequence
 
-from repro.core.session import SessionResult
+from repro.core.session import PHASE_TRACKS, SessionResult
+from repro.obs.spans import SpanRecorder, spans_to_trace
 
-#: (phase key, display name, track) in execution order
-_PHASE_TRACKS = (
-    ("client_exec", "DNN exec (front/local)", "client"),
-    ("snapshot_capture_client", "snapshot capture", "client"),
-    ("transfer_to_server", "snapshot uplink", "network"),
-    ("snapshot_restore_server", "snapshot restore", "server"),
-    ("server_exec", "DNN exec", "server"),
-    ("snapshot_capture_server", "delta capture", "server"),
-    ("transfer_to_client", "delta downlink", "network"),
-    ("snapshot_restore_client", "delta restore", "client"),
-    ("other", "queueing / protocol", "network"),
-)
+#: (phase key, display name, track) — canonical order lives in core.session
+_PHASE_TRACKS = PHASE_TRACKS
 
 _TRACK_IDS = {"client": 1, "network": 2, "server": 3}
 
@@ -87,6 +84,21 @@ def sessions_to_trace(results: Sequence[SessionResult]) -> Dict:
 def write_chrome_trace(path: str, results: Sequence[SessionResult]) -> str:
     """Write a trace JSON file; returns the path."""
     document = sessions_to_trace(results)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
+    return path
+
+
+def recorder_to_trace(
+    recorder: SpanRecorder, pid: int = 1, process_name: str = "simulation"
+) -> Dict:
+    """A Chrome trace document of everything a simulator's recorder holds."""
+    return spans_to_trace(recorder.spans, pid=pid, process_name=process_name)
+
+
+def write_span_trace(path: str, recorder: SpanRecorder) -> str:
+    """Write a simulator's recorded spans as a trace JSON file."""
+    document = recorder_to_trace(recorder)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=1)
     return path

@@ -41,6 +41,18 @@ class ChannelEnd:
         self._kind_waiters: Dict[str, Deque[SimEvent]] = {}
         self._handler: Optional[Callable[[Message], None]] = None
         self.received: List[Message] = []
+        self._sent_counter = sim.metrics.counter(
+            "net_messages_sent_total", help="messages handed to the link",
+            endpoint=name,
+        )
+        self._received_counter = sim.metrics.counter(
+            "net_messages_received_total", help="messages delivered to this end",
+            endpoint=name,
+        )
+        self._timeout_counter = sim.metrics.counter(
+            "net_recv_timeouts_total", help="recv waits that hit their deadline",
+            endpoint=name,
+        )
 
     # -- wiring (done by Channel) ------------------------------------------
     def _attach(self, outgoing: Link, peer: "ChannelEnd") -> None:
@@ -66,6 +78,7 @@ class ChannelEnd:
             size_bytes=size_bytes,
             headers=dict(headers),
         )
+        self._sent_counter.inc()
         return self._outgoing.transmit(message, self.peer._deliver)
 
     def send_message(self, message: Message) -> SimEvent:
@@ -74,11 +87,13 @@ class ChannelEnd:
             raise RuntimeError(f"endpoint {self.name} is not attached to a channel")
         message.sender = self.name
         message.recipient = self.peer.name
+        self._sent_counter.inc()
         return self._outgoing.transmit(message, self.peer._deliver)
 
     # -- receiving -------------------------------------------------------------
     def _deliver(self, message: Message) -> None:
         self.received.append(message)
+        self._received_counter.inc()
         if self._handler is not None:
             self._handler(message)
             return
@@ -138,6 +153,7 @@ class ChannelEnd:
         def expire() -> None:
             if not event.triggered:
                 self._discard_waiter(event)
+                self._timeout_counter.inc()
                 event.fail(
                     ReceiveTimeout(f"{self.name}: no {what} within {timeout}s")
                 )

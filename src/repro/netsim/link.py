@@ -87,6 +87,19 @@ class Link:
         self.dropped_count = 0
         self.bytes_sent = 0
         self._delivery_log: List[Tuple[float, Message]] = []
+        metrics = sim.metrics
+        self._bytes_counter = metrics.counter(
+            "net_bytes_sent_total", help="payload bytes put on the wire",
+            link=name,
+        )
+        self._delivered_counter = metrics.counter(
+            "net_messages_delivered_total", help="messages delivered", link=name
+        )
+        self._dropped_counter = metrics.counter(
+            "net_messages_dropped_total",
+            help="messages lost to loss or link-down",
+            link=name,
+        )
 
     # -- dynamic reconfiguration ------------------------------------------
     def set_profile(self, profile: NetemProfile) -> None:
@@ -134,6 +147,7 @@ class Link:
             return done
         if self.profile.loss and self.rng.chance(self.profile.loss):
             self.dropped_count += 1
+            self._dropped_counter.inc()
             # Bits still occupy the wire before being lost downstream.
             self._occupy(message.size_bytes)
             done.fail(LinkDown(f"message {message.msg_id} lost on {self.name}"))
@@ -144,14 +158,17 @@ class Link:
         if self.profile.jitter_s:
             arrival += self.rng.uniform(0.0, self.profile.jitter_s)
         self.bytes_sent += message.size_bytes
+        self._bytes_counter.inc(message.size_bytes)
 
         def deliver() -> None:
             if not self.up:
                 self.dropped_count += 1
+                self._dropped_counter.inc()
                 done.fail(LinkDown(f"link {self.name} went down in flight"))
                 return
             message.delivered_at = self.sim.now
             self.delivered_count += 1
+            self._delivered_counter.inc()
             self._delivery_log.append((self.sim.now, message))
             on_deliver(message)
             done.succeed(message)

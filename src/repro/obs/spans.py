@@ -1,0 +1,165 @@
+"""Lightweight span tracing on the virtual clock.
+
+A :class:`Span` is one named interval on a *track* (client CPU, network,
+server CPU, ...).  A :class:`SpanRecorder` collects finished spans; every
+:class:`~repro.sim.kernel.Simulator` owns one (``sim.spans``) so sessions
+and agents can emit their phase timeline as first-class data instead of
+ad-hoc result fields.  The recorder generalizes what
+:mod:`repro.eval.traces` reconstructs from a
+:class:`~repro.core.session.SessionResult`: the same Chrome Trace Event
+JSON can be produced directly from recorded spans via
+:meth:`SpanRecorder.to_chrome_trace`.
+
+Spans are plain data — ``(name, track, start, end, category, attrs)`` —
+and all times are virtual seconds, so traces are deterministic under a
+fixed seed.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+
+@dataclass
+class Span:
+    """One finished interval on the virtual timeline."""
+
+    name: str
+    track: str
+    start: float
+    end: float
+    category: str = ""
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class SpanRecorder:
+    """Collects finished spans in emission order."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self.clock: Callable[[], float] = clock or (lambda: 0.0)
+        self._spans: List[Span] = []
+
+    # -- recording ----------------------------------------------------------
+    def add(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        track: str = "main",
+        category: str = "",
+        **attrs: Any,
+    ) -> Span:
+        """Record a span with explicit endpoints (both in virtual seconds)."""
+        if end < start:
+            raise ValueError(f"span {name!r} ends before it starts ({start}..{end})")
+        span = Span(name, track, start, end, category, dict(attrs))
+        self._spans.append(span)
+        return span
+
+    @contextmanager
+    def span(
+        self, name: str, track: str = "main", category: str = "", **attrs: Any
+    ) -> Iterator[Dict[str, Any]]:
+        """Record the clock interval of a ``with`` block.
+
+        Yields the attrs dict so the body can attach results:
+
+        >>> recorder = SpanRecorder()
+        >>> with recorder.span("restore", track="server") as attrs:
+        ...     attrs["bytes"] = 1024
+        """
+        started = self.clock()
+        shared_attrs = dict(attrs)
+        try:
+            yield shared_attrs
+        finally:
+            self.add(name, started, self.clock(), track=track,
+                     category=category, **shared_attrs)
+
+    # -- reading ------------------------------------------------------------
+    @property
+    def spans(self) -> List[Span]:
+        return list(self._spans)
+
+    def by_track(self, track: str) -> List[Span]:
+        return [span for span in self._spans if span.track == track]
+
+    def by_category(self, category: str) -> List[Span]:
+        return [span for span in self._spans if span.category == category]
+
+    def total_seconds(self, category: str = "") -> float:
+        """Summed duration of all spans (optionally of one category)."""
+        spans = self.by_category(category) if category else self._spans
+        return sum(span.duration for span in spans)
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans)
+
+    # -- export -------------------------------------------------------------
+    def to_chrome_trace(self, pid: int = 1, process_name: str = "") -> Dict:
+        """A Chrome Trace Event document of every recorded span."""
+        return spans_to_trace(self._spans, pid=pid, process_name=process_name)
+
+
+def spans_to_events(
+    spans: Sequence[Span], pid: int = 1, process_name: str = ""
+) -> List[Dict]:
+    """Chrome Trace Event list ('M' metadata + complete 'X' spans, µs).
+
+    Tracks become threads, numbered in first-seen order so the exported
+    layout is stable for a deterministic simulation.
+    """
+    events: List[Dict] = []
+    if process_name:
+        events.append(
+            {"name": "process_name", "ph": "M", "pid": pid,
+             "args": {"name": process_name}}
+        )
+    track_ids: Dict[str, int] = {}
+    for span in spans:
+        if span.track not in track_ids:
+            track_ids[span.track] = len(track_ids) + 1
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": track_ids[span.track],
+                    "args": {"name": span.track},
+                }
+            )
+    for span in spans:
+        event = {
+            "name": span.name,
+            "cat": span.category or span.track,
+            "ph": "X",
+            "pid": pid,
+            "tid": track_ids[span.track],
+            "ts": round(span.start * 1e6, 3),
+            "dur": round(span.duration * 1e6, 3),
+            "args": {"seconds": span.duration, **span.attrs},
+        }
+        events.append(event)
+    return events
+
+
+def spans_to_trace(
+    spans: Sequence[Span], pid: int = 1, process_name: str = ""
+) -> Dict:
+    """A full Chrome trace document for a span list."""
+    return {
+        "traceEvents": spans_to_events(spans, pid=pid, process_name=process_name),
+        "displayTimeUnit": "ms",
+    }

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
+from repro.obs.metrics import MetricsRegistry, announce_registry
+from repro.obs.spans import SpanRecorder
 from repro.sim.clock import Clock
 from repro.sim.events import NORMAL, EventQueue, ScheduledEvent
 from repro.sim.process import AllOf, AnyOf, Process, SimEvent, Timeout
@@ -45,6 +47,20 @@ class Simulator:
         self.dispatched = 0
         self._trace: List[Tuple[float, str]] = []
         self._tracing = False
+        #: telemetry for everything running on this simulator
+        self.metrics = MetricsRegistry(clock=lambda: self.clock.now)
+        self.spans = SpanRecorder(clock=lambda: self.clock.now)
+        announce_registry(self.metrics)
+        self._dispatched_counter = self.metrics.counter(
+            "sim_events_dispatched_total", help="events fired by the kernel loop"
+        )
+        self._spawned_counter = self.metrics.counter(
+            "sim_processes_spawned_total", help="simulated processes started"
+        )
+        self._wakeup_counter = self.metrics.counter(
+            "sim_process_wakeups_total",
+            help="process resumptions (start + every wait completion)",
+        )
 
     # -- time ---------------------------------------------------------------
     @property
@@ -86,6 +102,7 @@ class Simulator:
     # -- process / event factories -------------------------------------------
     def spawn(self, generator: Generator, label: str = "") -> Process:
         """Start a simulated process from a generator."""
+        self._spawned_counter.inc()
         return Process(self, generator, label=label)
 
     def event(self, label: str = "") -> SimEvent:
@@ -123,6 +140,7 @@ class Simulator:
             return False
         self.clock.advance_to(event.time)
         self.dispatched += 1
+        self._dispatched_counter.inc()
         if self.dispatched > self.max_events:
             raise SimulationError(
                 f"dispatched more than {self.max_events} events; "

@@ -183,6 +183,7 @@ class Process(SimEvent):
     def _resume(self, event: Optional[SimEvent]) -> None:
         if self.triggered:
             return
+        self.sim._wakeup_counter.inc()
         if event is self._waiting_on:
             self._waiting_on = None
         if event is not None and event.ok is False:

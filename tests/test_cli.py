@@ -75,3 +75,49 @@ class TestCommands:
         assert main(["demo"]) == 0
         out = capsys.readouterr().out
         assert "correct: True" in out
+
+
+class TestMetricsCli:
+    def test_metrics_prometheus_output_parses(self, capsys):
+        from repro.obs import parse_prometheus_text
+
+        assert main(["metrics"]) == 0
+        parsed = parse_prometheus_text(capsys.readouterr().out)
+        assert parsed["types"]["server_executions_total"] == "counter"
+        key = ("server_executions_total", (("server", "edge-1"),))
+        assert parsed["samples"][key] == 1
+
+    def test_metrics_json_format(self, capsys):
+        import json
+
+        assert main(["metrics", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["metrics"]["server_executions_total"]["kind"] == "counter"
+
+    def test_metrics_trace_out(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        assert main(["metrics", "--trace-out", str(trace)]) == 0
+        with open(trace, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert any(e["ph"] == "X" for e in document["traceEvents"])
+
+    def test_metrics_out_writes_prometheus_file(self, tmp_path, capsys):
+        from repro.obs import parse_prometheus_text
+
+        out_file = tmp_path / "telemetry.prom"
+        assert main(["fig6", "--models", "agenet", "--metrics-out", str(out_file)]) == 0
+        parsed = parse_prometheus_text(out_file.read_text(encoding="utf-8"))
+        assert any(
+            name == "sessions_total" for name, _ in parsed["samples"]
+        )
+        assert "metrics written to" in capsys.readouterr().out
+
+    def test_metrics_out_json_extension(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "telemetry.json"
+        assert main(["demo", "--metrics-out", str(out_file)]) == 0
+        document = json.loads(out_file.read_text(encoding="utf-8"))
+        assert "sim_events_dispatched_total" in document["metrics"]

@@ -1,11 +1,18 @@
 """Tests for Chrome-trace export."""
 
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.eval.scenarios import Testbed
-from repro.eval.traces import session_to_events, sessions_to_trace, write_chrome_trace
+from repro.eval.traces import (
+    recorder_to_trace,
+    session_to_events,
+    sessions_to_trace,
+    write_chrome_trace,
+    write_span_trace,
+)
 
 
 @pytest.fixture(scope="module")
@@ -56,3 +63,47 @@ class TestTraceExport:
             document = json.load(handle)
         assert "traceEvents" in document
         assert any(event["ph"] == "X" for event in document["traceEvents"])
+
+
+class TestGoldenTrace:
+    """The exporter's exact output is locked by a checked-in fixture.
+
+    Any change to span naming, track assignment, timestamp math or JSON
+    layout shows up as a diff against
+    ``tests/fixtures/chrome_trace_smallnet_offload.json`` — regenerate it
+    deliberately with ``write_chrome_trace`` if the change is intended.
+    """
+
+    FIXTURE = Path(__file__).parent / "fixtures" / "chrome_trace_smallnet_offload.json"
+
+    def test_trace_matches_checked_in_fixture(self, result):
+        with open(self.FIXTURE, "r", encoding="utf-8") as handle:
+            golden = json.load(handle)
+        assert sessions_to_trace([result]) == golden
+
+    def test_fixture_is_well_formed(self):
+        with open(self.FIXTURE, "r", encoding="utf-8") as handle:
+            golden = json.load(handle)
+        assert golden["displayTimeUnit"] == "ms"
+        spans = [e for e in golden["traceEvents"] if e["ph"] == "X"]
+        assert spans == sorted(spans, key=lambda e: e["ts"])
+        tids = {e["tid"] for e in spans}
+        named = {e["tid"] for e in golden["traceEvents"] if e["name"] == "thread_name"}
+        assert tids <= named
+
+    def test_recorder_trace_agrees_with_session_trace(self):
+        testbed = Testbed()
+        result = testbed.run_offload("smallnet", wait_for_ack=True)
+        document = recorder_to_trace(testbed.sim.spans)
+        spans = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        phase_spans = [e for e in spans if e["cat"] == "session-phase"]
+        total_us = sum(e["dur"] for e in phase_spans)
+        assert total_us == pytest.approx(result.total_seconds * 1e6, rel=1e-3)
+
+    def test_write_span_trace_round_trips(self, tmp_path):
+        testbed = Testbed()
+        testbed.run_offload("smallnet", wait_for_ack=True)
+        path = write_span_trace(str(tmp_path / "spans.json"), testbed.sim.spans)
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert any(e["ph"] == "X" for e in document["traceEvents"])

@@ -124,3 +124,79 @@ class TestRetransmission:
         process = offload(sim, client, model, reply_timeout=0.5, retries=10)
         assert process.ok
         assert server.served_requests == 1
+
+
+class TestReliabilityTelemetry:
+    """Counter-backed versions of the failure stories: the registry must
+    tell the same story the protocol state does."""
+
+    def test_lossy_downlink_executes_at_most_once(self):
+        sim, client, server, channel, model = make_world()
+        channel.link_ba.set_profile(
+            NetemProfile(bandwidth_bps=30e6, latency_s=0.001, loss=0.999999)
+        )
+        sim.schedule(1.0, lambda: channel.link_ba.set_profile(
+            NetemProfile(bandwidth_bps=30e6, latency_s=0.001)
+        ))
+        process = offload(sim, client, model, reply_timeout=2.0, retries=5)
+        assert process.ok
+        assert server.executions == 1
+        cached = sim.metrics.value("server_replies_from_cache_total", server="edge")
+        retransmissions = sim.metrics.value(
+            "client_retransmissions_total", client="client"
+        )
+        timeouts = sim.metrics.value("client_reply_timeouts_total", client="client")
+        assert cached >= 1
+        assert retransmissions == cached  # lossless uplink: all arrive
+        assert timeouts == retransmissions
+        assert sim.metrics.value("net_messages_sent_total", endpoint="client") >= 2
+
+    def test_restart_between_offloads_falls_back_and_reexecutes(self):
+        sim, client, server, channel, model = make_world()
+        first = offload(sim, client, model)
+        assert first.ok and first.value.snapshot.kind == "full"
+        server.restart()
+        second = offload(sim, client, model)
+        assert second.ok
+        # The client tried a delta, was told the session is gone, and
+        # transparently re-sent a full snapshot; both requests executed.
+        assert second.value.snapshot.kind == "full"
+        assert server.executions == 2
+        assert sim.metrics.value("server_restarts_total", server="edge") == 1
+        assert sim.metrics.value(
+            "client_session_fallbacks_total", client="client"
+        ) == 1
+
+    def test_restart_mid_session_reexecutes_after_reply_loss(self):
+        # The reply to the first execution is lost AND the server restarts
+        # before the retransmission lands: the reply cache is gone, so the
+        # at-most-once guarantee degrades (by design) to a re-execution —
+        # the client still converges on a correct answer.
+        sim, client, server, channel, model = make_world()
+        channel.link_ba.set_profile(
+            NetemProfile(bandwidth_bps=30e6, latency_s=0.001, loss=0.999999)
+        )
+        sim.schedule(1.0, lambda: channel.link_ba.set_profile(
+            NetemProfile(bandwidth_bps=30e6, latency_s=0.001)
+        ))
+        sim.schedule(1.5, server.restart)
+        process = offload(sim, client, model, reply_timeout=2.0, retries=5)
+        assert process.ok
+        assert server.executions == 2
+        assert sim.metrics.value(
+            "server_replies_from_cache_total", server="edge"
+        ) == 0
+        assert "label" in client.runtime.document.get("result").text_content
+
+    def test_exhausted_retries_count_failures(self):
+        sim, client, server, channel, model = make_world()
+        channel.go_down()
+        process = offload(sim, client, model, reply_timeout=0.5, retries=2)
+        assert process.ok is False
+        assert sim.metrics.value(
+            "client_offload_failures_total", client="client"
+        ) == 1
+        assert sim.metrics.value(
+            "client_reply_timeouts_total", client="client"
+        ) == 3
+        assert server.executions == 0

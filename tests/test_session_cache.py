@@ -193,3 +193,75 @@ class TestSessionCache:
         client.runtime.globals["ui_theme"] = "dark"
         second = offload_once(sim, client, model)
         assert "ui_theme" not in second.snapshot.program
+
+
+class TestCacheTelemetry:
+    """The hit/miss/eviction counters expose the LRU cache's behaviour."""
+
+    def _metric(self, sim, name, **labels):
+        return sim.metrics.value(name, **labels)
+
+    def test_hits_and_size_gauge(self, world):
+        sim, client, server, model = world
+        offload_once(sim, client, model)          # full: neither hit nor miss
+        offload_once(sim, client, model)          # delta: cache hit
+        assert self._metric(sim, "server_session_cache_hits_total", server="edge") == 1
+        assert self._metric(sim, "server_session_cache_misses_total", server="edge") == 0
+        assert self._metric(sim, "server_session_cache_size", server="edge") == 1
+
+    def test_eviction_past_capacity_counted(self):
+        sim = Simulator()
+        server = EdgeServer(
+            sim,
+            Device(sim, edge_server_x86()),
+            name="edge",
+            session_cache_capacity=1,
+        )
+        clients = []
+        for index in range(2):
+            channel = Channel(
+                sim, f"client-{index}", "edge", NetemProfile.wifi_30mbps()
+            )
+            server.serve(channel.end_b)
+            client = ClientAgent(
+                sim,
+                Device(sim, odroid_xu4_client()),
+                channel.end_a,
+                capture_options=CaptureOptions(include_canvas_pixels=True),
+            )
+            model = smallnet(seed=index)
+            client.start_app(make_inference_app(model), presend=True)
+            client.runtime.globals["pending_pixels"] = TypedArray(
+                SeededRng(index, "px").uniform_array((3, 32, 32), 0, 255)
+            )
+            client.runtime.dispatch("click", "load_btn")
+            client.mark_offload_point("click", "infer_btn")
+            clients.append((client, model))
+        sim.run()
+        offload_once(sim, *clients[0])
+        offload_once(sim, *clients[1])  # evicts client 0's session
+        value = lambda name: sim.metrics.value(name, server="edge")
+        assert value("server_session_cache_evictions_total") == 1
+        assert value("server_session_cache_size") == 1
+        # Client 0's delta now misses; the transparent fallback re-fills
+        # the cache, evicting client 1 in turn.
+        recovered = offload_once(sim, *clients[0])
+        assert recovered.snapshot.kind == "full"
+        assert value("server_session_cache_misses_total") == 1
+        assert value("server_session_cache_evictions_total") == 2
+        assert (
+            sim.metrics.value(
+                "client_session_fallbacks_total", client="client-0"
+            )
+            == 1
+        )
+
+    def test_session_loss_fallback_counted(self, world):
+        sim, client, server, model = world
+        offload_once(sim, client, model)
+        server.restart()
+        recovered = offload_once(sim, client, model)
+        assert recovered.snapshot.kind == "full"
+        assert sim.metrics.value("server_restarts_total", server="edge") == 1
+        assert sim.metrics.value("server_session_cache_misses_total", server="edge") == 1
+        assert sim.metrics.value("client_session_fallbacks_total", client="client") == 1
