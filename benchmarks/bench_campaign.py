@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Campaign wall-clock benchmark: serial vs parallel vs result-cached.
+
+Runs the same reproduction campaign four ways —
+
+1. serial, no cache           (the baseline everything is measured against)
+2. ``--jobs N`` process pool  (N defaults to the machine's core count)
+3. serial into a cold cache   (baseline + cache-write overhead)
+4. serial against a warm cache (every section served from disk)
+
+— verifies the four reports are byte-identical, and writes the timings,
+speedups and cache statistics to ``BENCH_perf.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py [--full] [--jobs N]
+
+``--quick`` mode (the default) is the CI-sized campaign (one model,
+truncated sweeps); ``--full`` runs all three paper models.  Note the
+parallel speedup is bounded by the machine: on a single-core container
+the process pool only adds overhead, which the JSON records honestly
+(``cpu_count`` is part of the output).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.eval.campaign import run_campaign  # noqa: E402
+
+
+def _timed_campaign(label: str, **kwargs):
+    """One campaign run; returns (wall_seconds, result)."""
+    print(f"-- {label} ...", flush=True)
+    started = time.perf_counter()
+    result = run_campaign(**kwargs)
+    wall = time.perf_counter() - started
+    stats = result.engine_stats
+    print(
+        f"   {wall:6.2f}s wall  (jobs={stats.jobs}, "
+        f"{stats.cache_hits}/{len(stats.tasks)} cached, "
+        f"compute {stats.compute_seconds:.2f}s)",
+        flush=True,
+    )
+    return wall, result
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the full campaign (all paper models) instead of --quick",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the parallel stage (default: cpu count)",
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(REPO_ROOT, "BENCH_perf.json"),
+        help="where to write the JSON results (default: repo-root BENCH_perf.json)",
+    )
+    args = parser.parse_args(argv)
+
+    quick = not args.full
+    jobs = args.jobs or (os.cpu_count() or 1)
+    common = {"quick": quick}
+
+    # One unrecorded run first so every measured stage sees the same
+    # process state (model zoo + conv caches warm) — otherwise whichever
+    # stage runs first eats the one-time build cost.
+    _timed_campaign("warmup (unrecorded)", jobs=1, **common)
+    serial_wall, serial = _timed_campaign("serial (jobs=1)", jobs=1, **common)
+    parallel_wall, parallel = _timed_campaign(
+        f"parallel (jobs={jobs})", jobs=jobs, **common
+    )
+    with tempfile.TemporaryDirectory(prefix="bench-cache-") as cache_dir:
+        cold_wall, cold = _timed_campaign(
+            "cache cold", jobs=1, cache_dir=cache_dir, **common
+        )
+        warm_wall, warm = _timed_campaign(
+            "cache warm", jobs=1, cache_dir=cache_dir, **common
+        )
+
+    reports = {
+        "serial": serial.report_markdown,
+        "parallel": parallel.report_markdown,
+        "cache_cold": cold.report_markdown,
+        "cache_warm": warm.report_markdown,
+    }
+    baseline = _digest(reports["serial"])
+    identical = {name: _digest(text) == baseline for name, text in reports.items()}
+
+    payload = {
+        "campaign": "quick" if quick else "full",
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "stages": {
+            "serial": {"wall_seconds": round(serial_wall, 3),
+                       **serial.engine_stats.as_dict()},
+            "parallel": {"wall_seconds": round(parallel_wall, 3),
+                         **parallel.engine_stats.as_dict()},
+            "cache_cold": {"wall_seconds": round(cold_wall, 3),
+                           **cold.engine_stats.as_dict()},
+            "cache_warm": {"wall_seconds": round(warm_wall, 3),
+                           **warm.engine_stats.as_dict()},
+        },
+        "speedup": {
+            "parallel_vs_serial": round(serial_wall / parallel_wall, 3),
+            "warm_cache_vs_serial": round(serial_wall / warm_wall, 3),
+            "cold_cache_overhead": round(cold_wall / serial_wall, 3),
+        },
+        "cache": {
+            "cold_hits": cold.engine_stats.cache_hits,
+            "warm_hits": warm.engine_stats.cache_hits,
+            "warm_total": len(warm.engine_stats.tasks),
+        },
+        "reports_identical": identical,
+        "all_claims_hold": all(
+            r.all_claims_hold for r in (serial, parallel, cold, warm)
+        ),
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nresults written to {args.out}")
+
+    failures = [name for name, same in identical.items() if not same]
+    if failures:
+        print(f"ERROR: reports diverged from serial baseline: {failures}",
+              file=sys.stderr)
+        return 1
+    if warm.engine_stats.cache_hits != len(warm.engine_stats.tasks):
+        print("ERROR: warm cache run recomputed sections", file=sys.stderr)
+        return 1
+    print(
+        f"parallel {payload['speedup']['parallel_vs_serial']:.2f}x, "
+        f"warm cache {payload['speedup']['warm_cache_vs_serial']:.2f}x "
+        f"vs serial; all reports byte-identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

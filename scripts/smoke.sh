@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # End-to-end smoke check: unit tests, a quick campaign with telemetry
-# export, and a parse check on the exported metrics.
+# export, a parse check on the exported metrics, and the execution
+# engine's determinism contract (a --jobs 2 campaign plus a warm-cache
+# rerun must reproduce the serial report byte for byte, and the warm
+# run must not be slower than the cold one).
 #
 #   scripts/smoke.sh [output-dir]
 #
@@ -14,15 +17,15 @@ mkdir -p "$out_dir"
 cd "$repo_root"
 export PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== 1/3 unit + property tests"
+echo "== 1/4 unit + property tests"
 python -m pytest -x -q
 
-echo "== 2/3 quick campaign with telemetry export"
+echo "== 2/4 quick campaign with telemetry export"
 python -m repro campaign --quick \
     --out "$out_dir/report.md" \
     --metrics-out "$out_dir/metrics.prom"
 
-echo "== 3/3 exported metrics parse + sanity"
+echo "== 3/4 exported metrics parse + sanity"
 python - "$out_dir/metrics.prom" <<'PY'
 import sys
 
@@ -39,6 +42,31 @@ assert sessions > 0, "campaign exported no sessions"
 assert executions > 0, "campaign exported no server executions"
 print(f"ok: {len(samples)} samples, {sessions:.0f} sessions, "
       f"{executions:.0f} server executions")
+PY
+
+echo "== 4/4 execution engine: parallel + cache determinism"
+cache_dir="$out_dir/result-cache"
+rm -rf "$cache_dir"
+cold_start=$(python -c 'import time; print(time.perf_counter())')
+python -m repro campaign --quick --jobs 2 --cache-dir "$cache_dir" \
+    --out "$out_dir/report-jobs2-cold.md" > /dev/null
+cold_end=$(python -c 'import time; print(time.perf_counter())')
+python -m repro campaign --quick --jobs 2 --cache-dir "$cache_dir" \
+    --out "$out_dir/report-jobs2-warm.md" > /dev/null
+warm_end=$(python -c 'import time; print(time.perf_counter())')
+
+cmp "$out_dir/report.md" "$out_dir/report-jobs2-cold.md" || {
+    echo "FAIL: --jobs 2 report differs from the serial report" >&2; exit 1; }
+cmp "$out_dir/report.md" "$out_dir/report-jobs2-warm.md" || {
+    echo "FAIL: warm-cache report differs from the serial report" >&2; exit 1; }
+python - "$cold_start" "$cold_end" "$warm_end" <<'PY'
+import sys
+
+cold_start, cold_end, warm_end = map(float, sys.argv[1:])
+cold = cold_end - cold_start
+warm = warm_end - cold_end
+print(f"ok: cold {cold:.1f}s, warm {warm:.1f}s (reports byte-identical)")
+assert warm <= cold, f"cached rerun slower than cold run ({warm:.1f}s > {cold:.1f}s)"
 PY
 
 echo "smoke ok — artifacts in $out_dir"

@@ -15,7 +15,12 @@ Usage::
 Every command prints the same rows/series the paper reports and exits 0
 only if the paper's shape claims hold.  Run/campaign commands accept
 ``--metrics-out PATH`` to dump the merged telemetry of every simulator the
-command built (Prometheus text, or JSON when the path ends in ``.json``).
+command built (Prometheus text, or JSON when the path ends in ``.json``),
+plus the execution-engine flags ``--jobs N`` (fan independent sections
+across N worker processes), ``--cache-dir DIR`` (content-addressed result
+cache; unchanged scenarios are served from disk) and ``--no-cache``.
+Results are byte-identical whichever way a command executes; see
+``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -56,6 +61,39 @@ def _add_metrics_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_exec_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run independent sections across N worker processes "
+        "(default: 1, serial; results are identical either way)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache: unchanged scenarios are "
+        "served from here instead of re-simulated",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir (force recomputation)",
+    )
+
+
+def _engine_from_args(args: argparse.Namespace):
+    """Build the execution engine the CLI flags describe."""
+    from repro.exec import ExecutionEngine, ResultCache
+
+    cache = None
+    if args.cache_dir and not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+    return ExecutionEngine(jobs=args.jobs, cache=cache)
+
+
 def _fail_on_violations(violations: List[str]) -> int:
     if violations:
         print("\nSHAPE VIOLATIONS:", file=sys.stderr)
@@ -77,7 +115,11 @@ def cmd_fig1(args: argparse.Namespace) -> int:
 def cmd_fig6(args: argparse.Namespace) -> int:
     from repro.eval.fig6 import chart_fig6, check_fig6_shape, format_fig6, run_fig6
 
-    rows = run_fig6(models=args.models, bandwidth_bps=args.bandwidth * 1e6)
+    rows = run_fig6(
+        models=args.models,
+        bandwidth_bps=args.bandwidth * 1e6,
+        engine=_engine_from_args(args),
+    )
     print(format_fig6(rows))
     print()
     print(chart_fig6(rows))
@@ -87,7 +129,11 @@ def cmd_fig6(args: argparse.Namespace) -> int:
 def cmd_fig7(args: argparse.Namespace) -> int:
     from repro.eval.fig7 import check_fig7_shape, format_fig7, run_fig7
 
-    bars = run_fig7(models=args.models, bandwidth_bps=args.bandwidth * 1e6)
+    bars = run_fig7(
+        models=args.models,
+        bandwidth_bps=args.bandwidth * 1e6,
+        engine=_engine_from_args(args),
+    )
     print(format_fig7(bars))
     return _fail_on_violations(check_fig7_shape(bars))
 
@@ -99,6 +145,7 @@ def cmd_fig8(args: argparse.Namespace) -> int:
         models=args.models,
         bandwidth_bps=args.bandwidth * 1e6,
         max_points=args.max_points,
+        engine=_engine_from_args(args),
     )
     print(format_fig8(points))
     return _fail_on_violations(check_fig8_shape(points))
@@ -107,123 +154,59 @@ def cmd_fig8(args: argparse.Namespace) -> int:
 def cmd_table1(args: argparse.Namespace) -> int:
     from repro.eval.table1 import check_table1_shape, format_table1, run_table1
 
-    rows = run_table1(models=args.models, bandwidth_bps=args.bandwidth * 1e6)
+    rows = run_table1(
+        models=args.models,
+        bandwidth_bps=args.bandwidth * 1e6,
+        engine=_engine_from_args(args),
+    )
     print(format_table1(rows))
     return _fail_on_violations(check_table1_shape(rows))
 
 
 def cmd_ablation(args: argparse.Namespace) -> int:
-    from repro.eval import ablations
-    from repro.eval.reporting import format_table
+    from repro.exec import Task
 
-    name = args.which
-    if name == "bandwidth":
-        points = ablations.bandwidth_sweep("googlenet")
-        print(
-            format_table(
-                ["Mbps", "offload s", "client s", "offload wins"],
-                [
-                    [p.bandwidth_mbps, p.offload_seconds, p.client_seconds, str(p.offload_wins)]
-                    for p in points
-                ],
+    engine = _engine_from_args(args)
+    [outcome] = engine.run(
+        [
+            Task.make(
+                f"ablation/{args.which}",
+                "repro.eval.ablations.study_report",
+                {"which": args.which},
             )
-        )
-    elif name == "partition":
-        for mbps, label in ablations.partition_adaptivity("googlenet").items():
-            print(f"{mbps:>6g} Mbps -> {label}")
-    elif name == "decision":
-        for outcome in ablations.decision_study():
-            print(
-                f"{outcome.model}: policy={outcome.decision.action} "
-                f"measured={outcome.measured_best} agrees={outcome.policy_agrees}"
-            )
-    elif name == "snapshot":
-        sizes = ablations.snapshot_optimization_study("googlenet")
-        print(f"conservative  : {sizes.conservative_bytes / 1e6:.2f} MB")
-        print(f"live-only     : {sizes.live_only_bytes / 1e6:.2f} MB")
-        print(f"live+data-URL : {sizes.data_url_bytes / 1e6:.2f} MB")
-    elif name == "gpu":
-        study = ablations.gpu_server_study()
-        print(f"CPU server : {study.cpu_offload_seconds:.2f} s")
-        print(f"GPU server : {study.gpu_offload_seconds:.2f} s "
-              f"(exec {study.gpu_server_exec_seconds:.3f} s)")
-    elif name == "energy":
-        study = ablations.energy_study()
-        print(f"local   : {study.local_joules:.1f} J")
-        print(f"offload : {study.offload_joules:.1f} J")
-    elif name == "cache":
-        study = ablations.session_cache_study()
-        print(f"first offload        : {study.first_offload_seconds:.2f} s")
-        print(f"repeat, full snapshot: {study.repeat_without_cache_seconds:.2f} s")
-        print(f"repeat, delta        : {study.repeat_with_cache_seconds:.2f} s "
-              f"({study.bytes_saving:.0%} fewer bytes)")
-    elif name == "contention":
-        from repro.eval.workloads import contention_study
-
-        for count, report in contention_study("smallnet", (1, 2, 4, 8)).items():
-            print(f"{count} clients: mean {report.mean_latency * 1000:6.1f} ms")
-    elif name == "quantization":
-        for impact in ablations.quantization_study("agenet"):
-            print(
-                f"{impact.bits:2d} bits: agreement {impact.agreement:.0%}, "
-                f"-{impact.size_reduction:.0%} bytes"
-            )
-    elif name == "scaling":
-        for point in ablations.model_size_scaling_study():
-            print(
-                f"{point.model:10s} {point.model_mb:6.1f} MB: presend "
-                f"{point.presend_seconds:5.1f}s, policy={point.policy_action}"
-            )
-    elif name == "variability":
-        study = ablations.variability_study(seed=3)
-        print(f"fixed 1st_pool: {study.fixed_total_seconds:.1f}s")
-        print(f"adaptive      : {study.adaptive_total_seconds:.1f}s "
-              f"(points: {study.adaptive_points})")
-    elif name == "baselines":
-        for row in ablations.baseline_comparison_study():
-            print(
-                f"{row.approach:32s} first {row.first_use_seconds:6.2f}s "
-                f"steady {row.steady_state_seconds:5.2f}s "
-                f"any_app={row.any_app} handover={row.stateless_handover}"
-            )
-    elif name == "placement":
-        for row in ablations.edge_vs_cloud_study():
-            print(
-                f"{row.location:10s} total {row.total_seconds:5.2f}s "
-                f"(migration {row.migration_seconds:.2f}s, "
-                f"exec {row.server_exec_seconds:.2f}s)"
-            )
-    elif name == "streaming":
-        from repro.eval.streaming import run_stream
-
-        for mode, kwargs in (
-            ("client", {}),
-            ("offload", {}),
-            ("offload+gpu", {"server_speedup": 80.0}),
-        ):
-            report = run_stream(
-                "agenet",
-                frames=4,
-                fps=1.0,
-                mode="client" if mode == "client" else "offload",
-                **kwargs,
-            )
-            print(
-                f"{mode:12s} fps {report.achieved_fps:5.2f} "
-                f"latency {report.mean_latency:5.2f}s keeps_up={report.keeps_up}"
-            )
+        ]
+    )
+    print(outcome.payload)
     return 0
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.eval.campaign import run_campaign, write_report
 
-    result = run_campaign(quick=args.quick)
+    result = run_campaign(
+        quick=args.quick,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        include_timings=args.timings,
+    )
+    stats = result.engine_stats
     if args.out:
         write_report(args.out, result)
-        print(f"report written to {args.out} ({result.wall_seconds:.1f}s)")
+        print(
+            f"report written to {args.out} ({result.wall_seconds:.1f}s, "
+            f"jobs={stats.jobs}, {stats.cache_hits}/{len(stats.tasks)} "
+            "sections cached)"
+        )
     else:
         print(result.report_markdown)
+    for task_stats in stats.tasks:
+        cached = " (cached)" if task_stats.cached else ""
+        print(f"  {task_stats.key:28s} {task_stats.wall_seconds:7.2f}s{cached}")
+    print(
+        f"  {'total wall':28s} {result.wall_seconds:7.2f}s "
+        f"(compute {stats.compute_seconds:.2f}s, jobs={stats.jobs})"
+    )
     if not result.all_claims_hold:
         flat = [item for items in result.violations.values() for item in items]
         return _fail_on_violations(flat)
@@ -278,25 +261,23 @@ def build_parser() -> argparse.ArgumentParser:
         _add_models_arg(p)
         _add_bandwidth_arg(p)
         _add_metrics_arg(p)
+        _add_exec_args(p)
         p.set_defaults(func=func)
 
     p = sub.add_parser("fig8", help="partial-inference sweep")
     _add_models_arg(p)
     _add_bandwidth_arg(p)
     _add_metrics_arg(p)
+    _add_exec_args(p)
     p.add_argument("--max-points", type=int, default=None)
     p.set_defaults(func=cmd_fig8)
 
     p = sub.add_parser("ablation", help="run one ablation study")
-    p.add_argument(
-        "which",
-        choices=(
-            "bandwidth", "partition", "decision", "snapshot",
-            "gpu", "energy", "cache", "contention", "quantization",
-            "scaling", "variability", "baselines", "placement", "streaming",
-        ),
-    )
+    from repro.eval.ablations import STUDY_NAMES
+
+    p.add_argument("which", choices=STUDY_NAMES)
     _add_metrics_arg(p)
+    _add_exec_args(p)
     p.set_defaults(func=cmd_ablation)
 
     p = sub.add_parser("demo", help="one offloaded GoogLeNet inference")
@@ -333,7 +314,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--quick", action="store_true", help="one model, truncated sweeps"
     )
+    p.add_argument(
+        "--timings",
+        action="store_true",
+        help="embed the wall-clock timing table in the report (makes the "
+        "report non-deterministic across runs)",
+    )
     _add_metrics_arg(p)
+    _add_exec_args(p)
     p.set_defaults(func=cmd_campaign)
     return parser
 

@@ -24,6 +24,8 @@ attachments referenced by index (the data-URL analog).
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -53,11 +55,63 @@ def digest(text: str) -> str:
 #: printf format for tensor values; full float32 round-trip precision
 _TENSOR_FORMAT = "%.10e"
 
+#: total bytes of rendered text kept in the memo below.  A GoogLeNet
+#: first-conv feature renders to ~14 MB, so the budget holds a handful of
+#: large tensors — enough to cover the repeated captures of one campaign
+#: section without letting a sweep hoard memory.
+TEXT_CACHE_BUDGET_BYTES = 64 * 1024 * 1024
+
+_text_cache: "OrderedDict[bytes, str]" = OrderedDict()
+_text_cache_bytes = 0
+_text_cache_hits = 0
+_text_cache_misses = 0
+
 
 def render_tensor_text(array: np.ndarray) -> str:
-    """Serialize a tensor's values as space-separated decimal literals."""
+    """Serialize a tensor's values as space-separated decimal literals.
+
+    Memoized by content digest: simulators snapshot the same feature
+    tensor many times per session (capture, re-capture after restore,
+    fingerprinting), and formatting millions of floats dominates those
+    paths.  The memo is an LRU bounded by :data:`TEXT_CACHE_BUDGET_BYTES`
+    of rendered text; oversized singletons are returned without caching.
+    """
+    global _text_cache_bytes, _text_cache_hits, _text_cache_misses
     flat = np.asarray(array, dtype=np.float32).ravel()
-    return " ".join(_TENSOR_FORMAT % value for value in flat)
+    key = hashlib.sha1(flat.tobytes()).digest()
+    cached = _text_cache.get(key)
+    if cached is not None:
+        _text_cache.move_to_end(key)
+        _text_cache_hits += 1
+        return cached
+    _text_cache_misses += 1
+    text = " ".join(_TENSOR_FORMAT % value for value in flat)
+    if len(text) <= TEXT_CACHE_BUDGET_BYTES:
+        while _text_cache and _text_cache_bytes + len(text) > TEXT_CACHE_BUDGET_BYTES:
+            _, evicted = _text_cache.popitem(last=False)
+            _text_cache_bytes -= len(evicted)
+        _text_cache[key] = text
+        _text_cache_bytes += len(text)
+    return text
+
+
+def text_cache_info() -> Dict[str, int]:
+    """Introspection for tests and benchmarks."""
+    return {
+        "entries": len(_text_cache),
+        "bytes": _text_cache_bytes,
+        "hits": _text_cache_hits,
+        "misses": _text_cache_misses,
+    }
+
+
+def clear_text_cache() -> None:
+    """Drop the tensor-text memo (test isolation)."""
+    global _text_cache_bytes, _text_cache_hits, _text_cache_misses
+    _text_cache.clear()
+    _text_cache_bytes = 0
+    _text_cache_hits = 0
+    _text_cache_misses = 0
 
 
 def parse_tensor_text(text: str, shape: Tuple[int, ...]) -> np.ndarray:

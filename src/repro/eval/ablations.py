@@ -731,3 +731,126 @@ def energy_study(
         local_joules=energy.local_execution_joules(local.total_seconds),
         offload_joules=energy.offloaded_joules(client_compute, radio, max(0.0, wait)),
     )
+
+
+# -- CLI rendering ---------------------------------------------------------------
+
+#: study names `repro ablation` accepts, in menu order
+STUDY_NAMES = (
+    "bandwidth", "partition", "decision", "snapshot",
+    "gpu", "energy", "cache", "contention", "quantization",
+    "scaling", "variability", "baselines", "placement", "streaming",
+)
+
+
+def study_report(which: str) -> str:
+    """Run one ablation study and render its report text.
+
+    This is the body of ``repro ablation <which>`` factored into an
+    importable function so the execution engine can run (and cache) it
+    like any other task.
+    """
+    from repro.eval.reporting import format_table
+
+    lines: List[str] = []
+    if which == "bandwidth":
+        points = bandwidth_sweep("googlenet")
+        lines.append(
+            format_table(
+                ["Mbps", "offload s", "client s", "offload wins"],
+                [
+                    [p.bandwidth_mbps, p.offload_seconds, p.client_seconds,
+                     str(p.offload_wins)]
+                    for p in points
+                ],
+            )
+        )
+    elif which == "partition":
+        for mbps, label in partition_adaptivity("googlenet").items():
+            lines.append(f"{mbps:>6g} Mbps -> {label}")
+    elif which == "decision":
+        for outcome in decision_study():
+            lines.append(
+                f"{outcome.model}: policy={outcome.decision.action} "
+                f"measured={outcome.measured_best} agrees={outcome.policy_agrees}"
+            )
+    elif which == "snapshot":
+        sizes = snapshot_optimization_study("googlenet")
+        lines.append(f"conservative  : {sizes.conservative_bytes / 1e6:.2f} MB")
+        lines.append(f"live-only     : {sizes.live_only_bytes / 1e6:.2f} MB")
+        lines.append(f"live+data-URL : {sizes.data_url_bytes / 1e6:.2f} MB")
+    elif which == "gpu":
+        study = gpu_server_study()
+        lines.append(f"CPU server : {study.cpu_offload_seconds:.2f} s")
+        lines.append(f"GPU server : {study.gpu_offload_seconds:.2f} s "
+                     f"(exec {study.gpu_server_exec_seconds:.3f} s)")
+    elif which == "energy":
+        study = energy_study()
+        lines.append(f"local   : {study.local_joules:.1f} J")
+        lines.append(f"offload : {study.offload_joules:.1f} J")
+    elif which == "cache":
+        study = session_cache_study()
+        lines.append(f"first offload        : {study.first_offload_seconds:.2f} s")
+        lines.append(
+            f"repeat, full snapshot: {study.repeat_without_cache_seconds:.2f} s"
+        )
+        lines.append(f"repeat, delta        : {study.repeat_with_cache_seconds:.2f} s "
+                     f"({study.bytes_saving:.0%} fewer bytes)")
+    elif which == "contention":
+        from repro.eval.workloads import contention_study
+
+        for count, report in contention_study("smallnet", (1, 2, 4, 8)).items():
+            lines.append(f"{count} clients: mean {report.mean_latency * 1000:6.1f} ms")
+    elif which == "quantization":
+        for impact in quantization_study("agenet"):
+            lines.append(
+                f"{impact.bits:2d} bits: agreement {impact.agreement:.0%}, "
+                f"-{impact.size_reduction:.0%} bytes"
+            )
+    elif which == "scaling":
+        for point in model_size_scaling_study():
+            lines.append(
+                f"{point.model:10s} {point.model_mb:6.1f} MB: presend "
+                f"{point.presend_seconds:5.1f}s, policy={point.policy_action}"
+            )
+    elif which == "variability":
+        study = variability_study(seed=3)
+        lines.append(f"fixed 1st_pool: {study.fixed_total_seconds:.1f}s")
+        lines.append(f"adaptive      : {study.adaptive_total_seconds:.1f}s "
+                     f"(points: {study.adaptive_points})")
+    elif which == "baselines":
+        for row in baseline_comparison_study():
+            lines.append(
+                f"{row.approach:32s} first {row.first_use_seconds:6.2f}s "
+                f"steady {row.steady_state_seconds:5.2f}s "
+                f"any_app={row.any_app} handover={row.stateless_handover}"
+            )
+    elif which == "placement":
+        for row in edge_vs_cloud_study():
+            lines.append(
+                f"{row.location:10s} total {row.total_seconds:5.2f}s "
+                f"(migration {row.migration_seconds:.2f}s, "
+                f"exec {row.server_exec_seconds:.2f}s)"
+            )
+    elif which == "streaming":
+        from repro.eval.streaming import run_stream
+
+        for mode, kwargs in (
+            ("client", {}),
+            ("offload", {}),
+            ("offload+gpu", {"server_speedup": 80.0}),
+        ):
+            report = run_stream(
+                "agenet",
+                frames=4,
+                fps=1.0,
+                mode="client" if mode == "client" else "offload",
+                **kwargs,
+            )
+            lines.append(
+                f"{mode:12s} fps {report.achieved_fps:5.2f} "
+                f"latency {report.mean_latency:5.2f}s keeps_up={report.keeps_up}"
+            )
+    else:
+        raise ValueError(f"unknown ablation study {which!r}")
+    return "\n".join(lines)

@@ -65,8 +65,25 @@ def run_fig6_model(
 def run_fig6(
     models: Sequence[str] = PAPER_MODELS,
     bandwidth_bps: float = calibration.PAPER_BANDWIDTH_BPS,
+    engine=None,
 ) -> List[Fig6Row]:
-    return [run_fig6_model(name, bandwidth_bps) for name in models]
+    """All apps; with an :class:`~repro.exec.ExecutionEngine`, rows run as
+    independent tasks (parallel and/or cached) with identical results."""
+    if engine is None:
+        return [run_fig6_model(name, bandwidth_bps) for name in models]
+    from repro.exec import Task
+
+    outcomes = engine.run(
+        [
+            Task.make(
+                f"fig6/{name}",
+                "repro.eval.fig6.run_fig6_model",
+                {"model_name": name, "bandwidth_bps": bandwidth_bps},
+            )
+            for name in models
+        ]
+    )
+    return [outcome.payload for outcome in outcomes]
 
 
 def format_fig6(rows: List[Fig6Row]) -> str:

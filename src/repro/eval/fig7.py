@@ -67,19 +67,44 @@ def _bar(model: str, configuration: str, result: SessionResult) -> Fig7Bar:
     )
 
 
+def run_fig7_model(
+    model_name: str,
+    bandwidth_bps: float = calibration.PAPER_BANDWIDTH_BPS,
+) -> List[Fig7Bar]:
+    """Both decomposed configurations for one app."""
+    after = Testbed(bandwidth_bps).run_offload(model_name, wait_for_ack=True)
+    partial = Testbed(bandwidth_bps).run_offload_partial(
+        model_name, calibration.FIG6_PARTIAL_POINT
+    )
+    return [
+        _bar(model_name, "offload_after_ack", after),
+        _bar(model_name, "offload_partial", partial),
+    ]
+
+
 def run_fig7(
     models: Sequence[str] = PAPER_MODELS,
     bandwidth_bps: float = calibration.PAPER_BANDWIDTH_BPS,
+    engine=None,
 ) -> List[Fig7Bar]:
-    bars: List[Fig7Bar] = []
-    for model in models:
-        after = Testbed(bandwidth_bps).run_offload(model, wait_for_ack=True)
-        bars.append(_bar(model, "offload_after_ack", after))
-        partial = Testbed(bandwidth_bps).run_offload_partial(
-            model, calibration.FIG6_PARTIAL_POINT
-        )
-        bars.append(_bar(model, "offload_partial", partial))
-    return bars
+    if engine is None:
+        bars: List[Fig7Bar] = []
+        for model in models:
+            bars.extend(run_fig7_model(model, bandwidth_bps))
+        return bars
+    from repro.exec import Task
+
+    outcomes = engine.run(
+        [
+            Task.make(
+                f"fig7/{model}",
+                "repro.eval.fig7.run_fig7_model",
+                {"model_name": model, "bandwidth_bps": bandwidth_bps},
+            )
+            for model in models
+        ]
+    )
+    return [bar for outcome in outcomes for bar in outcome.payload]
 
 
 def format_fig7(bars: List[Fig7Bar]) -> str:

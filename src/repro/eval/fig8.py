@@ -112,10 +112,30 @@ def run_fig8(
     models: Sequence[str] = PAPER_MODELS,
     bandwidth_bps: float = calibration.PAPER_BANDWIDTH_BPS,
     max_points: Optional[int] = None,
+    engine=None,
 ) -> dict:
-    return {
-        model: run_fig8_model(model, bandwidth_bps, max_points) for model in models
-    }
+    if engine is None:
+        return {
+            model: run_fig8_model(model, bandwidth_bps, max_points)
+            for model in models
+        }
+    from repro.exec import Task
+
+    outcomes = engine.run(
+        [
+            Task.make(
+                f"fig8/{model}",
+                "repro.eval.fig8.run_fig8_model",
+                {
+                    "model_name": model,
+                    "bandwidth_bps": bandwidth_bps,
+                    "max_points": max_points,
+                },
+            )
+            for model in models
+        ]
+    )
+    return {model: outcome.payload for model, outcome in zip(models, outcomes)}
 
 
 def format_fig8(points_by_model: dict) -> str:

@@ -1,0 +1,101 @@
+"""Task model of the execution engine.
+
+A :class:`Task` names a deterministic unit of campaign work: an importable
+function (dotted path) plus keyword arguments.  Referring to functions by
+*name* rather than by object keeps tasks trivially picklable for worker
+processes and gives the result cache a stable identity to hash.
+
+Running a task (:func:`execute_task`) captures, alongside the payload the
+function returns, the :class:`~repro.obs.metrics.MetricsRegistry` of every
+simulator the task built and the wall-clock seconds it took — everything a
+caller needs to merge telemetry and report timings without re-running
+anything.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Tuple
+
+from repro.obs.metrics import MetricsRegistry, collect_metrics
+
+
+class TaskError(ValueError):
+    """Raised on malformed task specifications."""
+
+
+def _freeze_kwargs(kwargs: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    return tuple(sorted(kwargs.items()))
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of work: ``fn(**kwargs)`` under a stable key.
+
+    ``key`` must be unique within one engine run (it names the outcome);
+    ``fn`` is the dotted path of a module-level function so worker
+    processes can import it.  Keyword-argument values must be plain data
+    (scalars, strings, tuples/lists of those) — they travel to workers and
+    into the cache key.
+    """
+
+    key: str
+    fn: str
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, key: str, fn: str, kwargs: Mapping[str, Any] = ()) -> "Task":
+        if "." not in fn:
+            raise TaskError(f"task {key!r}: fn must be a dotted path, got {fn!r}")
+        return cls(key=key, fn=fn, kwargs=_freeze_kwargs(dict(kwargs)))
+
+    def resolve(self) -> Callable[..., Any]:
+        module_name, _, attr = self.fn.rpartition(".")
+        module = importlib.import_module(module_name)
+        try:
+            return getattr(module, attr)
+        except AttributeError as exc:
+            raise TaskError(f"task {self.key!r}: no function {self.fn!r}") from exc
+
+    def kwargs_dict(self) -> Dict[str, Any]:
+        return dict(self.kwargs)
+
+
+@dataclass
+class TaskOutcome:
+    """Everything one executed task produced."""
+
+    key: str
+    payload: Any
+    #: registries of every simulator built while the task ran, in
+    #: creation order (deterministic under the fixed experiment seeds)
+    registries: List[MetricsRegistry] = field(default_factory=list)
+    #: wall-clock cost of computing the payload.  Cache hits preserve the
+    #: original (cold) cost, so timings always mean "cost to compute".
+    wall_seconds: float = 0.0
+    #: True when the engine served this outcome from the result cache
+    cached: bool = False
+
+
+def execute_task(task: Task) -> TaskOutcome:
+    """Run one task, capturing its telemetry and wall-clock cost.
+
+    The metrics collector is *shielding*: enclosing collectors (e.g. the
+    CLI's ``--metrics-out`` scope) do not see the task's registries here.
+    The engine re-announces them in task order after the run, so callers
+    observe identical announcements for inline, parallel and cached
+    execution.
+    """
+    fn = task.resolve()
+    with collect_metrics(shield=True) as registries:
+        started = time.perf_counter()
+        payload = fn(**task.kwargs_dict())
+        wall = time.perf_counter() - started
+    return TaskOutcome(
+        key=task.key,
+        payload=payload,
+        registries=list(registries),
+        wall_seconds=wall,
+    )

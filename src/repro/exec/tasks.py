@@ -1,0 +1,36 @@
+"""Small importable task bodies for the execution engine.
+
+The campaign's real tasks point straight at the eval harness
+(``repro.eval.fig6.run_fig6_model`` and friends); this module holds the
+extra task functions that need a stable, importable home:
+
+* :func:`session_probe` — one offloaded inference, the smallest real unit
+  of work.  The engine tests and the bench harness fan it out.
+* :func:`ablation_report` — run one ablation study and render its CLI
+  text, so ``repro ablation`` can run (and cache) through the engine.
+
+Task functions must be module-level (worker processes import them by
+dotted path) and take only plain-data keyword arguments (the cache hashes
+them).
+"""
+
+from __future__ import annotations
+
+
+def session_probe(
+    model_name: str = "smallnet",
+    bandwidth_mbps: float = 30.0,
+    wait_for_ack: bool = True,
+):
+    """One offloaded inference on a fresh testbed; returns SessionResult."""
+    from repro.eval.scenarios import Testbed
+
+    testbed = Testbed(bandwidth_bps=bandwidth_mbps * 1e6)
+    return testbed.run_offload(model_name, wait_for_ack=wait_for_ack)
+
+
+def ablation_report(which: str) -> str:
+    """Run one ablation study; returns the rendered report text."""
+    from repro.eval.ablations import study_report
+
+    return study_report(which)

@@ -1,6 +1,24 @@
-"""Convolutional layer (im2col + matmul), Caffe semantics."""
+"""Convolutional layer (im2col + matmul), Caffe semantics.
+
+Forward passes reuse two per-layer caches (built lazily, shared safely
+because the simulator is single-threaded per process):
+
+* the pre-reshaped, contiguous per-group weight matrices — rebuilding
+  them every ``forward`` was pure overhead, and for grouped convolution
+  (AlexNet-style) it meant a slice + reshape + copy per group per call;
+* the im2col scratch buffer for each input shape the layer has seen.
+
+The weight cache invalidates when ``params["weight"]`` is *replaced* (how
+every loader and quantizer in this repo updates weights).  To make sure
+in-place writes can never serve stale results, the cached weight array is
+frozen (``writeable=False``) — mutate-in-place code must either assign a
+fresh array or call :meth:`invalidate_param_cache` first.
+"""
 
 from __future__ import annotations
+
+import weakref
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -45,6 +63,9 @@ class ConvLayer(Layer):
         self.stride = stride
         self.pad = pad
         self.groups = groups
+        self._weight_ref: Optional["weakref.ref"] = None
+        self._weight_matrices: Optional[List[np.ndarray]] = None
+        self._col_buffers: Dict[Tuple[int, ...], np.ndarray] = {}
 
     def infer_shape(self, input_shape: Shape) -> Shape:
         if len(input_shape) != 3:
@@ -62,7 +83,54 @@ class ConvLayer(Layer):
     def _channels_per_group(self) -> int:
         return self.input_shape[0] // self.groups
 
+    def invalidate_param_cache(self) -> None:
+        """Drop the cached weight matrices and unfreeze the weight array."""
+        if self._weight_matrices is not None and self._weight_ref is not None:
+            weight = self._weight_ref()
+            if weight is not None:
+                try:
+                    weight.flags.writeable = True
+                except ValueError:
+                    pass  # view of a read-only base; replacement only
+        self._weight_ref = None
+        self._weight_matrices = None
+
+    def _group_weight_matrices(self) -> List[np.ndarray]:
+        """Contiguous (filters_per_group, C/g * k * k) matmul operands.
+
+        Cached until ``params["weight"]`` is replaced; the source array is
+        frozen while cached so in-place writes fail loudly instead of
+        silently bypassing the cache.
+        """
+        weight = self.params["weight"]
+        if self._weight_matrices is None or (
+            self._weight_ref is None or self._weight_ref() is not weight
+        ):
+            per_out = self.num_filters // self.groups
+            self._weight_matrices = [
+                np.ascontiguousarray(
+                    weight[group * per_out : (group + 1) * per_out].reshape(
+                        per_out, -1
+                    ),
+                    dtype=np.float32,
+                )
+                for group in range(self.groups)
+            ]
+            self._weight_ref = weakref.ref(weight)
+            weight.flags.writeable = False
+        return self._weight_matrices
+
+    def _cols_buffer(self, channels: int, out_h: int, out_w: int) -> np.ndarray:
+        """Scratch im2col buffer, reused across forwards of one shape."""
+        shape = (channels, self.kernel, self.kernel, out_h, out_w)
+        buffer = self._col_buffers.get(shape)
+        if buffer is None:
+            buffer = np.empty(shape, dtype=np.float32)
+            self._col_buffers[shape] = buffer
+        return buffer
+
     def init_params(self, rng: SeededRng) -> None:
+        self.invalidate_param_cache()
         fan_in = self._channels_per_group * self.kernel * self.kernel
         scale = float(np.sqrt(2.0 / fan_in))  # He init: sensible magnitudes
         self.params = {
@@ -80,24 +148,24 @@ class ConvLayer(Layer):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self.check_input(x)
+        matrices = self._group_weight_matrices()
+        _, out_h, out_w = self.out_shape
         if self.groups == 1:
-            cols = im2col(x, self.kernel, self.stride, self.pad)
-            weight = self.params["weight"].reshape(self.num_filters, -1)
-            out = weight @ cols + self.params["bias"][:, None]
+            buffer = self._cols_buffer(x.shape[0], out_h, out_w)
+            cols = im2col(x, self.kernel, self.stride, self.pad, out=buffer)
+            out = matrices[0] @ cols + self.params["bias"][:, None]
             return out.reshape(self.out_shape).astype(np.float32, copy=False)
         # Grouped convolution (AlexNet-style): each filter group only sees
         # its slice of the input channels.
         per_in = self._channels_per_group
         per_out = self.num_filters // self.groups
+        buffer = self._cols_buffer(per_in, out_h, out_w)
         outputs = []
         for group in range(self.groups):
             x_slice = x[group * per_in : (group + 1) * per_in]
-            cols = im2col(x_slice, self.kernel, self.stride, self.pad)
-            weight = self.params["weight"][
-                group * per_out : (group + 1) * per_out
-            ].reshape(per_out, -1)
+            cols = im2col(x_slice, self.kernel, self.stride, self.pad, out=buffer)
             bias = self.params["bias"][group * per_out : (group + 1) * per_out]
-            outputs.append(weight @ cols + bias[:, None])
+            outputs.append(matrices[group] @ cols + bias[:, None])
         out = np.concatenate(outputs, axis=0)
         return out.reshape(self.out_shape).astype(np.float32, copy=False)
 

@@ -12,8 +12,9 @@ Conventions
 
 from __future__ import annotations
 
+import functools
 import math
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -27,10 +28,16 @@ Shape3 = Tuple[int, int, int]
 TEXT_BYTES_PER_VALUE = 18
 
 
+@functools.lru_cache(maxsize=4096)
 def conv_output_hw(
     height: int, width: int, kernel: int, stride: int, pad: int
 ) -> Tuple[int, int]:
-    """Caffe convolution output size (floor formula)."""
+    """Caffe convolution output size (floor formula).
+
+    Memoized: cost models and sweeps recompute the same handful of shapes
+    thousands of times per campaign.  (Failures are not cached —
+    ``lru_cache`` only stores successful returns.)
+    """
     out_h = (height + 2 * pad - kernel) // stride + 1
     out_w = (width + 2 * pad - kernel) // stride + 1
     if out_h <= 0 or out_w <= 0:
@@ -41,10 +48,12 @@ def conv_output_hw(
     return out_h, out_w
 
 
+@functools.lru_cache(maxsize=4096)
 def pool_output_hw(
     height: int, width: int, kernel: int, stride: int, pad: int = 0
 ) -> Tuple[int, int]:
-    """Caffe pooling output size (ceil formula with edge clamp)."""
+    """Caffe pooling output size (ceil formula with edge clamp). Memoized
+    like :func:`conv_output_hw`."""
     out_h = int(math.ceil((height + 2 * pad - kernel) / stride)) + 1
     out_w = int(math.ceil((width + 2 * pad - kernel) / stride)) + 1
     if pad > 0:
@@ -69,18 +78,37 @@ def pad_chw(x: np.ndarray, pad: int) -> np.ndarray:
     return np.pad(x, ((0, 0), (pad, pad), (pad, pad)), mode="constant")
 
 
-def im2col(x: np.ndarray, kernel: int, stride: int, pad: int) -> np.ndarray:
+def im2col(
+    x: np.ndarray,
+    kernel: int,
+    stride: int,
+    pad: int,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """Unfold a (C, H, W) tensor into columns for matmul convolution.
 
     Returns an array shaped ``(C * kernel * kernel, out_h * out_w)`` whose
     column ``j`` holds the receptive field of output position ``j``.
+
+    ``out`` lets a caller reuse a scratch buffer across forwards of the
+    same shape (it must hold ``C * kernel² * out_h * out_w`` elements of
+    ``x``'s dtype); the returned array is then a view into it, valid until
+    the next call that reuses the buffer.
     """
     channels, height, width = x.shape
     out_h, out_w = conv_output_hw(height, width, kernel, stride, pad)
     padded = pad_chw(x, pad)
-    cols = np.empty(
-        (channels, kernel, kernel, out_h, out_w), dtype=padded.dtype
-    )
+    if out is None:
+        cols = np.empty(
+            (channels, kernel, kernel, out_h, out_w), dtype=padded.dtype
+        )
+    else:
+        if out.size != channels * kernel * kernel * out_h * out_w:
+            raise ValueError(
+                f"im2col buffer holds {out.size} elements, need "
+                f"{channels * kernel * kernel * out_h * out_w}"
+            )
+        cols = out.reshape(channels, kernel, kernel, out_h, out_w)
     for ky in range(kernel):
         y_end = ky + stride * out_h
         for kx in range(kernel):

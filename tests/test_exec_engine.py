@@ -1,0 +1,175 @@
+"""Tests for the parallel execution engine, task model and result cache."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.exec import (
+    ExecutionEngine,
+    ResultCache,
+    Task,
+    TaskError,
+    execute_task,
+    source_fingerprint,
+    task_cache_key,
+)
+from repro.obs import MetricsRegistry, collect_metrics, to_prometheus_text
+
+PROBE = "repro.exec.tasks.session_probe"
+
+
+def probe_task(key="probe", **overrides):
+    kwargs = {"model_name": "smallnet", "bandwidth_mbps": 30.0}
+    kwargs.update(overrides)
+    return Task.make(key, PROBE, kwargs)
+
+
+class TestTask:
+    def test_make_and_resolve(self):
+        task = probe_task()
+        assert task.resolve().__name__ == "session_probe"
+        assert task.kwargs_dict()["model_name"] == "smallnet"
+
+    def test_kwargs_order_canonical(self):
+        a = Task.make("k", PROBE, {"x": 1, "y": 2})
+        b = Task.make("k", PROBE, {"y": 2, "x": 1})
+        assert a == b
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(TaskError):
+            Task.make("k", "repro.exec.tasks.no_such_fn", {}).resolve()
+
+    def test_execute_collects_registries(self):
+        outcome = execute_task(probe_task())
+        assert outcome.key == "probe"
+        assert outcome.payload.total_seconds > 0
+        assert outcome.wall_seconds > 0
+        assert not outcome.cached
+        assert len(outcome.registries) == 1
+        assert len(outcome.registries[0]) > 0
+
+    def test_execute_shields_outer_collectors(self):
+        with collect_metrics() as registries:
+            execute_task(probe_task())
+        assert registries == []
+
+
+class TestRegistryPickling:
+    def test_roundtrip_preserves_series(self):
+        outcome = execute_task(probe_task())
+        registry = outcome.registries[0]
+        clone = pickle.loads(pickle.dumps(registry))
+        assert to_prometheus_text(clone) == to_prometheus_text(registry)
+
+    def test_clock_restored(self):
+        registry = MetricsRegistry()
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.clock() == 0.0
+
+
+class TestCacheKey:
+    def test_stable_for_equal_tasks(self):
+        assert task_cache_key(probe_task()) == task_cache_key(probe_task())
+
+    def test_changes_with_kwargs(self):
+        assert task_cache_key(probe_task()) != task_cache_key(
+            probe_task(bandwidth_mbps=4.0)
+        )
+
+    def test_independent_of_task_key(self):
+        # The key names the section; the cache address is content only.
+        assert task_cache_key(probe_task(key="a")) == task_cache_key(
+            probe_task(key="b")
+        )
+
+    def test_source_fingerprint_stable(self):
+        assert source_fingerprint() == source_fingerprint()
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        task = probe_task()
+        assert cache.load(task) is None
+        outcome = execute_task(task)
+        cache.store(task, outcome)
+        hit = cache.load(task)
+        assert hit is not None
+        assert hit.cached
+        assert hit.payload.total_seconds == outcome.payload.total_seconds
+        # Cached outcomes keep the original compute cost.
+        assert hit.wall_seconds == outcome.wall_seconds
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        task = probe_task()
+        cache.store(task, execute_task(task))
+        [path] = [
+            os.path.join(root, name)
+            for root, _, names in os.walk(tmp_path)
+            for name in names
+        ]
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle")
+        assert cache.load(task) is None
+        assert not os.path.exists(path)  # corrupt entries are dropped
+
+    def test_purge_and_stats(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        task = probe_task()
+        cache.store(task, execute_task(task))
+        assert cache.stats()["entries"] == 1
+        cache.purge()
+        assert cache.stats()["entries"] == 0
+
+
+class TestEngine:
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(TaskError):
+            ExecutionEngine().run([probe_task(), probe_task()])
+
+    def test_serial_run(self):
+        engine = ExecutionEngine(jobs=1)
+        outcomes = engine.run([probe_task("a"), probe_task("b")])
+        assert [o.key for o in outcomes] == ["a", "b"]
+        assert engine.last_run.cache_misses == 2
+
+    def test_parallel_matches_serial(self):
+        tasks = [probe_task("a"), probe_task("b", bandwidth_mbps=4.0)]
+        serial = ExecutionEngine(jobs=1).run(tasks)
+        parallel = ExecutionEngine(jobs=2).run(
+            [probe_task("a"), probe_task("b", bandwidth_mbps=4.0)]
+        )
+        for left, right in zip(serial, parallel):
+            assert left.payload.total_seconds == right.payload.total_seconds
+            assert [to_prometheus_text(r) for r in left.registries] == [
+                to_prometheus_text(r) for r in right.registries
+            ]
+
+    def test_engine_announces_registries_in_task_order(self):
+        tasks = [probe_task("a"), probe_task("b", bandwidth_mbps=4.0)]
+        with collect_metrics() as registries:
+            outcomes = ExecutionEngine(jobs=1).run(tasks)
+        expected = [r for o in outcomes for r in o.registries]
+        assert [to_prometheus_text(r) for r in registries] == [
+            to_prometheus_text(r) for r in expected
+        ]
+
+    def test_cached_second_run(self, tmp_path):
+        tasks = lambda: [probe_task("a")]  # noqa: E731
+        engine = ExecutionEngine(jobs=1, cache=ResultCache(str(tmp_path)))
+        first = engine.run(tasks())
+        assert engine.last_run.cache_hits == 0
+        second = engine.run(tasks())
+        assert engine.last_run.cache_hits == 1
+        assert second[0].cached
+        assert second[0].payload.total_seconds == first[0].payload.total_seconds
+        assert second[0].wall_seconds == first[0].wall_seconds
+
+    def test_cached_run_still_announces_registries(self, tmp_path):
+        engine = ExecutionEngine(jobs=1, cache=ResultCache(str(tmp_path)))
+        engine.run([probe_task("a")])
+        with collect_metrics() as registries:
+            engine.run([probe_task("a")])
+        assert len(registries) == 1
