@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # End-to-end smoke check: unit tests, a quick campaign with telemetry
-# export, a parse check on the exported metrics, and the execution
+# export, a parse check on the exported metrics, the execution
 # engine's determinism contract (a --jobs 2 campaign plus a warm-cache
 # rerun must reproduce the serial report byte for byte, and the warm
-# run must not be slower than the cold one).
+# run must not be slower than the cold one), and the graph optimizer's
+# contract (a fig7 scenario with and without --no-optimize must produce
+# byte-identical reports, and the optimized run must not be slower).
 #
 #   scripts/smoke.sh [output-dir]
 #
@@ -17,15 +19,15 @@ mkdir -p "$out_dir"
 cd "$repo_root"
 export PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== 1/4 unit + property tests"
+echo "== 1/5 unit + property tests"
 python -m pytest -x -q
 
-echo "== 2/4 quick campaign with telemetry export"
+echo "== 2/5 quick campaign with telemetry export"
 python -m repro campaign --quick \
     --out "$out_dir/report.md" \
     --metrics-out "$out_dir/metrics.prom"
 
-echo "== 3/4 exported metrics parse + sanity"
+echo "== 3/5 exported metrics parse + sanity"
 python - "$out_dir/metrics.prom" <<'PY'
 import sys
 
@@ -44,7 +46,7 @@ print(f"ok: {len(samples)} samples, {sessions:.0f} sessions, "
       f"{executions:.0f} server executions")
 PY
 
-echo "== 4/4 execution engine: parallel + cache determinism"
+echo "== 4/5 execution engine: parallel + cache determinism"
 cache_dir="$out_dir/result-cache"
 rm -rf "$cache_dir"
 cold_start=$(python -c 'import time; print(time.perf_counter())')
@@ -67,6 +69,35 @@ cold = cold_end - cold_start
 warm = warm_end - cold_end
 print(f"ok: cold {cold:.1f}s, warm {warm:.1f}s (reports byte-identical)")
 assert warm <= cold, f"cached rerun slower than cold run ({warm:.1f}s > {cold:.1f}s)"
+PY
+
+echo "== 5/5 graph optimizer: equivalence + not-slower"
+opt_start=$(python -c 'import time; print(time.perf_counter())')
+python -m repro fig7 --models googlenet \
+    > "$out_dir/fig7-optimized.txt"
+opt_end=$(python -c 'import time; print(time.perf_counter())')
+python -m repro fig7 --models googlenet --no-optimize \
+    > "$out_dir/fig7-reference.txt"
+ref_end=$(python -c 'import time; print(time.perf_counter())')
+
+cmp "$out_dir/fig7-optimized.txt" "$out_dir/fig7-reference.txt" || {
+    echo "FAIL: fig7 diverges between optimized and --no-optimize runs" >&2
+    exit 1; }
+python - "$opt_start" "$opt_end" "$ref_end" <<'PY'
+import sys
+
+opt_start, opt_end, ref_end = map(float, sys.argv[1:])
+optimized = opt_end - opt_start
+reference = ref_end - opt_end
+print(f"ok: optimized {optimized:.1f}s, reference {reference:.1f}s "
+      "(reports byte-identical)")
+# 5% grace: fig7 wall time includes model building and the virtual-time
+# simulation, which are identical either way — the check guards against
+# the plan path being materially slower, not against timer noise.
+assert optimized <= reference * 1.05, (
+    f"optimized fig7 slower than --no-optimize ({optimized:.1f}s > "
+    f"{reference:.1f}s)"
+)
 PY
 
 echo "smoke ok — artifacts in $out_dir"

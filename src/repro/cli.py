@@ -19,8 +19,9 @@ command built (Prometheus text, or JSON when the path ends in ``.json``),
 plus the execution-engine flags ``--jobs N`` (fan independent sections
 across N worker processes), ``--cache-dir DIR`` (content-addressed result
 cache; unchanged scenarios are served from disk) and ``--no-cache``.
-Results are byte-identical whichever way a command executes; see
-``docs/PERFORMANCE.md``.
+Run commands also accept ``--no-optimize`` to fall back from compiled
+execution plans to the reference layer walk.  Results are byte-identical
+whichever way a command executes; see ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -59,6 +60,27 @@ def _add_metrics_arg(parser: argparse.ArgumentParser) -> None:
         help="write merged run telemetry here (.json -> JSON, else "
         "Prometheus text)",
     )
+
+
+def _add_optimize_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-optimize",
+        action="store_true",
+        help="run DNN forwards on the reference layer walk instead of "
+        "compiled execution plans (escape hatch; results are equivalent "
+        "either way, see docs/PERFORMANCE.md)",
+    )
+
+
+def _apply_optimize_flag(args: argparse.Namespace) -> None:
+    """Honour ``--no-optimize`` process-wide (workers inherit the env)."""
+    if getattr(args, "no_optimize", False):
+        import os
+
+        from repro.nn import plan
+
+        os.environ[plan.NO_OPTIMIZE_ENV] = "1"
+        plan.set_optimization(False)
 
 
 def _add_exec_args(parser: argparse.ArgumentParser) -> None:
@@ -232,9 +254,16 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     from repro.eval.traces import write_span_trace
     from repro.obs import to_json, to_prometheus_text
 
+    from repro.eval.scenarios import build_paper_model
+    from repro.nn import plan as plan_module
+
     testbed = Testbed()
     testbed.run_offload(args.model, wait_for_ack=True)
     registry = testbed.sim.metrics
+    if plan_module.optimization_enabled():
+        network = build_paper_model(args.model).network
+        network.plan_for().record_metrics(registry)
+        print(network.plan_for().describe_text(), file=sys.stderr)
     if args.format == "json":
         print(to_json(registry))
     else:
@@ -262,6 +291,7 @@ def build_parser() -> argparse.ArgumentParser:
         _add_bandwidth_arg(p)
         _add_metrics_arg(p)
         _add_exec_args(p)
+        _add_optimize_arg(p)
         p.set_defaults(func=func)
 
     p = sub.add_parser("fig8", help="partial-inference sweep")
@@ -269,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_bandwidth_arg(p)
     _add_metrics_arg(p)
     _add_exec_args(p)
+    _add_optimize_arg(p)
     p.add_argument("--max-points", type=int, default=None)
     p.set_defaults(func=cmd_fig8)
 
@@ -278,10 +309,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("which", choices=STUDY_NAMES)
     _add_metrics_arg(p)
     _add_exec_args(p)
+    _add_optimize_arg(p)
     p.set_defaults(func=cmd_ablation)
 
     p = sub.add_parser("demo", help="one offloaded GoogLeNet inference")
     _add_metrics_arg(p)
+    _add_optimize_arg(p)
     p.set_defaults(func=cmd_demo)
 
     p = sub.add_parser(
@@ -305,6 +338,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the session's span trace (Chrome Trace Event JSON)",
     )
+    _add_optimize_arg(p)
     p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser(
@@ -322,12 +356,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_metrics_arg(p)
     _add_exec_args(p)
+    _add_optimize_arg(p)
     p.set_defaults(func=cmd_campaign)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _apply_optimize_flag(args)
     metrics_out = getattr(args, "metrics_out", None)
     if not metrics_out:
         return args.func(args)

@@ -85,11 +85,17 @@ class PartitionOptimizer:
         client_profile: DeviceProfile,
         server_profile: DeviceProfile,
         feature_bytes_fn=None,
+        use_plan_costs: bool = False,
     ):
         self.client_predictor = client_predictor
         self.server_predictor = server_predictor
         self.client_profile = client_profile
         self.server_profile = server_profile
+        #: price candidate splits on the *optimized* (folded/fused) graph —
+        #: front and rear plans are compiled per candidate so no fusion
+        #: crosses the split being priced.  Off by default: the paper's
+        #: reproduced figures are calibrated against reference-graph costs.
+        self.use_plan_costs = use_plan_costs
         # Injectable for what-if studies (e.g. binary feature encoding).
         from repro.nn.tensor import text_serialized_bytes
 
@@ -126,9 +132,15 @@ class PartitionOptimizer:
         point: OffloadPoint,
         link: NetemProfile,
     ) -> PartitionEstimate:
-        costs = network_costs(network)
-        front = [cost for cost in costs if cost.spine_index <= point.index]
-        rear = [cost for cost in costs if cost.spine_index > point.index]
+        if self.use_plan_costs:
+            from repro.nn.cost import plan_costs
+
+            front = plan_costs(network, 0, point.index)
+            rear = plan_costs(network, point.index + 1, len(network.layers) - 1)
+        else:
+            costs = network_costs(network)
+            front = [cost for cost in costs if cost.spine_index <= point.index]
+            rear = [cost for cost in costs if cost.spine_index > point.index]
         client_seconds = self.client_predictor.predict_forward(front)
         server_seconds = self.server_predictor.predict_forward(rear)
         feature_shape = network.layers[point.index].out_shape

@@ -57,12 +57,18 @@ def task_cache_key(task: Task) -> str:
     """The content address of one task's outcome."""
     import repro
 
+    from repro.nn.plan import optimization_enabled
+
     identity = {
         "fn": task.fn,
         "kwargs": task.kwargs_dict(),
         "repro_version": repro.__version__,
         "source": source_fingerprint(),
         "format": CACHE_FORMAT,
+        # Plan-optimized and reference runs produce equivalent payloads but
+        # must not share entries: equivalence is a *tested claim*, and a
+        # shared key would mask any regression behind a cache hit.
+        "optimize": optimization_enabled(),
     }
     canonical = json.dumps(identity, sort_keys=True, default=_canonical_default)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -21,8 +21,13 @@ class ReLULayer(_SameShapeLayer):
 
     kind = "relu"
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, out: np.ndarray = None) -> np.ndarray:
+        """Forward pass; ``out`` (optional) is a reusable output buffer."""
         self.check_input(x)
+        if out is not None:
+            target = out.reshape(x.shape)
+            np.maximum(x, 0.0, out=target)
+            return target
         return np.maximum(x, 0.0).astype(np.float32, copy=False)
 
     def count_flops(self) -> float:

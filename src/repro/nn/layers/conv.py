@@ -3,16 +3,18 @@
 Forward passes reuse two per-layer caches (built lazily, shared safely
 because the simulator is single-threaded per process):
 
-* the pre-reshaped, contiguous per-group weight matrices — rebuilding
-  them every ``forward`` was pure overhead, and for grouped convolution
-  (AlexNet-style) it meant a slice + reshape + copy per group per call;
+* the pre-reshaped, contiguous per-group matmul operands (weight matrix
+  plus bias column) — rebuilding them every ``forward`` was pure overhead,
+  and for grouped convolution (AlexNet-style) it meant a slice + reshape +
+  copy per group per call;
 * the im2col scratch buffer for each input shape the layer has seen.
 
-The weight cache invalidates when ``params["weight"]`` is *replaced* (how
-every loader and quantizer in this repo updates weights).  To make sure
-in-place writes can never serve stale results, the cached weight array is
-frozen (``writeable=False``) — mutate-in-place code must either assign a
-fresh array or call :meth:`invalidate_param_cache` first.
+The operand cache invalidates when ``params["weight"]`` or
+``params["bias"]`` is *replaced* (how every loader and quantizer in this
+repo updates parameters).  To make sure in-place writes can never serve
+stale results, both cached source arrays are frozen (``writeable=False``)
+— mutate-in-place code must either assign a fresh array or call
+:meth:`invalidate_param_cache` first.
 """
 
 from __future__ import annotations
@@ -64,7 +66,8 @@ class ConvLayer(Layer):
         self.pad = pad
         self.groups = groups
         self._weight_ref: Optional["weakref.ref"] = None
-        self._weight_matrices: Optional[List[np.ndarray]] = None
+        self._bias_ref: Optional["weakref.ref"] = None
+        self._operands: Optional[List[Tuple[np.ndarray, np.ndarray]]] = None
         self._col_buffers: Dict[Tuple[int, ...], np.ndarray] = {}
 
     def infer_shape(self, input_shape: Shape) -> Shape:
@@ -84,41 +87,63 @@ class ConvLayer(Layer):
         return self.input_shape[0] // self.groups
 
     def invalidate_param_cache(self) -> None:
-        """Drop the cached weight matrices and unfreeze the weight array."""
-        if self._weight_matrices is not None and self._weight_ref is not None:
-            weight = self._weight_ref()
-            if weight is not None:
-                try:
-                    weight.flags.writeable = True
-                except ValueError:
-                    pass  # view of a read-only base; replacement only
+        """Drop the cached matmul operands and unfreeze the source arrays."""
+        if self._operands is not None:
+            for ref in (self._weight_ref, self._bias_ref):
+                source = ref() if ref is not None else None
+                if source is not None:
+                    try:
+                        source.flags.writeable = True
+                    except ValueError:
+                        pass  # view of a read-only base; replacement only
         self._weight_ref = None
-        self._weight_matrices = None
+        self._bias_ref = None
+        self._operands = None
 
-    def _group_weight_matrices(self) -> List[np.ndarray]:
-        """Contiguous (filters_per_group, C/g * k * k) matmul operands.
+    def _group_operands(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Per-group ``(weight matrix, bias column)`` matmul operands.
 
-        Cached until ``params["weight"]`` is replaced; the source array is
-        frozen while cached so in-place writes fail loudly instead of
-        silently bypassing the cache.
+        The matrix is the contiguous ``(filters_per_group, C/g * k * k)``
+        reshape of the group's filters; the bias is the group's slice as a
+        contiguous ``(filters_per_group, 1)`` column, pre-shaped for the
+        broadcast add (previously re-sliced and re-shaped every forward on
+        the grouped path).  Cached until ``params["weight"]`` *or*
+        ``params["bias"]`` is replaced; both source arrays are frozen while
+        cached so in-place writes fail loudly instead of silently bypassing
+        the cache.
         """
         weight = self.params["weight"]
-        if self._weight_matrices is None or (
-            self._weight_ref is None or self._weight_ref() is not weight
-        ):
+        bias = self.params["bias"]
+        stale = (
+            self._operands is None
+            or self._weight_ref is None
+            or self._weight_ref() is not weight
+            or self._bias_ref is None
+            or self._bias_ref() is not bias
+        )
+        if stale:
+            self.invalidate_param_cache()
             per_out = self.num_filters // self.groups
-            self._weight_matrices = [
-                np.ascontiguousarray(
-                    weight[group * per_out : (group + 1) * per_out].reshape(
-                        per_out, -1
+            self._operands = [
+                (
+                    np.ascontiguousarray(
+                        weight[group * per_out : (group + 1) * per_out].reshape(
+                            per_out, -1
+                        ),
+                        dtype=np.float32,
                     ),
-                    dtype=np.float32,
+                    np.ascontiguousarray(
+                        bias[group * per_out : (group + 1) * per_out][:, None],
+                        dtype=np.float32,
+                    ),
                 )
                 for group in range(self.groups)
             ]
             self._weight_ref = weakref.ref(weight)
+            self._bias_ref = weakref.ref(bias)
             weight.flags.writeable = False
-        return self._weight_matrices
+            bias.flags.writeable = False
+        return self._operands
 
     def _cols_buffer(self, channels: int, out_h: int, out_w: int) -> np.ndarray:
         """Scratch im2col buffer, reused across forwards of one shape."""
@@ -148,24 +173,23 @@ class ConvLayer(Layer):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self.check_input(x)
-        matrices = self._group_weight_matrices()
+        operands = self._group_operands()
         _, out_h, out_w = self.out_shape
         if self.groups == 1:
+            matrix, bias = operands[0]
             buffer = self._cols_buffer(x.shape[0], out_h, out_w)
             cols = im2col(x, self.kernel, self.stride, self.pad, out=buffer)
-            out = matrices[0] @ cols + self.params["bias"][:, None]
+            out = matrix @ cols + bias
             return out.reshape(self.out_shape).astype(np.float32, copy=False)
         # Grouped convolution (AlexNet-style): each filter group only sees
         # its slice of the input channels.
         per_in = self._channels_per_group
-        per_out = self.num_filters // self.groups
         buffer = self._cols_buffer(per_in, out_h, out_w)
         outputs = []
-        for group in range(self.groups):
+        for group, (matrix, bias) in enumerate(operands):
             x_slice = x[group * per_in : (group + 1) * per_in]
             cols = im2col(x_slice, self.kernel, self.stride, self.pad, out=buffer)
-            bias = self.params["bias"][group * per_out : (group + 1) * per_out]
-            outputs.append(matrices[group] @ cols + bias[:, None])
+            outputs.append(matrix @ cols + bias)
         out = np.concatenate(outputs, axis=0)
         return out.reshape(self.out_shape).astype(np.float32, copy=False)
 

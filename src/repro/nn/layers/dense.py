@@ -46,11 +46,17 @@ class FCLayer(Layer):
             "bias": np.zeros(self.out_features, dtype=np.float32),
         }
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, out: np.ndarray = None) -> np.ndarray:
+        """Forward pass; ``out`` (optional, ``(out_features,)`` float32) is a
+        reusable output buffer — same values, no allocation."""
         self.check_input(x)
         flat = x.reshape(-1)
-        out = self.params["weight"] @ flat + self.params["bias"]
-        return out.astype(np.float32, copy=False)
+        if out is not None:
+            np.matmul(self.params["weight"], flat, out=out)
+            out += self.params["bias"]
+            return out
+        result = self.params["weight"] @ flat + self.params["bias"]
+        return result.astype(np.float32, copy=False)
 
     def count_flops(self) -> float:
         self._require_built()

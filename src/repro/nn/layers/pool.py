@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.layers.base import Layer, LayerShapeError, Shape
-from repro.nn.tensor import pool_output_hw, pool_patches
+from repro.nn.tensor import max_pool_strided, pool_output_hw, pool_patches
 
 
 class PoolLayer(Layer):
@@ -46,17 +46,31 @@ class PoolLayer(Layer):
         out_h, out_w = pool_output_hw(height, width, self.kernel, self.stride, self.pad)
         return (channels, out_h, out_w)
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, out: np.ndarray = None) -> np.ndarray:
+        """Forward pass; ``out`` (optional) is a reusable output buffer.
+
+        With ``out`` the max path runs as strided in-place maxima —
+        bitwise-identical values, no patch stack — following the ``out=``
+        convention of :func:`repro.nn.tensor.im2col`.
+        """
         self.check_input(x)
+        if self.mode == "max" and out is not None:
+            result = max_pool_strided(x, self.kernel, self.stride, self.pad, out=out)
+            return result.reshape(self.out_shape)
         patches, _ = pool_patches(x, self.kernel, self.stride, self.pad)
         if self.mode == "max":
-            out = patches.max(axis=(1, 2))
+            result = patches.max(axis=(1, 2))
         else:
             finite = np.isfinite(patches)
             total = np.where(finite, patches, 0.0).sum(axis=(1, 2))
             count = finite.sum(axis=(1, 2))
-            out = total / np.maximum(count, 1)
-        return out.reshape(self.out_shape).astype(np.float32, copy=False)
+            result = total / np.maximum(count, 1)
+        result = result.reshape(self.out_shape).astype(np.float32, copy=False)
+        if out is not None:
+            target = out.reshape(self.out_shape)
+            np.copyto(target, result)
+            return target
+        return result
 
     def count_flops(self) -> float:
         # One comparison (or add) per window element per output cell.

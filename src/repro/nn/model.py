@@ -132,6 +132,15 @@ class Model:
         """Full forward execution (the CaffeJS ``inference()`` call)."""
         return self.network.forward(x)
 
+    def inference_batch(self, xs) -> np.ndarray:
+        """Forward N inputs at once; returns stacked ``(N, ...)`` outputs.
+
+        Runs the compiled plan's batched kernels (one stacked im2col/matmul
+        per step) when optimization is on — how the edge server amortizes
+        concurrent partial-inference sessions over one pass.
+        """
+        return self.network.forward_batch(xs)
+
     # -- splitting -----------------------------------------------------------------
     def split(self, index: int) -> Tuple["Model", "Model"]:
         """Split at an offload point into (front model, rear model)."""

@@ -55,6 +55,8 @@ class Network:
         self.layers: List[Layer] = list(layers)
         self.input_shape: Optional[Shape] = None
         self._built = False
+        #: compiled execution plans keyed by (start, end) spine range
+        self._plans: dict = {}
 
     # -- building -------------------------------------------------------------
     def build(
@@ -91,18 +93,75 @@ class Network:
         return self.layers[-1].out_shape
 
     # -- execution -------------------------------------------------------------
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        """Full forward pass for one sample."""
-        return self.forward_range(x, 0, len(self.layers) - 1)
+    def forward(
+        self, x: np.ndarray, optimize: Optional[bool] = None
+    ) -> np.ndarray:
+        """Full forward pass for one sample.
 
-    def forward_range(self, x: np.ndarray, start: int, end: int) -> np.ndarray:
+        ``optimize`` selects the compiled-plan path (fold/fuse/arena; see
+        :mod:`repro.nn.plan`); the default defers to the process-wide
+        switch, which is on unless ``--no-optimize``/``REPRO_NO_OPTIMIZE``
+        disabled it.  Both paths produce equivalent outputs.
+        """
+        return self.forward_range(x, 0, len(self.layers) - 1, optimize=optimize)
+
+    def forward_range(
+        self,
+        x: np.ndarray,
+        start: int,
+        end: int,
+        optimize: Optional[bool] = None,
+    ) -> np.ndarray:
         """Run layers ``start..end`` inclusive."""
         self._require_built()
         self._check_range(start, end)
+        if optimize is None:
+            from repro.nn import plan as plan_module
+
+            optimize = plan_module.optimization_enabled()
+        if optimize:
+            return self.plan_for(start, end).forward(x)
         value = np.asarray(x, dtype=np.float32)
         for layer in self.layers[start : end + 1]:
             value = layer.forward(value)
         return value
+
+    def forward_batch(
+        self, xs, optimize: Optional[bool] = None
+    ) -> np.ndarray:
+        """Forward N samples; returns the stacked ``(N, ...)`` outputs.
+
+        The optimized path runs one stacked kernel per plan step (a single
+        im2col/matmul per conv for the whole batch); the reference path
+        loops :meth:`forward` per sample.
+        """
+        self._require_built()
+        if optimize is None:
+            from repro.nn import plan as plan_module
+
+            optimize = plan_module.optimization_enabled()
+        if optimize:
+            return self.plan_for(0, len(self.layers) - 1).forward_batch(xs)
+        return np.stack([self.forward(x, optimize=False) for x in xs])
+
+    def plan_for(self, start: int = 0, end: Optional[int] = None):
+        """The compiled :class:`~repro.nn.plan.ExecutionPlan` for a range.
+
+        Plans are cached per (start, end) and recompiled automatically when
+        any captured parameter array has been replaced (the same identity
+        rule the conv operand cache uses).
+        """
+        from repro.nn.plan import compile_plan
+
+        self._require_built()
+        if end is None:
+            end = len(self.layers) - 1
+        key = (start, end)
+        plan = self._plans.get(key)
+        if plan is None or not plan.is_valid():
+            plan = compile_plan(self, start, end)
+            self._plans[key] = plan
+        return plan
 
     def forward_with_activations(self, x: np.ndarray) -> List[np.ndarray]:
         """Forward pass returning the output of every spine layer."""

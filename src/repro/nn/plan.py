@@ -1,0 +1,972 @@
+"""Graph-level inference optimizer: compiled execution plans.
+
+``compile_plan`` lowers a built :class:`~repro.nn.network.Network` (or any
+spine range of one) into an :class:`ExecutionPlan` — a flat list of fused
+steps plus a preallocated arena — via three rewrite families:
+
+* **Constant folding** — ``BatchNorm``/``Scale`` affine transforms are
+  folded into the preceding conv's weights (computed in float64, cast to
+  float32; within 1e-6 of the reference pass), standalone BN/Scale chains
+  collapse to one per-channel affine step, and inference-time ``Dropout``
+  (an identity here) is elided outright.
+* **Operator fusion** — Conv+bias+ReLU and Dense+ReLU become single steps
+  that apply the activation in place on the matmul output.
+* **Arena buffer reuse** — steps write into two ping-pong arena slots
+  sized once at compile time (a step never writes the slot its input
+  lives in), extending the ``out=`` convention of
+  :func:`repro.nn.tensor.im2col` to the pool/dense/activation kernels.
+
+Equivalence contract: for networks without BatchNorm/Scale the plan's
+arithmetic is *bitwise identical* to the reference layer walk (matmul,
+in-place bias add and in-place ``maximum`` produce the same bits as their
+out-of-place forms, and max pooling is an exact reduction); with folding
+the divergence is bounded by float32 rounding of the folded weights
+(``tests/test_nn_plan.py`` asserts 1e-6 across the zoo at every offload
+point).  Plans respect offload points: compilation takes a ``(start,
+end)`` spine range and no rewrite ever looks past ``end``, so a
+``SplitNetwork``'s front and rear plans are independent and fusion never
+crosses the split.
+
+``plan.forward_batch(xs)`` runs N inputs through one stacked
+im2col/broadcast-matmul per step — the edge server uses it to batch
+concurrent partial-inference sessions.
+
+The default-on switch lives here too: :func:`optimization_enabled`
+honours :func:`set_optimization` overrides first, then the
+``REPRO_NO_OPTIMIZE`` environment variable (the CLI's ``--no-optimize``
+sets both, so forked pool workers inherit it).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers.activation import DropoutLayer, ReLULayer
+from repro.nn.layers.base import Layer
+from repro.nn.layers.batchnorm import BatchNormLayer, ScaleLayer
+from repro.nn.layers.composite import InceptionModule, ResidualBlock
+from repro.nn.layers.conv import ConvLayer
+from repro.nn.layers.dense import FCLayer
+from repro.nn.layers.io import InputLayer
+from repro.nn.layers.normalization import LRNLayer
+from repro.nn.layers.pool import PoolLayer
+from repro.nn.tensor import im2col, im2col_batch, max_pool_strided
+
+#: set to any non-empty value to disable plan execution process-wide
+#: (the CLI's ``--no-optimize`` exports it so pool workers inherit it)
+NO_OPTIMIZE_ENV = "REPRO_NO_OPTIMIZE"
+
+_OPTIMIZE_OVERRIDE: Optional[bool] = None
+
+
+def optimization_enabled() -> bool:
+    """Whether ``Network.forward`` should execute through compiled plans."""
+    if _OPTIMIZE_OVERRIDE is not None:
+        return _OPTIMIZE_OVERRIDE
+    return not os.environ.get(NO_OPTIMIZE_ENV)
+
+
+def set_optimization(enabled: Optional[bool]) -> None:
+    """Force plans on/off process-wide; ``None`` restores the env default."""
+    global _OPTIMIZE_OVERRIDE
+    _OPTIMIZE_OVERRIDE = enabled
+
+
+@dataclass
+class PlanStats:
+    """Compile-time accounting for one plan (sub-plans included)."""
+
+    steps: int = 0
+    folded: int = 0  # BatchNorm/Scale layers constant-folded away
+    elided: int = 0  # inference-time Dropout layers removed
+    fused: int = 0  # ReLU activations fused into conv/fc steps
+    fallbacks: int = 0  # steps that call the reference layer forward
+    arena_bytes: int = 0  # bytes of preallocated arena slots
+    reuse_bytes_per_forward: int = 0  # arena bytes written per forward
+
+    def absorb(self, other: "PlanStats") -> None:
+        """Fold a sub-plan's counts into this plan's totals."""
+        self.steps += other.steps
+        self.folded += other.folded
+        self.elided += other.elided
+        self.fused += other.fused
+        self.fallbacks += other.fallbacks
+        self.arena_bytes += other.arena_bytes
+        self.reuse_bytes_per_forward += other.reuse_bytes_per_forward
+
+
+class PlanStep:
+    """One compiled operation: reads a value, produces the next one.
+
+    ``arena`` steps receive a preallocated output view (never aliasing
+    their input); non-arena steps allocate like the reference path.
+    ``layers`` lists ``(spine_index, layer, counted)`` triples covering the
+    source layers — ``counted`` is False for layers whose arithmetic was
+    folded away, which is what :func:`plan_costs` prices.
+    """
+
+    kind = "step"
+    arena = False
+
+    def __init__(
+        self,
+        name: str,
+        layers: Sequence[Tuple[int, Layer, bool]],
+        out_shape: Tuple[int, ...],
+    ):
+        self.name = name
+        self.layers = list(layers)
+        self.out_shape = tuple(out_shape)
+        self.out_elements = 1
+        for dim in self.out_shape:
+            self.out_elements *= dim
+        self._views: Optional[List[np.ndarray]] = None
+
+    @property
+    def spine_index(self) -> int:
+        return self.layers[0][0]
+
+    def run(self, x: np.ndarray, out: Optional[np.ndarray]) -> np.ndarray:
+        raise NotImplementedError
+
+    def run_batch(self, xs: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, out={self.out_shape})"
+
+
+class ConvStep(PlanStep):
+    """im2col + matmul with pre-folded operands and optional fused ReLU."""
+
+    kind = "conv"
+    arena = True
+
+    def __init__(
+        self,
+        name: str,
+        layers: Sequence[Tuple[int, Layer, bool]],
+        layer: ConvLayer,
+        operands: Sequence[Tuple[np.ndarray, np.ndarray]],
+        relu: bool,
+    ):
+        super().__init__(name, layers, layer.out_shape)
+        self.layer = layer
+        self.operands = list(operands)
+        self.relu = relu
+
+    def run(self, x: np.ndarray, out: Optional[np.ndarray]) -> np.ndarray:
+        layer = self.layer
+        filters, out_h, out_w = self.out_shape
+        positions = out_h * out_w
+        out2d = out.reshape(filters, positions)
+        if layer.groups == 1:
+            matrix, bias = self.operands[0]
+            buffer = layer._cols_buffer(x.shape[0], out_h, out_w)
+            cols = im2col(x, layer.kernel, layer.stride, layer.pad, out=buffer)
+            np.matmul(matrix, cols, out=out2d)
+            out2d += bias
+        else:
+            per_in = x.shape[0] // layer.groups
+            per_out = filters // layer.groups
+            buffer = layer._cols_buffer(per_in, out_h, out_w)
+            for group, (matrix, bias) in enumerate(self.operands):
+                x_slice = x[group * per_in : (group + 1) * per_in]
+                cols = im2col(
+                    x_slice, layer.kernel, layer.stride, layer.pad, out=buffer
+                )
+                target = out2d[group * per_out : (group + 1) * per_out]
+                np.matmul(matrix, cols, out=target)
+                target += bias
+        if self.relu:
+            np.maximum(out2d, 0.0, out=out2d)
+        return out
+
+    def run_batch(self, xs: np.ndarray) -> np.ndarray:
+        layer = self.layer
+        count = xs.shape[0]
+        filters, out_h, out_w = self.out_shape
+        positions = out_h * out_w
+        if layer.groups == 1:
+            matrix, bias = self.operands[0]
+            cols = im2col_batch(xs, layer.kernel, layer.stride, layer.pad)
+            out = np.matmul(matrix, cols)  # (N, F, P) via broadcast
+            out += bias
+        else:
+            per_in = xs.shape[1] // layer.groups
+            per_out = filters // layer.groups
+            out = np.empty((count, filters, positions), dtype=np.float32)
+            for group, (matrix, bias) in enumerate(self.operands):
+                cols = im2col_batch(
+                    xs[:, group * per_in : (group + 1) * per_in],
+                    layer.kernel, layer.stride, layer.pad,
+                )
+                target = out[:, group * per_out : (group + 1) * per_out]
+                np.matmul(matrix, cols, out=target)
+                target += bias
+        if self.relu:
+            np.maximum(out, 0.0, out=out)
+        return out.reshape((count,) + self.out_shape)
+
+
+class FCStep(PlanStep):
+    """Dense matmul with optional fused ReLU."""
+
+    kind = "fc"
+    arena = True
+
+    def __init__(
+        self,
+        name: str,
+        layers: Sequence[Tuple[int, Layer, bool]],
+        layer: FCLayer,
+        relu: bool,
+    ):
+        super().__init__(name, layers, layer.out_shape)
+        self.layer = layer
+        self.relu = relu
+
+    def run(self, x: np.ndarray, out: Optional[np.ndarray]) -> np.ndarray:
+        result = self.layer.forward(x, out=out)
+        if self.relu:
+            np.maximum(result, 0.0, out=result)
+        return result
+
+    def run_batch(self, xs: np.ndarray) -> np.ndarray:
+        flat = xs.reshape(xs.shape[0], -1)
+        out = flat @ self.layer.params["weight"].T
+        out += self.layer.params["bias"]
+        if self.relu:
+            np.maximum(out, 0.0, out=out)
+        return out
+
+
+class PoolStep(PlanStep):
+    """Pooling into an arena buffer (strided in-place maxima for max)."""
+
+    kind = "pool"
+    arena = True
+
+    def __init__(
+        self,
+        name: str,
+        layers: Sequence[Tuple[int, Layer, bool]],
+        layer: PoolLayer,
+    ):
+        super().__init__(name, layers, layer.out_shape)
+        self.layer = layer
+
+    def run(self, x: np.ndarray, out: Optional[np.ndarray]) -> np.ndarray:
+        return self.layer.forward(x, out=out)
+
+    def run_batch(self, xs: np.ndarray) -> np.ndarray:
+        layer = self.layer
+        count = xs.shape[0]
+        if layer.mode == "max":
+            folded = xs.reshape((-1,) + xs.shape[2:])
+            pooled = max_pool_strided(folded, layer.kernel, layer.stride, layer.pad)
+            return pooled.reshape((count,) + self.out_shape)
+        return np.stack([layer.forward(xs[index]) for index in range(count)])
+
+
+class ReLUStep(PlanStep):
+    """Standalone ReLU (not adjacent to a fusable conv/fc) into the arena."""
+
+    kind = "relu"
+    arena = True
+
+    def __init__(
+        self,
+        name: str,
+        layers: Sequence[Tuple[int, Layer, bool]],
+        layer: ReLULayer,
+    ):
+        super().__init__(name, layers, layer.out_shape)
+        self.layer = layer
+
+    def run(self, x: np.ndarray, out: Optional[np.ndarray]) -> np.ndarray:
+        return self.layer.forward(x, out=out)
+
+    def run_batch(self, xs: np.ndarray) -> np.ndarray:
+        return np.maximum(xs, 0.0)
+
+
+class AffineStep(PlanStep):
+    """A standalone BatchNorm/Scale chain folded to ``y = x*s + t``."""
+
+    kind = "affine"
+    arena = True
+
+    def __init__(
+        self,
+        name: str,
+        layers: Sequence[Tuple[int, Layer, bool]],
+        out_shape: Tuple[int, ...],
+        scale: np.ndarray,
+        shift: Optional[np.ndarray],
+    ):
+        super().__init__(name, layers, out_shape)
+        self.scale = scale[:, None, None]
+        self.shift = shift[:, None, None] if shift is not None else None
+
+    def run(self, x: np.ndarray, out: Optional[np.ndarray]) -> np.ndarray:
+        np.multiply(x, self.scale, out=out)
+        if self.shift is not None:
+            out += self.shift
+        return out
+
+    def run_batch(self, xs: np.ndarray) -> np.ndarray:
+        out = xs * self.scale[None]
+        if self.shift is not None:
+            out += self.shift[None]
+        return out
+
+
+class FallbackStep(PlanStep):
+    """Reference execution for kinds without a rewritten kernel (LRN,
+    softmax, average pooling's summation order, …) — calls the layer's own
+    ``forward``, so the step is bitwise-trivially equivalent."""
+
+    def __init__(self, name: str, layers: Sequence[Tuple[int, Layer, bool]],
+                 layer: Layer):
+        super().__init__(name, layers, layer.out_shape)
+        self.layer = layer
+        self.kind = layer.kind
+
+    def run(self, x: np.ndarray, out: Optional[np.ndarray]) -> np.ndarray:
+        return self.layer.forward(x)
+
+    def run_batch(self, xs: np.ndarray) -> np.ndarray:
+        return np.stack([self.layer.forward(xs[index])
+                         for index in range(xs.shape[0])])
+
+
+class LRNStep(FallbackStep):
+    """LRN: reference forward per sample, vectorized across the batch.
+
+    The batched math is the per-sample prefix-sum formulation applied
+    along axis 1, so every sample sees the identical accumulation order —
+    bitwise equal to N reference forwards.
+    """
+
+    def run_batch(self, xs: np.ndarray) -> np.ndarray:
+        layer = self.layer
+        channels = xs.shape[1]
+        half = layer.local_size // 2
+        squared = xs.astype(np.float64) ** 2
+        prefix = np.concatenate(
+            [
+                np.zeros((xs.shape[0], 1) + xs.shape[2:]),
+                np.cumsum(squared, axis=1),
+            ],
+            axis=1,
+        )
+        lo = np.clip(np.arange(channels) - half, 0, channels)
+        hi = np.clip(np.arange(channels) + half + 1, 0, channels)
+        window_sums = prefix[:, hi] - prefix[:, lo]
+        scale = (
+            layer.k + (layer.alpha / layer.local_size) * window_sums
+        ) ** layer.beta
+        return (xs / scale).astype(np.float32)
+
+
+class InceptionStep(PlanStep):
+    """Branch sub-plans concatenated channel-wise into the arena."""
+
+    kind = "inception"
+    arena = True
+
+    def __init__(
+        self,
+        name: str,
+        layers: Sequence[Tuple[int, Layer, bool]],
+        layer: InceptionModule,
+        branch_plans: Sequence["ExecutionPlan"],
+    ):
+        super().__init__(name, layers, layer.out_shape)
+        self.branch_plans = list(branch_plans)
+
+    def run(self, x: np.ndarray, out: Optional[np.ndarray]) -> np.ndarray:
+        outputs = [plan._execute(x) for plan in self.branch_plans]
+        np.concatenate(outputs, axis=0, out=out)
+        return out
+
+    def run_batch(self, xs: np.ndarray) -> np.ndarray:
+        outputs = [plan._execute_batch(xs) for plan in self.branch_plans]
+        return np.concatenate(outputs, axis=1)
+
+
+class ResidualStep(PlanStep):
+    """Body/shortcut sub-plans joined by an elementwise add into the arena."""
+
+    kind = "residual"
+    arena = True
+
+    def __init__(
+        self,
+        name: str,
+        layers: Sequence[Tuple[int, Layer, bool]],
+        layer: ResidualBlock,
+        body_plan: "ExecutionPlan",
+        shortcut_plan: Optional["ExecutionPlan"],
+    ):
+        super().__init__(name, layers, layer.out_shape)
+        self.body_plan = body_plan
+        self.shortcut_plan = shortcut_plan
+
+    def run(self, x: np.ndarray, out: Optional[np.ndarray]) -> np.ndarray:
+        body = self.body_plan._execute(x)
+        shortcut = (
+            self.shortcut_plan._execute(x) if self.shortcut_plan is not None else x
+        )
+        np.add(body, shortcut, out=out)
+        return out
+
+    def run_batch(self, xs: np.ndarray) -> np.ndarray:
+        body = self.body_plan._execute_batch(xs)
+        shortcut = (
+            self.shortcut_plan._execute_batch(xs)
+            if self.shortcut_plan is not None
+            else xs
+        )
+        return body + shortcut
+
+
+class ExecutionPlan:
+    """A compiled spine range: fused steps + a two-slot ping-pong arena.
+
+    Arena discipline: an arena step always writes the slot its input does
+    *not* live in, so no step ever reads a buffer already overwritten
+    (asserted by the aliasing test via :meth:`forward_traced`).  The final
+    value is copied out of the arena before being returned, so callers own
+    their result like on the reference path.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        steps: Sequence[PlanStep],
+        input_shape: Tuple[int, ...],
+        output_shape: Tuple[int, ...],
+        stats: PlanStats,
+        witnesses: Sequence[Tuple[Layer, str, np.ndarray]],
+    ):
+        self.name = name
+        self.steps = list(steps)
+        self.input_shape = tuple(input_shape)
+        self.output_shape = tuple(output_shape)
+        self.stats = stats
+        self._witnesses = list(witnesses)
+        self.forwards = 0
+        self.batch_forwards = 0
+        self.batch_sizes: List[int] = []
+        self.arena_bytes_reused = 0
+        self._finalize_arena()
+
+    # -- arena ----------------------------------------------------------------
+    def _finalize_arena(self) -> None:
+        arena_steps = [step for step in self.steps if step.arena]
+        slot_elements = max(
+            (step.out_elements for step in arena_steps), default=0
+        )
+        self._slots = [
+            np.empty(slot_elements, dtype=np.float32) for _ in range(2)
+        ] if slot_elements else []
+        for step in arena_steps:
+            step._views = [
+                slot[: step.out_elements].reshape(step.out_shape)
+                for slot in self._slots
+            ]
+        own_arena_bytes = 2 * slot_elements * 4
+        own_reuse = sum(step.out_elements * 4 for step in arena_steps)
+        self.stats.arena_bytes += own_arena_bytes
+        self.stats.reuse_bytes_per_forward += own_reuse
+
+    # -- validity --------------------------------------------------------------
+    def is_valid(self) -> bool:
+        """True while every captured parameter array is still installed.
+
+        Loaders replace ``layer.params[...]`` wholesale; an identity
+        mismatch means the folded/captured operands are stale and the plan
+        must be recompiled (mirrors the conv operand cache's rule).
+        """
+        return all(
+            layer.params.get(key) is array
+            for layer, key, array in self._witnesses
+        )
+
+    # -- execution -------------------------------------------------------------
+    def _check_input(self, value: np.ndarray) -> None:
+        if tuple(value.shape) != self.input_shape:
+            raise ValueError(
+                f"plan {self.name!r} expects input shape {self.input_shape}, "
+                f"got {tuple(value.shape)}"
+            )
+
+    def _execute(self, value: np.ndarray) -> np.ndarray:
+        """Run the steps; the result may live in this plan's arena."""
+        slot = None
+        for step in self.steps:
+            if step.arena:
+                target = 1 - slot if slot is not None else 0
+                value = step.run(value, step._views[target])
+                slot = target
+            else:
+                value = step.run(value, None)
+                slot = None
+        return value
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """One sample through the compiled steps; caller owns the result."""
+        value = np.asarray(x, dtype=np.float32)
+        self._check_input(value)
+        result = self._execute(value)
+        self.forwards += 1
+        self.arena_bytes_reused += self.stats.reuse_bytes_per_forward
+        if self._value_in_arena(result):
+            result = result.copy()
+        return result
+
+    def forward_traced(
+        self, x: np.ndarray
+    ) -> Tuple[np.ndarray, List[Dict[str, object]]]:
+        """Like :meth:`forward` but records, per step, whether the step's
+        output buffer aliases its input — the arena-safety invariant the
+        tests assert (it must always be False)."""
+        value = np.asarray(x, dtype=np.float32)
+        self._check_input(value)
+        slot = None
+        trace: List[Dict[str, object]] = []
+        for step in self.steps:
+            previous = value
+            if step.arena:
+                target = 1 - slot if slot is not None else 0
+                out = step._views[target]
+                aliases = np.shares_memory(previous, out)
+                value = step.run(previous, out)
+                slot = target
+            else:
+                value = step.run(previous, None)
+                aliases = False
+                slot = None
+            trace.append(
+                {
+                    "step": step.name,
+                    "kind": step.kind,
+                    "arena": step.arena,
+                    "output_aliases_input": aliases,
+                }
+            )
+        if self._value_in_arena(value):
+            value = value.copy()
+        return value, trace
+
+    def _value_in_arena(self, value: np.ndarray) -> bool:
+        return any(np.shares_memory(value, slot) for slot in self._slots)
+
+    def forward_batch(self, xs) -> np.ndarray:
+        """Run N inputs through one stacked kernel per step.
+
+        ``xs`` is a sequence of per-sample arrays (or an ``(N, ...)``
+        array); returns the stacked ``(N, ...)`` outputs.  Matches N calls
+        of :meth:`forward` within float32 GEMM reassociation (1e-6).
+        """
+        value = np.asarray(xs, dtype=np.float32)
+        if value.ndim == len(self.input_shape):
+            value = value[None]
+        if tuple(value.shape[1:]) != self.input_shape:
+            raise ValueError(
+                f"plan {self.name!r} expects batch shape (N,) + "
+                f"{self.input_shape}, got {tuple(value.shape)}"
+            )
+        result = self._execute_batch(value)
+        self.batch_forwards += 1
+        self.batch_sizes.append(int(value.shape[0]))
+        return result
+
+    def _execute_batch(self, value: np.ndarray) -> np.ndarray:
+        for step in self.steps:
+            value = step.run_batch(value)
+        return value
+
+    # -- reporting -------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        stats = self.stats
+        return {
+            "plan": self.name,
+            "steps": stats.steps,
+            "layers_folded": stats.folded,
+            "layers_elided": stats.elided,
+            "steps_fused": stats.fused,
+            "fallback_steps": stats.fallbacks,
+            "arena_bytes": stats.arena_bytes,
+            "arena_bytes_reused_per_forward": stats.reuse_bytes_per_forward,
+            "forwards": self.forwards,
+            "batch_forwards": self.batch_forwards,
+        }
+
+    def describe_text(self) -> str:
+        """Human-readable one-plan summary (the CLI's ``repro metrics``)."""
+        stats = self.stats
+        return (
+            f"plan {self.name}: {stats.steps} steps "
+            f"({stats.fused} fused, {stats.folded} folded, "
+            f"{stats.elided} elided, {stats.fallbacks} fallback), "
+            f"arena {stats.arena_bytes / 1024:.0f} KiB "
+            f"(reuses {stats.reuse_bytes_per_forward / 1024:.0f} KiB/forward)"
+        )
+
+    def record_metrics(self, registry) -> None:
+        """Export compile/runtime counters into a metrics registry.
+
+        Called explicitly (``repro metrics``) rather than auto-announced:
+        plans compile lazily once per process, so announcing at compile
+        time would make merged telemetry depend on worker topology.
+        """
+        labels = {"plan": self.name}
+        stats = self.stats
+        registry.counter(
+            "plan_layers_folded_total",
+            help="BatchNorm/Scale layers constant-folded into other steps",
+            **labels,
+        ).inc(stats.folded)
+        registry.counter(
+            "plan_layers_elided_total",
+            help="inference-time identity layers removed from the plan",
+            **labels,
+        ).inc(stats.elided)
+        registry.counter(
+            "plan_steps_fused_total",
+            help="activations fused into the preceding conv/fc step",
+            **labels,
+        ).inc(stats.fused)
+        registry.gauge(
+            "plan_arena_bytes",
+            help="bytes of preallocated arena buffers", **labels,
+        ).set(stats.arena_bytes)
+        registry.counter(
+            "plan_forwards_total",
+            help="single-sample forwards executed through the plan", **labels,
+        ).inc(self.forwards)
+        registry.counter(
+            "plan_arena_bytes_reused_total",
+            help="bytes written into reused arena buffers instead of fresh "
+            "allocations",
+            **labels,
+        ).inc(self.arena_bytes_reused)
+        batch_histogram = registry.histogram(
+            "plan_batch_size",
+            help="batch sizes seen by forward_batch", **labels,
+        )
+        for size in self.batch_sizes:
+            batch_histogram.observe(size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExecutionPlan({self.name!r}, {len(self.steps)} steps)"
+
+
+# -- compilation ----------------------------------------------------------------
+
+def _affine_chain(
+    chain: Sequence[Layer], channels: int
+) -> Tuple[np.ndarray, np.ndarray, bool]:
+    """Collapse BatchNorm/Scale layers to per-channel ``(scale, shift)``.
+
+    Accumulated in float64 so the single folded affine stays within
+    float32 rounding of applying each layer separately.
+    """
+    scale = np.ones(channels, dtype=np.float64)
+    shift = np.zeros(channels, dtype=np.float64)
+    has_shift = False
+    for layer in chain:
+        if isinstance(layer, BatchNormLayer):
+            inv_std = 1.0 / np.sqrt(
+                layer.params["variance"].astype(np.float64) + layer.eps
+            )
+            mean = layer.params["mean"].astype(np.float64)
+            scale = scale * inv_std
+            shift = (shift - mean) * inv_std
+            has_shift = True
+        elif isinstance(layer, ScaleLayer):
+            gamma = layer.params["gamma"].astype(np.float64)
+            scale = scale * gamma
+            shift = shift * gamma
+            if "beta" in layer.params:
+                shift = shift + layer.params["beta"].astype(np.float64)
+                has_shift = True
+        else:  # pragma: no cover - guarded by the caller
+            raise TypeError(f"cannot fold layer kind {layer.kind!r}")
+    return scale, shift, has_shift
+
+
+def _witnesses_for(layer: Layer) -> List[Tuple[Layer, str, np.ndarray]]:
+    return [(layer, key, array) for key, array in layer.params.items()]
+
+
+def _folded_conv_operands(
+    layer: ConvLayer, chain: Sequence[Layer]
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Per-group matmul operands with the affine chain folded in."""
+    scale, shift, _ = _affine_chain(chain, layer.num_filters)
+    weight = layer.params["weight"].astype(np.float64)
+    bias = layer.params["bias"].astype(np.float64)
+    folded_weight = (weight * scale[:, None, None, None]).astype(np.float32)
+    folded_bias = (bias * scale + shift).astype(np.float32)
+    per_out = layer.num_filters // layer.groups
+    return [
+        (
+            np.ascontiguousarray(
+                folded_weight[group * per_out : (group + 1) * per_out].reshape(
+                    per_out, -1
+                )
+            ),
+            np.ascontiguousarray(
+                folded_bias[group * per_out : (group + 1) * per_out][:, None]
+            ),
+        )
+        for group in range(layer.groups)
+    ]
+
+
+def _compile_sequence(
+    indexed: Sequence[Tuple[int, Layer]],
+    *,
+    fold: bool,
+    fuse: bool,
+    stats: PlanStats,
+    witnesses: List[Tuple[Layer, str, np.ndarray]],
+    prefix: str = "",
+) -> List[PlanStep]:
+    """Lower an ordered layer sequence to steps (shared by spine ranges and
+    composite branches).  Rewrites only ever look ahead *within* the given
+    sequence, which is how fusion can never cross a split boundary."""
+    steps: List[PlanStep] = []
+    position = 0
+    while position < len(indexed):
+        index, layer = indexed[position]
+        covered: List[Tuple[int, Layer, bool]] = [(index, layer, True)]
+        if isinstance(layer, InputLayer) or isinstance(layer, DropoutLayer):
+            # Identity at inference time: elided outright (the plan's input
+            # shape check replaces InputLayer's validation).
+            if isinstance(layer, DropoutLayer):
+                stats.elided += 1
+            position += 1
+            continue
+        if isinstance(layer, ConvLayer):
+            chain: List[Layer] = []
+            cursor = position + 1
+            while (
+                fold
+                and cursor < len(indexed)
+                and isinstance(indexed[cursor][1], (BatchNormLayer, ScaleLayer))
+            ):
+                chain.append(indexed[cursor][1])
+                covered.append((indexed[cursor][0], indexed[cursor][1], False))
+                cursor += 1
+            relu = False
+            if (
+                fuse
+                and cursor < len(indexed)
+                and isinstance(indexed[cursor][1], ReLULayer)
+            ):
+                relu = True
+                covered.append((indexed[cursor][0], indexed[cursor][1], True))
+                cursor += 1
+            if chain:
+                operands = _folded_conv_operands(layer, chain)
+                for folded_layer in chain:
+                    witnesses.extend(_witnesses_for(folded_layer))
+            else:
+                operands = layer._group_operands()
+            witnesses.append((layer, "weight", layer.params["weight"]))
+            witnesses.append((layer, "bias", layer.params["bias"]))
+            name = prefix + layer.name
+            steps.append(ConvStep(name, covered, layer, operands, relu))
+            stats.folded += len(chain)
+            stats.fused += 1 if relu else 0
+            position = cursor
+        elif isinstance(layer, FCLayer):
+            relu = False
+            cursor = position + 1
+            if (
+                fuse
+                and cursor < len(indexed)
+                and isinstance(indexed[cursor][1], ReLULayer)
+            ):
+                relu = True
+                covered.append((indexed[cursor][0], indexed[cursor][1], True))
+                cursor += 1
+            steps.append(FCStep(prefix + layer.name, covered, layer, relu))
+            stats.fused += 1 if relu else 0
+            position = cursor
+        elif fold and isinstance(layer, (BatchNormLayer, ScaleLayer)):
+            chain = [layer]
+            cursor = position + 1
+            while cursor < len(indexed) and isinstance(
+                indexed[cursor][1], (BatchNormLayer, ScaleLayer)
+            ):
+                chain.append(indexed[cursor][1])
+                covered.append((indexed[cursor][0], indexed[cursor][1], False))
+                cursor += 1
+            channels = layer.input_shape[0]
+            scale, shift, has_shift = _affine_chain(chain, channels)
+            for chained in chain:
+                witnesses.extend(_witnesses_for(chained))
+            steps.append(
+                AffineStep(
+                    prefix + layer.name,
+                    covered,
+                    layer.out_shape,
+                    scale.astype(np.float32),
+                    shift.astype(np.float32) if has_shift else None,
+                )
+            )
+            stats.folded += len(chain) - 1
+            position = cursor
+        elif isinstance(layer, PoolLayer):
+            steps.append(PoolStep(prefix + layer.name, covered, layer))
+            position += 1
+        elif isinstance(layer, ReLULayer):
+            steps.append(ReLUStep(prefix + layer.name, covered, layer))
+            position += 1
+        elif isinstance(layer, InceptionModule):
+            branch_plans = []
+            for branch_index, branch in enumerate(layer.branches):
+                branch_plans.append(
+                    _compile_subplan(
+                        f"{prefix}{layer.name}/b{branch_index}",
+                        [(index, inner) for inner in branch],
+                        layer.input_shape,
+                        branch[-1].out_shape,
+                        fold=fold,
+                        fuse=fuse,
+                        stats=stats,
+                        witnesses=witnesses,
+                    )
+                )
+            steps.append(
+                InceptionStep(prefix + layer.name, covered, layer, branch_plans)
+            )
+            position += 1
+        elif isinstance(layer, ResidualBlock):
+            body_plan = _compile_subplan(
+                f"{prefix}{layer.name}/body",
+                [(index, inner) for inner in layer.body],
+                layer.input_shape,
+                layer.body[-1].out_shape,
+                fold=fold,
+                fuse=fuse,
+                stats=stats,
+                witnesses=witnesses,
+            )
+            shortcut_plan = None
+            if layer.shortcut:
+                shortcut_plan = _compile_subplan(
+                    f"{prefix}{layer.name}/shortcut",
+                    [(index, inner) for inner in layer.shortcut],
+                    layer.input_shape,
+                    layer.shortcut[-1].out_shape,
+                    fold=fold,
+                    fuse=fuse,
+                    stats=stats,
+                    witnesses=witnesses,
+                )
+            steps.append(
+                ResidualStep(
+                    prefix + layer.name, covered, layer, body_plan, shortcut_plan
+                )
+            )
+            position += 1
+        else:
+            step_type = (
+                LRNStep if isinstance(layer, LRNLayer) else FallbackStep
+            )
+            steps.append(step_type(prefix + layer.name, covered, layer))
+            stats.fallbacks += 1
+            position += 1
+    stats.steps += len(steps)
+    return steps
+
+
+def _compile_subplan(
+    name: str,
+    indexed: Sequence[Tuple[int, Layer]],
+    input_shape: Tuple[int, ...],
+    output_shape: Tuple[int, ...],
+    *,
+    fold: bool,
+    fuse: bool,
+    stats: PlanStats,
+    witnesses: List[Tuple[Layer, str, np.ndarray]],
+) -> ExecutionPlan:
+    """A composite branch as its own plan with its own (small) arena.
+
+    Branch arenas are disjoint from the parent's slots, so branches can
+    never clobber the composite's shared input tensor.  Stats accumulate
+    into the parent's ``stats``; the sub-plan itself carries an empty one.
+    """
+    sub_stats = PlanStats()
+    steps = _compile_sequence(
+        indexed, fold=fold, fuse=fuse, stats=sub_stats, witnesses=witnesses,
+        prefix=f"{name}/",
+    )
+    plan = ExecutionPlan(
+        name, steps, input_shape, output_shape, sub_stats, witnesses=[]
+    )
+    stats.absorb(sub_stats)
+    return plan
+
+
+def compile_plan(
+    network,
+    start: int = 0,
+    end: Optional[int] = None,
+    *,
+    fold: bool = True,
+    fuse: bool = True,
+) -> ExecutionPlan:
+    """Compile spine layers ``start..end`` (inclusive) of a built network.
+
+    The range defaults to the whole spine.  ``fold=False`` keeps
+    BatchNorm/Scale as reference fallbacks (bitwise execution even for BN
+    models); ``fuse=False`` disables ReLU fusion.  No rewrite considers
+    layers outside the range, so front/rear plans of a split are compiled
+    independently and fusion never crosses the offload point.
+    """
+    if not network.built:
+        raise RuntimeError(
+            f"network {network.name!r} must be built before compiling a plan"
+        )
+    last = len(network.layers) - 1
+    if end is None:
+        end = last
+    if not (0 <= start <= end <= last):
+        raise IndexError(
+            f"invalid plan range [{start}, {end}] for network "
+            f"{network.name!r} with {len(network.layers)} layers"
+        )
+    stats = PlanStats()
+    witnesses: List[Tuple[Layer, str, np.ndarray]] = []
+    indexed = [
+        (index, network.layers[index]) for index in range(start, end + 1)
+    ]
+    steps = _compile_sequence(
+        indexed, fold=fold, fuse=fuse, stats=stats, witnesses=witnesses
+    )
+    input_shape = (
+        network.input_shape if start == 0
+        else network.layers[start - 1].out_shape
+    )
+    output_shape = network.layers[end].out_shape
+    return ExecutionPlan(
+        f"{network.name}[{start}:{end}]",
+        steps,
+        input_shape,
+        output_shape,
+        stats,
+        witnesses,
+    )

@@ -117,6 +117,40 @@ def im2col(
     return cols.reshape(channels * kernel * kernel, out_h * out_w)
 
 
+def im2col_batch(
+    xs: np.ndarray,
+    kernel: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Unfold a batch of ``(N, C, H, W)`` tensors into stacked columns.
+
+    Returns ``(N, C * kernel * kernel, out_h * out_w)`` — per-sample
+    identical (bit for bit) to :func:`im2col`, but each receptive-field
+    copy moves all N samples at once, amortizing the per-slice overhead
+    that dominates small convolutions.
+    """
+    count, channels, height, width = xs.shape
+    out_h, out_w = conv_output_hw(height, width, kernel, stride, pad)
+    if pad:
+        padded = np.zeros(
+            (count, channels, height + 2 * pad, width + 2 * pad),
+            dtype=xs.dtype,
+        )
+        padded[:, :, pad : pad + height, pad : pad + width] = xs
+    else:
+        padded = xs
+    cols = np.empty(
+        (count, channels, kernel, kernel, out_h, out_w), dtype=xs.dtype
+    )
+    for ky in range(kernel):
+        y_end = ky + stride * out_h
+        for kx in range(kernel):
+            x_end = kx + stride * out_w
+            cols[:, :, ky, kx] = padded[:, :, ky:y_end:stride, kx:x_end:stride]
+    return cols.reshape(count, channels * kernel * kernel, out_h * out_w)
+
+
 def pool_patches(
     x: np.ndarray, kernel: int, stride: int, pad: int = 0
 ) -> Tuple[np.ndarray, Tuple[int, int]]:
@@ -148,6 +182,60 @@ def pool_patches(
             sub[:, :, valid_x] = block
             target[:, valid_y, :] = sub
     return neg, (out_h, out_w)
+
+
+def max_pool_strided(
+    x: np.ndarray,
+    kernel: int,
+    stride: int,
+    pad: int = 0,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Max pooling as ``kernel²`` strided in-place maxima (no patch stack).
+
+    Bitwise-identical to reducing :func:`pool_patches` with ``max`` — the
+    maximum of the same window values is exact whatever the evaluation
+    order — but touches each input element once per covering window instead
+    of materializing the ``(C, k, k, out_h, out_w)`` stack, which dominated
+    GoogLeNet's forward profile.
+
+    ``out`` lets a caller reuse an output buffer across forwards (it must
+    hold ``C * out_h * out_w`` float32 elements); the returned array is a
+    view into it.  Works for any leading (channel-like) dimension, so a
+    batched caller can fold ``(N, C, H, W)`` into ``(N*C, H, W)``.
+    """
+    channels, height, width = x.shape
+    out_h, out_w = pool_output_hw(height, width, kernel, stride, pad)
+    if out is None:
+        result = np.empty((channels, out_h, out_w), dtype=np.float32)
+    else:
+        if out.size != channels * out_h * out_w:
+            raise ValueError(
+                f"max_pool buffer holds {out.size} elements, need "
+                f"{channels * out_h * out_w}"
+            )
+        result = out.reshape(channels, out_h, out_w)
+    result.fill(-np.inf)
+    for ky in range(kernel):
+        y0 = ky - pad
+        i_lo = -(y0 // stride) if y0 < 0 else 0  # ceil(-y0 / stride)
+        i_hi = min(out_h, (height - 1 - y0) // stride + 1)
+        if i_hi <= i_lo:
+            continue
+        for kx in range(kernel):
+            x0 = kx - pad
+            j_lo = -(x0 // stride) if x0 < 0 else 0  # ceil(-x0 / stride)
+            j_hi = min(out_w, (width - 1 - x0) // stride + 1)
+            if j_hi <= j_lo:
+                continue
+            block = x[
+                :,
+                y0 + i_lo * stride : y0 + (i_hi - 1) * stride + 1 : stride,
+                x0 + j_lo * stride : x0 + (j_hi - 1) * stride + 1 : stride,
+            ]
+            target = result[:, i_lo:i_hi, j_lo:j_hi]
+            np.maximum(target, block, out=target)
+    return result
 
 
 def element_count(shape: Shape3) -> int:

@@ -1,0 +1,301 @@
+"""Tests for compiled execution plans (fold/fuse/arena/batch)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import plan as plan_module
+from repro.nn.cost import network_costs, plan_costs
+from repro.nn.network import Network
+from repro.nn.plan import compile_plan, optimization_enabled, set_optimization
+from repro.nn.zoo import build_model, smallnet
+from repro.nn.zoo.resnetlike import resnet_mini_bn
+from repro.sim import SeededRng
+
+#: models whose plans must match the reference walk bit for bit
+BITWISE_MODELS = ["smallnet", "tinynet", "alexnet", "resnet-mini", "googlenet"]
+
+#: BatchNorm folding re-associates the affine chain; 1e-6 is the contract
+FOLD_TOLERANCE = dict(rtol=1e-5, atol=1e-6)
+
+#: stacked GEMMs re-associate differently than per-sample GEMMs; softmax
+#: outputs of deep models see up to ~1e-5 absolute drift
+BATCH_TOLERANCE = dict(rtol=1e-4, atol=1e-5)
+
+
+def model_input(model, seed=7):
+    return SeededRng(seed, f"plan/{model.name}").uniform_array(
+        tuple(model.network.input_shape), 0, 255
+    )
+
+
+def reference_forward(network, x):
+    return network.forward(x, optimize=False)
+
+
+@pytest.fixture(autouse=True)
+def restore_switch():
+    yield
+    set_optimization(None)
+
+
+@pytest.fixture(scope="module")
+def small():
+    return smallnet()
+
+
+# -- numerical equivalence ------------------------------------------------------
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("name", BITWISE_MODELS)
+    def test_plan_matches_reference_bitwise(self, name):
+        model = build_model(name)
+        x = model_input(model)
+        expected = reference_forward(model.network, x)
+        got = model.network.plan_for().forward(x)
+        assert np.array_equal(got, expected)
+
+    def test_batchnorm_fold_within_tolerance(self):
+        model = resnet_mini_bn()
+        x = model_input(model)
+        expected = reference_forward(model.network, x)
+        plan = model.network.plan_for()
+        assert plan.stats.folded > 0
+        np.testing.assert_allclose(plan.forward(x), expected, **FOLD_TOLERANCE)
+
+    def test_every_offload_point_composes(self, small):
+        net = small.network
+        x = model_input(small)
+        expected = reference_forward(net, x)
+        last = len(net.layers) - 1
+        for point in net.offload_points():
+            front = compile_plan(net, 0, point.index)
+            rear = compile_plan(net, point.index + 1, last)
+            assert np.array_equal(rear.forward(front.forward(x)), expected)
+
+    def test_forward_range_optimized_matches_reference(self, small):
+        net = small.network
+        x = model_input(small)
+        point = net.offload_points()[2]
+        feature = net.forward_range(x, 0, point.index, optimize=False)
+        assert np.array_equal(
+            net.forward_range(x, 0, point.index, optimize=True), feature
+        )
+
+
+# -- split isolation ------------------------------------------------------------
+
+
+class TestSplitIsolation:
+    def test_fusion_never_crosses_split(self, small):
+        """No step of a front/rear plan covers a layer beyond its range."""
+        net = small.network
+        last = len(net.layers) - 1
+        for point in net.offload_points():
+            front = compile_plan(net, 0, point.index)
+            rear = compile_plan(net, point.index + 1, last)
+            front_covered = [
+                index for step in front.steps for index, _, _ in step.layers
+            ]
+            rear_covered = [
+                index for step in rear.steps for index, _, _ in step.layers
+            ]
+            # An empty front (only elided layers before the point) is fine.
+            assert all(index <= point.index for index in front_covered)
+            assert all(index >= point.index + 1 for index in rear_covered)
+            assert tuple(front.output_shape) == tuple(
+                net.layers[point.index].out_shape
+            )
+
+    def test_split_before_relu_leaves_relu_unfused(self, small):
+        """Splitting between conv and its ReLU must not fuse across."""
+        net = small.network
+        relu_index = next(
+            index
+            for index, layer in enumerate(net.layers)
+            if layer.kind == "relu"
+        )
+        front = compile_plan(net, 0, relu_index - 1)
+        rear = compile_plan(net, relu_index, len(net.layers) - 1)
+        assert front.stats.fused == 0
+        assert rear.steps[0].kind == "relu"
+
+
+# -- arena safety ---------------------------------------------------------------
+
+
+class TestArenaSafety:
+    @pytest.mark.parametrize("name", ["smallnet", "alexnet", "resnet-mini"])
+    def test_no_step_output_aliases_its_input(self, name):
+        model = build_model(name)
+        x = model_input(model)
+        value, trace = model.network.plan_for().forward_traced(x)
+        assert np.array_equal(value, reference_forward(model.network, x))
+        offenders = [
+            record["step"] for record in trace if record["output_aliases_input"]
+        ]
+        assert offenders == []
+
+    def test_result_never_aliases_arena(self, small):
+        plan = small.network.plan_for()
+        x = model_input(small)
+        first = plan.forward(x).copy()
+        plan.forward(np.zeros_like(x))
+        assert np.array_equal(plan.forward(x), first)
+
+
+# -- batched forward ------------------------------------------------------------
+
+
+class TestBatchedForward:
+    @pytest.mark.parametrize("name", ["smallnet", "alexnet", "resnet-mini"])
+    def test_batch_matches_looped(self, name):
+        model = build_model(name)
+        xs = [model_input(model, seed) for seed in range(4)]
+        looped = np.stack([reference_forward(model.network, x) for x in xs])
+        batched = model.inference_batch(xs)
+        assert batched.shape == looped.shape
+        np.testing.assert_allclose(batched, looped, **BATCH_TOLERANCE)
+
+    def test_single_sample_is_auto_batched(self, small):
+        x = model_input(small)
+        batched = small.network.forward_batch(x)
+        assert batched.shape[0] == 1
+        np.testing.assert_allclose(
+            batched[0], reference_forward(small.network, x), **BATCH_TOLERANCE
+        )
+
+    def test_reference_batch_path_is_exact(self, small):
+        xs = [model_input(small, seed) for seed in range(3)]
+        looped = np.stack([reference_forward(small.network, x) for x in xs])
+        assert np.array_equal(
+            small.network.forward_batch(xs, optimize=False), looped
+        )
+
+
+# -- plan cache and invalidation ------------------------------------------------
+
+
+class TestPlanCache:
+    def test_plan_for_caches_per_range(self, small):
+        net = small.network
+        assert net.plan_for() is net.plan_for()
+        assert net.plan_for(0, 3) is not net.plan_for()
+
+    def test_param_replacement_recompiles(self):
+        model = smallnet(seed=11)
+        net = model.network
+        x = model_input(model)
+        stale = net.plan_for()
+        conv = next(layer for layer in net.layers if layer.kind == "conv")
+        conv.params["weight"] = conv.params["weight"] * np.float32(2.0)
+        conv.invalidate_param_cache()
+        assert not stale.is_valid()
+        fresh = net.plan_for()
+        assert fresh is not stale
+        assert np.array_equal(fresh.forward(x), reference_forward(net, x))
+
+
+# -- the optimization switch ----------------------------------------------------
+
+
+class TestSwitch:
+    def test_override_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(plan_module.NO_OPTIMIZE_ENV, "1")
+        assert not optimization_enabled()
+        set_optimization(True)
+        assert optimization_enabled()
+        set_optimization(None)
+        assert not optimization_enabled()
+
+    def test_network_forward_honours_switch(self, small):
+        x = model_input(small)
+        plan = small.network.plan_for()
+        set_optimization(False)
+        before = plan.forwards
+        small.network.forward(x)
+        assert plan.forwards == before
+        set_optimization(True)
+        small.network.forward(x)
+        assert plan.forwards == before + 1
+
+
+# -- cost integration -----------------------------------------------------------
+
+
+class TestPlanCosts:
+    def test_plan_costs_fewer_entries_same_flops_order(self, small):
+        net = small.network
+        reference = network_costs(net)
+        optimized = plan_costs(net)
+        assert len(optimized) < len(reference)
+        assert sum(c.flops for c in optimized) <= sum(
+            c.flops for c in reference
+        )
+        indices = [c.spine_index for c in optimized]
+        assert indices == sorted(indices)
+
+    def test_partition_optimizer_accepts_plan_costs(self, small):
+        from repro.core.partition import PartitionOptimizer
+        from repro.devices import edge_server_x86, odroid_xu4_client
+        from repro.devices.predictor import fit_predictor_for
+        from repro.netsim.link import NetemProfile
+
+        client, server = odroid_xu4_client(), edge_server_x86()
+        costs = network_costs(small.network)
+        optimizer = PartitionOptimizer(
+            fit_predictor_for(client, costs, noise=0.0),
+            fit_predictor_for(server, costs, noise=0.0),
+            client,
+            server,
+            use_plan_costs=True,
+        )
+        choice = optimizer.choose(small.network, NetemProfile.wifi_30mbps())
+        labels = {p.label for p in small.network.offload_points()}
+        assert choice.point.label in labels
+
+
+# -- the batching server API ----------------------------------------------------
+
+
+class TestServerBatch:
+    def test_batch_partial_inference_matches_sessions(self, small):
+        from repro.core.server import EdgeServer
+        from repro.devices import Device, edge_server_x86
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        server = EdgeServer(sim, Device(sim, edge_server_x86()), name="edge")
+        server.store.begin_upload(small.model_id, [])
+        server.store.attach_model(small.model_id, small)
+        xs = [model_input(small, seed) for seed in range(3)]
+        outputs = server.batch_partial_inference(small.model_id, xs)
+        assert len(outputs) == 3
+        for x, out in zip(xs, outputs):
+            np.testing.assert_allclose(
+                out, reference_forward(small.network, x), **BATCH_TOLERANCE
+            )
+        assert server.batch_partial_inference(small.model_id, []) == []
+
+
+# -- telemetry ------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_record_metrics_exports_counters(self, small):
+        from repro.obs import MetricsRegistry, to_prometheus_text
+
+        registry = MetricsRegistry()
+        plan = small.network.plan_for()
+        plan.forward(model_input(small))
+        plan.forward_batch([model_input(small, s) for s in range(2)])
+        plan.record_metrics(registry)
+        text = to_prometheus_text(registry)
+        for name in (
+            "plan_steps_fused_total",
+            "plan_arena_bytes",
+            "plan_forwards_total",
+            "plan_arena_bytes_reused_total",
+            "plan_batch_size",
+        ):
+            assert name in text

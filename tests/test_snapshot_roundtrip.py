@@ -229,3 +229,59 @@ class TestDeltaSnapshot:
         fresh = loaded_client(model, pixels)
         report = restore_snapshot(delta, fresh)
         assert report.pending_event.event_type == "click"
+
+
+class TestOptimizedPlanRoundTrip:
+    """Snapshots over heaps holding compiled-plan feature tensors.
+
+    The partial-inference app stores the front part's output feature in a
+    heap global; with graph optimization on, that tensor was produced by a
+    compiled execution plan (fused conv+relu into arena buffers).  The
+    snapshot machinery must not be able to tell the difference: state
+    fingerprints and delta round trips are identical to a reference run.
+    """
+
+    def _partial_runtime(self, pixels, infer=True):
+        model = smallnet()
+        point = model.network.point_by_label("1st_pool")
+        front, rear = model.split(point.index)
+        runtime = WebRuntime("client")
+        runtime.load_app(make_partial_inference_app(front, rear))
+        runtime.globals["pending_pixels"] = pixels
+        runtime.dispatch("click", "load_btn")
+        if infer:
+            runtime.dispatch("click", "infer_btn")
+        return runtime
+
+    def _run_with(self, pixels, optimize):
+        from repro.nn.plan import set_optimization
+
+        set_optimization(optimize)
+        try:
+            return self._partial_runtime(pixels)
+        finally:
+            set_optimization(None)
+
+    def test_fingerprints_match_reference_run(self, pixels):
+        optimized = self._run_with(pixels, True)
+        reference = self._run_with(pixels, False)
+        assert isinstance(optimized.globals["feature"], TypedArray)
+        assert fingerprint_runtime(optimized) == fingerprint_runtime(reference)
+
+    def test_delta_wire_roundtrip_over_plan_features(self, pixels):
+        from repro.core.snapshot.wire import decode_snapshot, encode_snapshot
+        from repro.nn.plan import set_optimization
+
+        reference = self._run_with(pixels, False)
+        set_optimization(True)
+        try:
+            optimized = self._partial_runtime(pixels)
+            fresh = self._partial_runtime(pixels, infer=False)
+            baseline = fingerprint_runtime(fresh)
+            delta = capture_delta(optimized, baseline)
+            decoded = decode_snapshot(encode_snapshot(delta))
+            restore_snapshot(decoded, fresh)
+        finally:
+            set_optimization(None)
+        assert fingerprint_runtime(fresh) == fingerprint_runtime(reference)
+        assert fresh.globals["result_label"] == reference.globals["result_label"]
