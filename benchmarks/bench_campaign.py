@@ -10,8 +10,11 @@ Runs the same reproduction campaign four ways —
 
 — verifies the four reports are byte-identical, then times compiled
 execution plans against the reference layer walk (single-image GoogLeNet
-and batched smallnet forwards), and writes the timings, speedups, cache
-statistics and claim verdicts to ``BENCH_perf.json`` at the repo root.
+and batched smallnet forwards), compares the DAG scheduler's
+interval-colored arena against the retired two-slot allocator (the
+``dag_forward`` stage, baselined on the previous ``BENCH_perf.json``),
+and writes the timings, speedups, cache statistics and claim verdicts to
+``BENCH_perf.json`` at the repo root.
 Claims that cannot be tested on this machine (the parallel speedup on a
 single-CPU container) are recorded as skipped with a reason rather than
 failed.
@@ -135,6 +138,71 @@ def _bench_optimized_forward():
     return result
 
 
+#: googlenet arena footprint under the PR 3 two-slot + sub-arena scheme.
+#: Deterministic (computed from layer shapes alone, not timing), so it is
+#: a valid cross-PR constant even though the old allocator is gone.
+TWO_SLOT_GOOGLENET_ARENA_BYTES = 22_453_760
+
+
+def _bench_dag_forward(forward, prior_path):
+    """GoogLeNet forward under the DAG scheduler vs the old two-slot arena.
+
+    The interval-colored measurement is the ``optimized_forward`` stage's
+    googlenet number from *this* run; the two-slot baseline is the same
+    field read from the previous ``BENCH_perf.json`` (produced by the PR 3
+    allocator on this machine).  If no prior file exists the timing claim
+    is skipped with the reason recorded; the arena-size comparison is
+    deterministic and always runs.
+    """
+    from repro.nn.zoo import build_model
+
+    print("-- dag forward (interval-colored arena vs two-slot baseline) ...",
+          flush=True)
+    prior_ms = None
+    try:
+        with open(prior_path, "r", encoding="utf-8") as handle:
+            prior = json.load(handle)
+        prior_ms = prior["stages"]["optimized_forward"][
+            "googlenet_optimized_ms"
+        ]
+    except (OSError, KeyError, ValueError):
+        pass
+    stats = build_model("googlenet").network.plan_for().stats
+    dag_ms = forward["googlenet_optimized_ms"]
+    result = {
+        "googlenet_dag_ms": dag_ms,
+        "two_slot_baseline_ms": prior_ms,
+        "baseline_source": (
+            "stages.optimized_forward.googlenet_optimized_ms from the "
+            "previous BENCH_perf.json (PR 3 two-slot arena, same machine)"
+            if prior_ms is not None
+            else None
+        ),
+        "speedup_vs_two_slot": (
+            round(prior_ms / dag_ms, 3) if prior_ms else None
+        ),
+        "arena_slots": stats.arena_slots,
+        "arena_bytes": stats.arena_bytes,
+        "two_slot_arena_bytes": TWO_SLOT_GOOGLENET_ARENA_BYTES,
+        "arena_shrink": round(
+            TWO_SLOT_GOOGLENET_ARENA_BYTES / stats.arena_bytes, 3
+        ),
+        "branches": stats.branches,
+        "joins": stats.joins,
+    }
+    baseline_note = (
+        f"two-slot {prior_ms:.1f}ms -> dag {dag_ms:.1f}ms"
+        if prior_ms is not None
+        else f"dag {dag_ms:.1f}ms (no two-slot baseline on disk)"
+    )
+    print(
+        f"   {baseline_note}, arena {stats.arena_bytes / 1e6:.1f}MB in "
+        f"{stats.arena_slots} slots ({result['arena_shrink']:.1f}x smaller)",
+        flush=True,
+    )
+    return result
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument(
@@ -175,6 +243,8 @@ def main(argv=None) -> int:
             "cache warm", jobs=1, cache_dir=cache_dir, **common
         )
     forward = _bench_optimized_forward()
+    # Read the prior JSON for the two-slot baseline *before* overwriting it.
+    dag = _bench_dag_forward(forward, args.out)
 
     reports = {
         "serial": serial.report_markdown,
@@ -217,6 +287,32 @@ def main(argv=None) -> int:
             "threshold": 2.0,
             "measured": forward["batch_per_image_speedup"],
         },
+        # Interval coloring must not cost time vs the retired two-slot
+        # allocator (10% grace: the baseline was timed in a different
+        # process on a different day) and must shrink the arena.
+        "dag_not_slower_than_two_slot": (
+            {
+                "held": dag["googlenet_dag_ms"]
+                <= dag["two_slot_baseline_ms"] * 1.10,
+                "skipped": False,
+                "threshold": "<= 1.10x of the PR 3 two-slot forward",
+                "measured_ms": dag["googlenet_dag_ms"],
+                "baseline_ms": dag["two_slot_baseline_ms"],
+            }
+            if dag["two_slot_baseline_ms"] is not None
+            else {
+                "held": None,
+                "skipped": True,
+                "reason": "no prior BENCH_perf.json with a two-slot "
+                "googlenet forward to compare against",
+            }
+        ),
+        "interval_coloring_shrinks_arena": {
+            "held": dag["arena_bytes"] < dag["two_slot_arena_bytes"],
+            "skipped": False,
+            "measured_bytes": dag["arena_bytes"],
+            "two_slot_bytes": dag["two_slot_arena_bytes"],
+        },
     }
     claims_hold = all(
         claim["held"] for claim in claims.values() if not claim["skipped"]
@@ -237,6 +333,7 @@ def main(argv=None) -> int:
             "cache_warm": {"wall_seconds": round(warm_wall, 3),
                            **warm.engine_stats.as_dict()},
             "optimized_forward": forward,
+            "dag_forward": dag,
         },
         "speedup": {
             "parallel_vs_serial": round(serial_wall / parallel_wall, 3),

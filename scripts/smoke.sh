@@ -4,8 +4,10 @@
 # engine's determinism contract (a --jobs 2 campaign plus a warm-cache
 # rerun must reproduce the serial report byte for byte, and the warm
 # run must not be slower than the cold one), and the graph optimizer's
-# contract (a fig7 scenario with and without --no-optimize must produce
-# byte-identical reports, and the optimized run must not be slower).
+# contract (fig7 plus a googlenet fig8 partial-inference sweep — whose
+# front/rear splits land inside the inception branch-and-join stages —
+# with and without --no-optimize must produce byte-identical reports,
+# and the optimized run must not be slower).
 #
 #   scripts/smoke.sh [output-dir]
 #
@@ -99,5 +101,20 @@ assert optimized <= reference * 1.05, (
     f"{reference:.1f}s)"
 )
 PY
+
+# Partial inference across branch-and-join stages: the googlenet fig8
+# sweep's first 8 points include splits at inception_3a/3b, so the front
+# plan ends inside the inception region and the rear plan crosses the
+# remaining concat joins.  The DAG scheduler must stay byte-identical to
+# the reference walk there too.
+python -m repro fig8 --models googlenet --max-points 8 \
+    > "$out_dir/fig8-split-optimized.txt"
+python -m repro fig8 --models googlenet --max-points 8 --no-optimize \
+    > "$out_dir/fig8-split-reference.txt"
+cmp "$out_dir/fig8-split-optimized.txt" "$out_dir/fig8-split-reference.txt" || {
+    echo "FAIL: googlenet fig8 partial-inference sweep diverges between" \
+         "optimized and --no-optimize runs" >&2
+    exit 1; }
+echo "ok: googlenet partial-inference sweep byte-identical across joins"
 
 echo "smoke ok — artifacts in $out_dir"

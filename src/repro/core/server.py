@@ -337,7 +337,10 @@ class EdgeServer:
         Under heavy traffic many clients offload the *same* pre-sent model
         at once; instead of N independent layer walks, the stored model's
         compiled plan stacks all N feature tensors through one
-        im2col/matmul per step (``Model.inference_batch``).  Returns the
+        im2col/matmul per scheduled DAG step — branch-and-join stages
+        (inception concats, residual adds) included, since the plan inlines
+        composites into first-class steps (``Model.inference_batch``).
+        Returns the
         per-session outputs in request order.  This is an explicit server
         API (exercised by the throughput benchmark) rather than a change to
         the per-request protocol loop, whose virtual timings are calibrated

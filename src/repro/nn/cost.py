@@ -143,16 +143,25 @@ def plan_costs(
     into the step's weights), and a fused Conv+ReLU is one entry — so a
     predictor's per-layer dispatch overhead is charged per step actually
     dispatched.  Parameters still count in full (folding changes weight
-    *values*, not how many bytes ship).  Composite steps stay one entry at
-    their spine index, matching offload-point granularity.
+    *values*, not how many bytes ship).  Composite layers appear as their
+    inlined branch steps plus a join step, all at the composite's spine
+    index, matching offload-point granularity; the join itself carries
+    only the copy/add cost (one op per output element) and no parameters,
+    since the branch steps already price the inner layers.
     """
     plan = net.plan_for(start, end)
     costs: List[LayerCost] = []
     for step in plan.steps:
-        flops = sum(
-            layer.count_flops() for _, layer, counted in step.layers if counted
-        )
-        params = sum(layer.param_count for _, layer, _ in step.layers)
+        if step.kind in ("concat", "eltwise"):
+            flops = float(step.out_elements)
+            params = 0
+        else:
+            flops = sum(
+                layer.count_flops()
+                for _, layer, counted in step.layers
+                if counted
+            )
+            params = sum(layer.param_count for _, layer, _ in step.layers)
         costs.append(
             LayerCost(
                 name=step.name,

@@ -15,8 +15,34 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from dataclasses import dataclass
+from typing import Tuple
+
 from repro.nn.layers.base import Layer, LayerShapeError, Shape
 from repro.sim import SeededRng
+
+
+@dataclass(frozen=True)
+class CompositeGraph:
+    """A composite layer's branch-and-join structure, for the plan compiler.
+
+    ``branches`` is an ordered list of ``(tag, layers)`` sequences that all
+    read the composite's input; an *empty* layer list is the identity edge
+    (a residual shortcut).  ``join`` names how branch outputs combine:
+    ``"concat"`` (channel concatenation, in branch order) or ``"eltwise"``
+    (elementwise sum).  Any layer exposing ``dag_branches()`` returning one
+    of these is lowered into explicit branch/join plan nodes instead of
+    being executed opaquely — new composite types need no compiler changes.
+    """
+
+    branches: Tuple
+    join: str
+
+    def __post_init__(self):
+        if self.join not in ("concat", "eltwise"):
+            raise ValueError(f"unknown join kind {self.join!r}")
+        if not self.branches:
+            raise ValueError("composite graph needs at least one branch")
 
 
 class InceptionModule(Layer):
@@ -93,6 +119,16 @@ class InceptionModule(Layer):
     def inner_layers(self) -> List[Layer]:
         """All constituent layers, for profiling and model serialization."""
         return [layer for branch in self.branches for layer in branch]
+
+    def dag_branches(self) -> "CompositeGraph":
+        """How the plan compiler lowers this composite into branch/join
+        nodes: every branch reads the module input, outputs are joined by
+        a channel-wise concat."""
+        return CompositeGraph(
+            branches=[("b%d" % index, list(branch))
+                      for index, branch in enumerate(self.branches)],
+            join="concat",
+        )
 
     def param_arrays(self) -> Dict[str, np.ndarray]:
         """Flattened parameter blobs keyed by branch-qualified names."""
@@ -174,6 +210,16 @@ class ResidualBlock(Layer):
     # -- accounting -------------------------------------------------------------
     def inner_layers(self) -> List[Layer]:
         return list(self.body) + list(self.shortcut)
+
+    def dag_branches(self) -> CompositeGraph:
+        """Body and shortcut as two branches joined by an elementwise add;
+        an identity shortcut is the empty branch (the join reads the block
+        input directly)."""
+        return CompositeGraph(
+            branches=[("body", list(self.body)),
+                      ("shortcut", list(self.shortcut))],
+            join="eltwise",
+        )
 
     def count_flops(self) -> float:
         total = sum(layer.count_flops() for layer in self.inner_layers())

@@ -1,8 +1,9 @@
-"""Graph-level inference optimizer: compiled execution plans.
+"""Graph-level inference optimizer: compiled DAG execution plans.
 
 ``compile_plan`` lowers a built :class:`~repro.nn.network.Network` (or any
-spine range of one) into an :class:`ExecutionPlan` — a flat list of fused
-steps plus a preallocated arena — via three rewrite families:
+spine range of one) into an :class:`ExecutionPlan` — a topologically
+scheduled DAG of steps plus an interval-colored arena — via four rewrite
+families:
 
 * **Constant folding** — ``BatchNorm``/``Scale`` affine transforms are
   folded into the preceding conv's weights (computed in float64, cast to
@@ -10,22 +11,41 @@ steps plus a preallocated arena — via three rewrite families:
   collapse to one per-channel affine step, and inference-time ``Dropout``
   (an identity here) is elided outright.
 * **Operator fusion** — Conv+bias+ReLU and Dense+ReLU become single steps
-  that apply the activation in place on the matmul output.
-* **Arena buffer reuse** — steps write into two ping-pong arena slots
-  sized once at compile time (a step never writes the slot its input
-  lives in), extending the ``out=`` convention of
-  :func:`repro.nn.tensor.im2col` to the pool/dense/activation kernels.
+  that apply the activation in place on the matmul output.  Fusion and
+  folding apply *inside* composite branches too: a branch is lowered with
+  the same sequence rewriter as the spine.
+* **DAG lowering** — any composite layer exposing ``dag_branches()``
+  (:class:`~repro.nn.layers.composite.InceptionModule`,
+  :class:`~repro.nn.layers.composite.ResidualBlock`, and future
+  composites) is inlined into explicit branch steps plus a join step
+  (``concat`` for channel concatenation, ``eltwise`` for the residual
+  add).  No opaque sub-plan nodes remain; every step is a first-class
+  node of one flat graph.  Steps are scheduled by a stable topological
+  sort (Kahn's algorithm over value dependencies, ties broken by
+  lowering order — which reproduces the reference execution order, so
+  the schedule is deterministic).
+* **Arena buffer reuse** — a liveness analysis over the scheduled DAG
+  computes each value's live interval; arena slots are assigned by greedy
+  interval coloring (linear scan), so a slot is reused the moment its
+  previous value dies and the slot count adapts to the graph's width
+  (2 for a pure spine, more across live branches) instead of the old
+  two-slot ping-pong with per-branch sub-arenas.  A step never writes a
+  slot holding any live value — in particular never its own input —
+  which :meth:`ExecutionPlan.forward_traced` verifies at runtime.
 
 Equivalence contract: for networks without BatchNorm/Scale the plan's
 arithmetic is *bitwise identical* to the reference layer walk (matmul,
 in-place bias add and in-place ``maximum`` produce the same bits as their
-out-of-place forms, and max pooling is an exact reduction); with folding
-the divergence is bounded by float32 rounding of the folded weights
+out-of-place forms, max pooling is an exact reduction, and the schedule
+replays the reference data order branch by branch); with folding the
+divergence is bounded by float32 rounding of the folded weights
 (``tests/test_nn_plan.py`` asserts 1e-6 across the zoo at every offload
-point).  Plans respect offload points: compilation takes a ``(start,
-end)`` spine range and no rewrite ever looks past ``end``, so a
-``SplitNetwork``'s front and rear plans are independent and fusion never
-crosses the split.
+point, and ``tests/test_plan_fuzz.py`` fuzzes randomly generated
+branch-and-join graphs against the reference walk).  Plans respect
+offload points: compilation takes a ``(start, end)`` spine range and no
+rewrite ever looks past ``end``, so a ``SplitNetwork``'s front and rear
+plans are independent and fusion never crosses the split — even when the
+range boundary falls between branch-and-join stages.
 
 ``plan.forward_batch(xs)`` runs N inputs through one stacked
 im2col/broadcast-matmul per step — the edge server uses it to batch
@@ -39,6 +59,7 @@ sets both, so forked pool workers inherit it).
 
 from __future__ import annotations
 
+import heapq
 import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -48,7 +69,6 @@ import numpy as np
 from repro.nn.layers.activation import DropoutLayer, ReLULayer
 from repro.nn.layers.base import Layer
 from repro.nn.layers.batchnorm import BatchNormLayer, ScaleLayer
-from repro.nn.layers.composite import InceptionModule, ResidualBlock
 from repro.nn.layers.conv import ConvLayer
 from repro.nn.layers.dense import FCLayer
 from repro.nn.layers.io import InputLayer
@@ -76,34 +96,33 @@ def set_optimization(enabled: Optional[bool]) -> None:
     _OPTIMIZE_OVERRIDE = enabled
 
 
+class PlanGraphError(RuntimeError):
+    """The lowered step graph is not a schedulable DAG."""
+
+
 @dataclass
 class PlanStats:
-    """Compile-time accounting for one plan (sub-plans included)."""
+    """Compile-time accounting for one plan."""
 
     steps: int = 0
     folded: int = 0  # BatchNorm/Scale layers constant-folded away
     elided: int = 0  # inference-time Dropout layers removed
     fused: int = 0  # ReLU activations fused into conv/fc steps
     fallbacks: int = 0  # steps that call the reference layer forward
+    branches: int = 0  # composite branch sequences inlined into the DAG
+    joins: int = 0  # concat/eltwise join steps
+    arena_slots: int = 0  # interval-colored arena buffers
     arena_bytes: int = 0  # bytes of preallocated arena slots
     reuse_bytes_per_forward: int = 0  # arena bytes written per forward
 
-    def absorb(self, other: "PlanStats") -> None:
-        """Fold a sub-plan's counts into this plan's totals."""
-        self.steps += other.steps
-        self.folded += other.folded
-        self.elided += other.elided
-        self.fused += other.fused
-        self.fallbacks += other.fallbacks
-        self.arena_bytes += other.arena_bytes
-        self.reuse_bytes_per_forward += other.reuse_bytes_per_forward
-
 
 class PlanStep:
-    """One compiled operation: reads a value, produces the next one.
+    """One compiled DAG node: reads its input values, produces one value.
 
-    ``arena`` steps receive a preallocated output view (never aliasing
-    their input); non-arena steps allocate like the reference path.
+    ``inputs`` lists the value ids this step reads (value 0 is the plan's
+    input; step ``i`` in schedule order defines value ``i + 1``).
+    ``arena`` steps receive a preallocated output view (never aliasing any
+    live value); non-arena steps allocate like the reference path.
     ``layers`` lists ``(spine_index, layer, counted)`` triples covering the
     source layers — ``counted`` is False for layers whose arithmetic was
     folded away, which is what :func:`plan_costs` prices.
@@ -124,16 +143,24 @@ class PlanStep:
         self.out_elements = 1
         for dim in self.out_shape:
             self.out_elements *= dim
-        self._views: Optional[List[np.ndarray]] = None
+        #: value ids read by this step; assigned during lowering
+        self.inputs: List[int] = []
+        #: value id defined by this step; assigned during scheduling
+        self.output = -1
+        #: arena slot index (interval coloring), None for non-arena steps
+        self.slot: Optional[int] = None
+        self._out_view: Optional[np.ndarray] = None
 
     @property
     def spine_index(self) -> int:
         return self.layers[0][0]
 
-    def run(self, x: np.ndarray, out: Optional[np.ndarray]) -> np.ndarray:
+    def run(
+        self, inputs: Sequence[np.ndarray], out: Optional[np.ndarray]
+    ) -> np.ndarray:
         raise NotImplementedError
 
-    def run_batch(self, xs: np.ndarray) -> np.ndarray:
+    def run_batch(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -159,7 +186,10 @@ class ConvStep(PlanStep):
         self.operands = list(operands)
         self.relu = relu
 
-    def run(self, x: np.ndarray, out: Optional[np.ndarray]) -> np.ndarray:
+    def run(
+        self, inputs: Sequence[np.ndarray], out: Optional[np.ndarray]
+    ) -> np.ndarray:
+        (x,) = inputs
         layer = self.layer
         filters, out_h, out_w = self.out_shape
         positions = out_h * out_w
@@ -186,7 +216,8 @@ class ConvStep(PlanStep):
             np.maximum(out2d, 0.0, out=out2d)
         return out
 
-    def run_batch(self, xs: np.ndarray) -> np.ndarray:
+    def run_batch(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        (xs,) = inputs
         layer = self.layer
         count = xs.shape[0]
         filters, out_h, out_w = self.out_shape
@@ -230,13 +261,16 @@ class FCStep(PlanStep):
         self.layer = layer
         self.relu = relu
 
-    def run(self, x: np.ndarray, out: Optional[np.ndarray]) -> np.ndarray:
-        result = self.layer.forward(x, out=out)
+    def run(
+        self, inputs: Sequence[np.ndarray], out: Optional[np.ndarray]
+    ) -> np.ndarray:
+        result = self.layer.forward(inputs[0], out=out)
         if self.relu:
             np.maximum(result, 0.0, out=result)
         return result
 
-    def run_batch(self, xs: np.ndarray) -> np.ndarray:
+    def run_batch(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        xs = inputs[0]
         flat = xs.reshape(xs.shape[0], -1)
         out = flat @ self.layer.params["weight"].T
         out += self.layer.params["bias"]
@@ -260,10 +294,13 @@ class PoolStep(PlanStep):
         super().__init__(name, layers, layer.out_shape)
         self.layer = layer
 
-    def run(self, x: np.ndarray, out: Optional[np.ndarray]) -> np.ndarray:
-        return self.layer.forward(x, out=out)
+    def run(
+        self, inputs: Sequence[np.ndarray], out: Optional[np.ndarray]
+    ) -> np.ndarray:
+        return self.layer.forward(inputs[0], out=out)
 
-    def run_batch(self, xs: np.ndarray) -> np.ndarray:
+    def run_batch(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        (xs,) = inputs
         layer = self.layer
         count = xs.shape[0]
         if layer.mode == "max":
@@ -288,11 +325,13 @@ class ReLUStep(PlanStep):
         super().__init__(name, layers, layer.out_shape)
         self.layer = layer
 
-    def run(self, x: np.ndarray, out: Optional[np.ndarray]) -> np.ndarray:
-        return self.layer.forward(x, out=out)
+    def run(
+        self, inputs: Sequence[np.ndarray], out: Optional[np.ndarray]
+    ) -> np.ndarray:
+        return self.layer.forward(inputs[0], out=out)
 
-    def run_batch(self, xs: np.ndarray) -> np.ndarray:
-        return np.maximum(xs, 0.0)
+    def run_batch(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        return np.maximum(inputs[0], 0.0)
 
 
 class AffineStep(PlanStep):
@@ -313,14 +352,16 @@ class AffineStep(PlanStep):
         self.scale = scale[:, None, None]
         self.shift = shift[:, None, None] if shift is not None else None
 
-    def run(self, x: np.ndarray, out: Optional[np.ndarray]) -> np.ndarray:
-        np.multiply(x, self.scale, out=out)
+    def run(
+        self, inputs: Sequence[np.ndarray], out: Optional[np.ndarray]
+    ) -> np.ndarray:
+        np.multiply(inputs[0], self.scale, out=out)
         if self.shift is not None:
             out += self.shift
         return out
 
-    def run_batch(self, xs: np.ndarray) -> np.ndarray:
-        out = xs * self.scale[None]
+    def run_batch(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        out = inputs[0] * self.scale[None]
         if self.shift is not None:
             out += self.shift[None]
         return out
@@ -337,10 +378,13 @@ class FallbackStep(PlanStep):
         self.layer = layer
         self.kind = layer.kind
 
-    def run(self, x: np.ndarray, out: Optional[np.ndarray]) -> np.ndarray:
-        return self.layer.forward(x)
+    def run(
+        self, inputs: Sequence[np.ndarray], out: Optional[np.ndarray]
+    ) -> np.ndarray:
+        return self.layer.forward(inputs[0])
 
-    def run_batch(self, xs: np.ndarray) -> np.ndarray:
+    def run_batch(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        (xs,) = inputs
         return np.stack([self.layer.forward(xs[index])
                          for index in range(xs.shape[0])])
 
@@ -353,7 +397,8 @@ class LRNStep(FallbackStep):
     bitwise equal to N reference forwards.
     """
 
-    def run_batch(self, xs: np.ndarray) -> np.ndarray:
+    def run_batch(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        (xs,) = inputs
         layer = self.layer
         channels = xs.shape[1]
         half = layer.local_size // 2
@@ -374,76 +419,60 @@ class LRNStep(FallbackStep):
         return (xs / scale).astype(np.float32)
 
 
-class InceptionStep(PlanStep):
-    """Branch sub-plans concatenated channel-wise into the arena."""
+class ConcatStep(PlanStep):
+    """Join node: branch outputs concatenated channel-wise into the arena.
 
-    kind = "inception"
+    Reads one value per branch (in branch order — the same order the
+    reference composite concatenates in, so the copy is bitwise equal).
+    """
+
+    kind = "concat"
     arena = True
 
-    def __init__(
-        self,
-        name: str,
-        layers: Sequence[Tuple[int, Layer, bool]],
-        layer: InceptionModule,
-        branch_plans: Sequence["ExecutionPlan"],
-    ):
-        super().__init__(name, layers, layer.out_shape)
-        self.branch_plans = list(branch_plans)
-
-    def run(self, x: np.ndarray, out: Optional[np.ndarray]) -> np.ndarray:
-        outputs = [plan._execute(x) for plan in self.branch_plans]
-        np.concatenate(outputs, axis=0, out=out)
+    def run(
+        self, inputs: Sequence[np.ndarray], out: Optional[np.ndarray]
+    ) -> np.ndarray:
+        np.concatenate(list(inputs), axis=0, out=out)
         return out
 
-    def run_batch(self, xs: np.ndarray) -> np.ndarray:
-        outputs = [plan._execute_batch(xs) for plan in self.branch_plans]
-        return np.concatenate(outputs, axis=1)
+    def run_batch(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        return np.concatenate(list(inputs), axis=1)
 
 
-class ResidualStep(PlanStep):
-    """Body/shortcut sub-plans joined by an elementwise add into the arena."""
+class EltwiseAddStep(PlanStep):
+    """Join node: elementwise sum of branch outputs (the residual add).
 
-    kind = "residual"
+    Accumulates left to right, matching ``body + shortcut`` on the
+    reference path bit for bit.
+    """
+
+    kind = "eltwise"
     arena = True
 
-    def __init__(
-        self,
-        name: str,
-        layers: Sequence[Tuple[int, Layer, bool]],
-        layer: ResidualBlock,
-        body_plan: "ExecutionPlan",
-        shortcut_plan: Optional["ExecutionPlan"],
-    ):
-        super().__init__(name, layers, layer.out_shape)
-        self.body_plan = body_plan
-        self.shortcut_plan = shortcut_plan
-
-    def run(self, x: np.ndarray, out: Optional[np.ndarray]) -> np.ndarray:
-        body = self.body_plan._execute(x)
-        shortcut = (
-            self.shortcut_plan._execute(x) if self.shortcut_plan is not None else x
-        )
-        np.add(body, shortcut, out=out)
+    def run(
+        self, inputs: Sequence[np.ndarray], out: Optional[np.ndarray]
+    ) -> np.ndarray:
+        np.add(inputs[0], inputs[1], out=out)
+        for extra in inputs[2:]:
+            out += extra
         return out
 
-    def run_batch(self, xs: np.ndarray) -> np.ndarray:
-        body = self.body_plan._execute_batch(xs)
-        shortcut = (
-            self.shortcut_plan._execute_batch(xs)
-            if self.shortcut_plan is not None
-            else xs
-        )
-        return body + shortcut
+    def run_batch(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        out = inputs[0] + inputs[1]
+        for extra in inputs[2:]:
+            out += extra
+        return out
 
 
 class ExecutionPlan:
-    """A compiled spine range: fused steps + a two-slot ping-pong arena.
+    """A compiled spine range: a scheduled step DAG + interval-colored arena.
 
-    Arena discipline: an arena step always writes the slot its input does
-    *not* live in, so no step ever reads a buffer already overwritten
-    (asserted by the aliasing test via :meth:`forward_traced`).  The final
-    value is copied out of the arena before being returned, so callers own
-    their result like on the reference path.
+    Arena discipline: liveness analysis assigns each arena step a slot no
+    *live* value occupies — in particular a step never writes the slot any
+    of its inputs live in (asserted by the aliasing test via
+    :meth:`forward_traced`).  The final value is copied out of the arena
+    before being returned, so callers own their result like on the
+    reference path.
     """
 
     def __init__(
@@ -456,7 +485,7 @@ class ExecutionPlan:
         witnesses: Sequence[Tuple[Layer, str, np.ndarray]],
     ):
         self.name = name
-        self.steps = list(steps)
+        self.steps = _topological_schedule(steps)
         self.input_shape = tuple(input_shape)
         self.output_shape = tuple(output_shape)
         self.stats = stats
@@ -465,26 +494,70 @@ class ExecutionPlan:
         self.batch_forwards = 0
         self.batch_sizes: List[int] = []
         self.arena_bytes_reused = 0
+        self._analyze_liveness()
         self._finalize_arena()
+
+    # -- liveness ---------------------------------------------------------------
+    def _analyze_liveness(self) -> None:
+        """Live interval of every value: defined at ``output - 1``, dead
+        after its last reading step (the plan result stays live to the
+        end)."""
+        last_use = [0] * (len(self.steps) + 1)
+        for position, step in enumerate(self.steps):
+            for value_id in step.inputs:
+                last_use[value_id] = position
+        if self.steps:
+            last_use[self.steps[-1].output] = len(self.steps)
+        self._last_use = last_use
 
     # -- arena ----------------------------------------------------------------
     def _finalize_arena(self) -> None:
-        arena_steps = [step for step in self.steps if step.arena]
-        slot_elements = max(
-            (step.out_elements for step in arena_steps), default=0
-        )
+        """Greedy interval coloring (linear scan) over the schedule.
+
+        A slot freed by a dead value is reused for the best-fitting later
+        value (smallest sufficient capacity, else grow the largest free
+        slot); values live at the same step never share a slot, so no
+        output can clobber a value still needed — including the step's own
+        inputs, which are live while it writes.
+        """
+        capacities: List[int] = []
+        free: List[int] = []
+        active: Dict[int, int] = {}  # value id -> slot
+        for position, step in enumerate(self.steps):
+            for value_id, slot in list(active.items()):
+                if self._last_use[value_id] < position:
+                    free.append(slot)
+                    del active[value_id]
+            if not step.arena:
+                step.slot = None
+                continue
+            need = step.out_elements
+            if free:
+                fitting = [s for s in free if capacities[s] >= need]
+                if fitting:
+                    slot = min(fitting, key=lambda s: (capacities[s], s))
+                else:
+                    slot = max(free, key=lambda s: (capacities[s], s))
+                    capacities[slot] = need
+                free.remove(slot)
+            else:
+                slot = len(capacities)
+                capacities.append(need)
+            step.slot = slot
+            active[step.output] = slot
         self._slots = [
-            np.empty(slot_elements, dtype=np.float32) for _ in range(2)
-        ] if slot_elements else []
-        for step in arena_steps:
-            step._views = [
-                slot[: step.out_elements].reshape(step.out_shape)
-                for slot in self._slots
-            ]
-        own_arena_bytes = 2 * slot_elements * 4
-        own_reuse = sum(step.out_elements * 4 for step in arena_steps)
-        self.stats.arena_bytes += own_arena_bytes
-        self.stats.reuse_bytes_per_forward += own_reuse
+            np.empty(capacity, dtype=np.float32) for capacity in capacities
+        ]
+        for step in self.steps:
+            if step.arena:
+                step._out_view = self._slots[step.slot][
+                    : step.out_elements
+                ].reshape(step.out_shape)
+        self.stats.arena_slots = len(self._slots)
+        self.stats.arena_bytes = 4 * sum(capacities)
+        self.stats.reuse_bytes_per_forward = sum(
+            step.out_elements * 4 for step in self.steps if step.arena
+        )
 
     # -- validity --------------------------------------------------------------
     def is_valid(self) -> bool:
@@ -508,17 +581,15 @@ class ExecutionPlan:
             )
 
     def _execute(self, value: np.ndarray) -> np.ndarray:
-        """Run the steps; the result may live in this plan's arena."""
-        slot = None
+        """Run the schedule; the result may live in this plan's arena."""
+        values: List[Optional[np.ndarray]] = [None] * (len(self.steps) + 1)
+        values[0] = value
         for step in self.steps:
-            if step.arena:
-                target = 1 - slot if slot is not None else 0
-                value = step.run(value, step._views[target])
-                slot = target
-            else:
-                value = step.run(value, None)
-                slot = None
-        return value
+            inputs = [values[value_id] for value_id in step.inputs]
+            values[step.output] = step.run(
+                inputs, step._out_view if step.arena else None
+            )
+        return values[self.steps[-1].output] if self.steps else value
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         """One sample through the compiled steps; caller owns the result."""
@@ -535,35 +606,51 @@ class ExecutionPlan:
         self, x: np.ndarray
     ) -> Tuple[np.ndarray, List[Dict[str, object]]]:
         """Like :meth:`forward` but records, per step, whether the step's
-        output buffer aliases its input — the arena-safety invariant the
-        tests assert (it must always be False)."""
+        output buffer aliases any of its inputs (``output_aliases_input``)
+        or any *other* value still live (``output_clobbers_live``) — the
+        arena-safety invariants the tests assert (both must always be
+        False)."""
         value = np.asarray(x, dtype=np.float32)
         self._check_input(value)
-        slot = None
+        values: List[Optional[np.ndarray]] = [None] * (len(self.steps) + 1)
+        values[0] = value
         trace: List[Dict[str, object]] = []
-        for step in self.steps:
-            previous = value
+        for position, step in enumerate(self.steps):
+            inputs = [values[value_id] for value_id in step.inputs]
+            aliases = False
+            clobbers = False
             if step.arena:
-                target = 1 - slot if slot is not None else 0
-                out = step._views[target]
-                aliases = np.shares_memory(previous, out)
-                value = step.run(previous, out)
-                slot = target
+                out = step._out_view
+                aliases = any(
+                    np.shares_memory(argument, out) for argument in inputs
+                )
+                live = [
+                    values[value_id]
+                    for value_id in range(len(values))
+                    if values[value_id] is not None
+                    and self._last_use[value_id] >= position
+                    and value_id not in step.inputs
+                ]
+                clobbers = any(
+                    np.shares_memory(other, out) for other in live
+                )
+                values[step.output] = step.run(inputs, out)
             else:
-                value = step.run(previous, None)
-                aliases = False
-                slot = None
+                values[step.output] = step.run(inputs, None)
             trace.append(
                 {
                     "step": step.name,
                     "kind": step.kind,
                     "arena": step.arena,
+                    "slot": step.slot,
                     "output_aliases_input": aliases,
+                    "output_clobbers_live": clobbers,
                 }
             )
-        if self._value_in_arena(value):
-            value = value.copy()
-        return value, trace
+        result = values[self.steps[-1].output] if self.steps else value
+        if self._value_in_arena(result):
+            result = result.copy()
+        return result, trace
 
     def _value_in_arena(self, value: np.ndarray) -> bool:
         return any(np.shares_memory(value, slot) for slot in self._slots)
@@ -589,9 +676,13 @@ class ExecutionPlan:
         return result
 
     def _execute_batch(self, value: np.ndarray) -> np.ndarray:
+        values: List[Optional[np.ndarray]] = [None] * (len(self.steps) + 1)
+        values[0] = value
         for step in self.steps:
-            value = step.run_batch(value)
-        return value
+            values[step.output] = step.run_batch(
+                [values[value_id] for value_id in step.inputs]
+            )
+        return values[self.steps[-1].output] if self.steps else value
 
     # -- reporting -------------------------------------------------------------
     def summary(self) -> Dict[str, object]:
@@ -603,6 +694,9 @@ class ExecutionPlan:
             "layers_elided": stats.elided,
             "steps_fused": stats.fused,
             "fallback_steps": stats.fallbacks,
+            "branches": stats.branches,
+            "joins": stats.joins,
+            "arena_slots": stats.arena_slots,
             "arena_bytes": stats.arena_bytes,
             "arena_bytes_reused_per_forward": stats.reuse_bytes_per_forward,
             "forwards": self.forwards,
@@ -615,8 +709,10 @@ class ExecutionPlan:
         return (
             f"plan {self.name}: {stats.steps} steps "
             f"({stats.fused} fused, {stats.folded} folded, "
-            f"{stats.elided} elided, {stats.fallbacks} fallback), "
-            f"arena {stats.arena_bytes / 1024:.0f} KiB "
+            f"{stats.elided} elided, {stats.fallbacks} fallback, "
+            f"{stats.branches} branches, {stats.joins} joins), "
+            f"arena {stats.arena_bytes / 1024:.0f} KiB in "
+            f"{stats.arena_slots} slots "
             f"(reuses {stats.reuse_bytes_per_forward / 1024:.0f} KiB/forward)"
         )
 
@@ -644,6 +740,20 @@ class ExecutionPlan:
             help="activations fused into the preceding conv/fc step",
             **labels,
         ).inc(stats.fused)
+        registry.counter(
+            "plan_branches_total",
+            help="composite branch sequences inlined into the step DAG",
+            **labels,
+        ).inc(stats.branches)
+        registry.counter(
+            "plan_joins_total",
+            help="concat/eltwise join steps in the compiled DAG",
+            **labels,
+        ).inc(stats.joins)
+        registry.gauge(
+            "plan_arena_slots",
+            help="interval-colored arena buffers", **labels,
+        ).set(stats.arena_slots)
         registry.gauge(
             "plan_arena_bytes",
             help="bytes of preallocated arena buffers", **labels,
@@ -669,7 +779,81 @@ class ExecutionPlan:
         return f"ExecutionPlan({self.name!r}, {len(self.steps)} steps)"
 
 
+# -- scheduling ------------------------------------------------------------------
+
+def _topological_schedule(steps: Sequence[PlanStep]) -> List[PlanStep]:
+    """Kahn's algorithm over value dependencies, stable by lowering order.
+
+    Lowering emits steps in the reference execution order (each value is
+    defined before any reader), so the stable sort reproduces that order
+    exactly — the schedule is an explicit verification, and a cycle or a
+    read of an undefined value is a loud :class:`PlanGraphError` instead
+    of silent corruption.  Value ids are reassigned to schedule positions
+    (step ``i`` defines value ``i + 1``).
+    """
+    produced = {0: 0}  # value id -> producing step position + 1
+    for position, step in enumerate(steps):
+        produced[position + 1] = position + 1
+    readers: Dict[int, List[int]] = {}
+    pending: List[int] = []
+    for position, step in enumerate(steps):
+        missing = 0
+        for value_id in step.inputs:
+            if value_id not in produced:
+                raise PlanGraphError(
+                    f"step {step.name!r} reads undefined value {value_id}"
+                )
+            if value_id > 0:
+                missing += 1
+                readers.setdefault(value_id, []).append(position)
+        pending.append(missing)
+    scheduled: List[PlanStep] = []
+    order: List[int] = [-1] * len(steps)  # old position -> new position
+    ready = [
+        position for position, missing in enumerate(pending) if missing == 0
+    ]
+    heapq.heapify(ready)
+    while ready:
+        # Smallest lowering position first: the lexicographically minimal
+        # topological order, which for an already-topological input is the
+        # input order itself — independent branch steps interleave exactly
+        # as the reference walk does.
+        position = heapq.heappop(ready)
+        order[position] = len(scheduled)
+        scheduled.append(steps[position])
+        for reader in readers.get(position + 1, ()):
+            pending[reader] -= 1
+            if pending[reader] == 0:
+                heapq.heappush(ready, reader)
+    if len(scheduled) != len(steps):
+        stuck = [
+            steps[position].name
+            for position, missing in enumerate(pending)
+            if missing > 0
+        ]
+        raise PlanGraphError(f"step graph has a cycle through {stuck}")
+    remap = {0: 0}
+    for old_position, new_position in enumerate(order):
+        remap[old_position + 1] = new_position + 1
+    for new_position, step in enumerate(scheduled):
+        step.output = new_position + 1
+        step.inputs = [remap[value_id] for value_id in step.inputs]
+    return scheduled
+
+
 # -- compilation ----------------------------------------------------------------
+
+class _GraphBuilder:
+    """Accumulates lowered steps and hands out value ids."""
+
+    def __init__(self) -> None:
+        self.steps: List[PlanStep] = []
+
+    def add(self, step: PlanStep, inputs: Sequence[int]) -> int:
+        step.inputs = list(inputs)
+        self.steps.append(step)
+        return len(self.steps)  # value id of this step's output
+
 
 def _affine_chain(
     chain: Sequence[Layer], channels: int
@@ -732,19 +916,25 @@ def _folded_conv_operands(
     ]
 
 
-def _compile_sequence(
+def _lower_sequence(
+    graph: _GraphBuilder,
     indexed: Sequence[Tuple[int, Layer]],
+    input_id: int,
     *,
     fold: bool,
     fuse: bool,
     stats: PlanStats,
     witnesses: List[Tuple[Layer, str, np.ndarray]],
     prefix: str = "",
-) -> List[PlanStep]:
-    """Lower an ordered layer sequence to steps (shared by spine ranges and
-    composite branches).  Rewrites only ever look ahead *within* the given
-    sequence, which is how fusion can never cross a split boundary."""
-    steps: List[PlanStep] = []
+) -> int:
+    """Lower an ordered layer sequence into graph nodes; returns the value
+    id of the sequence's output (``input_id`` itself if every layer was
+    elided).  Shared by spine ranges and composite branches — rewrites
+    only ever look ahead *within* the given sequence, which is how fusion
+    can never cross a split boundary, and composites recurse so nested
+    branch-and-join graphs flatten into the same DAG.
+    """
+    current = input_id
     position = 0
     while position < len(indexed):
         index, layer = indexed[position]
@@ -785,7 +975,9 @@ def _compile_sequence(
             witnesses.append((layer, "weight", layer.params["weight"]))
             witnesses.append((layer, "bias", layer.params["bias"]))
             name = prefix + layer.name
-            steps.append(ConvStep(name, covered, layer, operands, relu))
+            current = graph.add(
+                ConvStep(name, covered, layer, operands, relu), [current]
+            )
             stats.folded += len(chain)
             stats.fused += 1 if relu else 0
             position = cursor
@@ -800,7 +992,9 @@ def _compile_sequence(
                 relu = True
                 covered.append((indexed[cursor][0], indexed[cursor][1], True))
                 cursor += 1
-            steps.append(FCStep(prefix + layer.name, covered, layer, relu))
+            current = graph.add(
+                FCStep(prefix + layer.name, covered, layer, relu), [current]
+            )
             stats.fused += 1 if relu else 0
             position = cursor
         elif fold and isinstance(layer, (BatchNormLayer, ScaleLayer)):
@@ -816,109 +1010,95 @@ def _compile_sequence(
             scale, shift, has_shift = _affine_chain(chain, channels)
             for chained in chain:
                 witnesses.extend(_witnesses_for(chained))
-            steps.append(
+            current = graph.add(
                 AffineStep(
                     prefix + layer.name,
                     covered,
                     layer.out_shape,
                     scale.astype(np.float32),
                     shift.astype(np.float32) if has_shift else None,
-                )
+                ),
+                [current],
             )
             stats.folded += len(chain) - 1
             position = cursor
         elif isinstance(layer, PoolLayer):
-            steps.append(PoolStep(prefix + layer.name, covered, layer))
+            current = graph.add(
+                PoolStep(prefix + layer.name, covered, layer), [current]
+            )
             position += 1
         elif isinstance(layer, ReLULayer):
-            steps.append(ReLUStep(prefix + layer.name, covered, layer))
-            position += 1
-        elif isinstance(layer, InceptionModule):
-            branch_plans = []
-            for branch_index, branch in enumerate(layer.branches):
-                branch_plans.append(
-                    _compile_subplan(
-                        f"{prefix}{layer.name}/b{branch_index}",
-                        [(index, inner) for inner in branch],
-                        layer.input_shape,
-                        branch[-1].out_shape,
-                        fold=fold,
-                        fuse=fuse,
-                        stats=stats,
-                        witnesses=witnesses,
-                    )
-                )
-            steps.append(
-                InceptionStep(prefix + layer.name, covered, layer, branch_plans)
+            current = graph.add(
+                ReLUStep(prefix + layer.name, covered, layer), [current]
             )
             position += 1
-        elif isinstance(layer, ResidualBlock):
-            body_plan = _compile_subplan(
-                f"{prefix}{layer.name}/body",
-                [(index, inner) for inner in layer.body],
-                layer.input_shape,
-                layer.body[-1].out_shape,
-                fold=fold,
-                fuse=fuse,
-                stats=stats,
-                witnesses=witnesses,
-            )
-            shortcut_plan = None
-            if layer.shortcut:
-                shortcut_plan = _compile_subplan(
-                    f"{prefix}{layer.name}/shortcut",
-                    [(index, inner) for inner in layer.shortcut],
-                    layer.input_shape,
-                    layer.shortcut[-1].out_shape,
-                    fold=fold,
-                    fuse=fuse,
-                    stats=stats,
-                    witnesses=witnesses,
-                )
-            steps.append(
-                ResidualStep(
-                    prefix + layer.name, covered, layer, body_plan, shortcut_plan
-                )
+        elif hasattr(layer, "dag_branches"):
+            current = _lower_composite(
+                graph, index, layer, current,
+                fold=fold, fuse=fuse, stats=stats, witnesses=witnesses,
+                prefix=prefix,
             )
             position += 1
         else:
             step_type = (
                 LRNStep if isinstance(layer, LRNLayer) else FallbackStep
             )
-            steps.append(step_type(prefix + layer.name, covered, layer))
+            current = graph.add(
+                step_type(prefix + layer.name, covered, layer), [current]
+            )
             stats.fallbacks += 1
             position += 1
-    stats.steps += len(steps)
-    return steps
+    return current
 
 
-def _compile_subplan(
-    name: str,
-    indexed: Sequence[Tuple[int, Layer]],
-    input_shape: Tuple[int, ...],
-    output_shape: Tuple[int, ...],
+def _lower_composite(
+    graph: _GraphBuilder,
+    index: int,
+    layer: Layer,
+    input_id: int,
     *,
     fold: bool,
     fuse: bool,
     stats: PlanStats,
     witnesses: List[Tuple[Layer, str, np.ndarray]],
-) -> ExecutionPlan:
-    """A composite branch as its own plan with its own (small) arena.
+    prefix: str,
+) -> int:
+    """Inline a composite's branches as first-class DAG nodes plus a join.
 
-    Branch arenas are disjoint from the parent's slots, so branches can
-    never clobber the composite's shared input tensor.  Stats accumulate
-    into the parent's ``stats``; the sub-plan itself carries an empty one.
+    Every branch reads the composite's input value (a shared fan-out
+    edge); an empty branch *is* that value (the identity shortcut).  The
+    join step reads the branch outputs in declaration order, matching the
+    reference forward's concat/add order bit for bit.
     """
-    sub_stats = PlanStats()
-    steps = _compile_sequence(
-        indexed, fold=fold, fuse=fuse, stats=sub_stats, witnesses=witnesses,
-        prefix=f"{name}/",
+    composite = layer.dag_branches()
+    branch_outputs: List[int] = []
+    for tag, branch in composite.branches:
+        if branch:
+            branch_outputs.append(
+                _lower_sequence(
+                    graph,
+                    [(index, inner) for inner in branch],
+                    input_id,
+                    fold=fold,
+                    fuse=fuse,
+                    stats=stats,
+                    witnesses=witnesses,
+                    prefix=f"{prefix}{layer.name}/{tag}/",
+                )
+            )
+            stats.branches += 1
+        else:
+            branch_outputs.append(input_id)
+    join_type = ConcatStep if composite.join == "concat" else EltwiseAddStep
+    stats.joins += 1
+    return graph.add(
+        join_type(
+            f"{prefix}{layer.name}/{composite.join}",
+            [(index, layer, False)],
+            layer.out_shape,
+        ),
+        branch_outputs,
     )
-    plan = ExecutionPlan(
-        name, steps, input_shape, output_shape, sub_stats, witnesses=[]
-    )
-    stats.absorb(sub_stats)
-    return plan
 
 
 def compile_plan(
@@ -951,12 +1131,15 @@ def compile_plan(
         )
     stats = PlanStats()
     witnesses: List[Tuple[Layer, str, np.ndarray]] = []
+    graph = _GraphBuilder()
     indexed = [
         (index, network.layers[index]) for index in range(start, end + 1)
     ]
-    steps = _compile_sequence(
-        indexed, fold=fold, fuse=fuse, stats=stats, witnesses=witnesses
+    _lower_sequence(
+        graph, indexed, 0, fold=fold, fuse=fuse, stats=stats,
+        witnesses=witnesses,
     )
+    stats.steps = len(graph.steps)
     input_shape = (
         network.input_shape if start == 0
         else network.layers[start - 1].out_shape
@@ -964,7 +1147,7 @@ def compile_plan(
     output_shape = network.layers[end].out_shape
     return ExecutionPlan(
         f"{network.name}[{start}:{end}]",
-        steps,
+        graph.steps,
         input_shape,
         output_shape,
         stats,
