@@ -3,11 +3,15 @@
 # export, a parse check on the exported metrics, the execution
 # engine's determinism contract (a --jobs 2 campaign plus a warm-cache
 # rerun must reproduce the serial report byte for byte, and the warm
-# run must not be slower than the cold one), and the graph optimizer's
+# run must not be slower than the cold one), the graph optimizer's
 # contract (fig7 plus a googlenet fig8 partial-inference sweep — whose
 # front/rear splits land inside the inception branch-and-join stages —
 # with and without --no-optimize must produce byte-identical reports,
-# and the optimized run must not be slower).
+# and the optimized run must not be slower), and the plan cache's
+# contract (two --jobs 2 campaigns sharing one --plan-cache-dir must
+# both reproduce the serial report byte for byte, and a fresh process
+# against the populated cache must rehydrate — hits > 0 — rather than
+# recompile).
 #
 #   scripts/smoke.sh [output-dir]
 #
@@ -21,15 +25,15 @@ mkdir -p "$out_dir"
 cd "$repo_root"
 export PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== 1/5 unit + property tests"
+echo "== 1/6 unit + property tests"
 python -m pytest -x -q
 
-echo "== 2/5 quick campaign with telemetry export"
+echo "== 2/6 quick campaign with telemetry export"
 python -m repro campaign --quick \
     --out "$out_dir/report.md" \
     --metrics-out "$out_dir/metrics.prom"
 
-echo "== 3/5 exported metrics parse + sanity"
+echo "== 3/6 exported metrics parse + sanity"
 python - "$out_dir/metrics.prom" <<'PY'
 import sys
 
@@ -48,7 +52,7 @@ print(f"ok: {len(samples)} samples, {sessions:.0f} sessions, "
       f"{executions:.0f} server executions")
 PY
 
-echo "== 4/5 execution engine: parallel + cache determinism"
+echo "== 4/6 execution engine: parallel + cache determinism"
 cache_dir="$out_dir/result-cache"
 rm -rf "$cache_dir"
 cold_start=$(python -c 'import time; print(time.perf_counter())')
@@ -73,7 +77,7 @@ print(f"ok: cold {cold:.1f}s, warm {warm:.1f}s (reports byte-identical)")
 assert warm <= cold, f"cached rerun slower than cold run ({warm:.1f}s > {cold:.1f}s)"
 PY
 
-echo "== 5/5 graph optimizer: equivalence + not-slower"
+echo "== 5/6 graph optimizer: equivalence + not-slower"
 opt_start=$(python -c 'import time; print(time.perf_counter())')
 python -m repro fig7 --models googlenet \
     > "$out_dir/fig7-optimized.txt"
@@ -116,5 +120,42 @@ cmp "$out_dir/fig8-split-optimized.txt" "$out_dir/fig8-split-reference.txt" || {
          "optimized and --no-optimize runs" >&2
     exit 1; }
 echo "ok: googlenet partial-inference sweep byte-identical across joins"
+
+echo "== 6/6 plan cache: cross-process reuse + determinism"
+plan_dir="$out_dir/plan-cache"
+rm -rf "$plan_dir"
+python -m repro campaign --quick --jobs 2 --plan-cache-dir "$plan_dir" \
+    --out "$out_dir/report-plan-cold.md" > /dev/null
+python -m repro campaign --quick --jobs 2 --plan-cache-dir "$plan_dir" \
+    --out "$out_dir/report-plan-warm.md" > /dev/null
+
+cmp "$out_dir/report.md" "$out_dir/report-plan-cold.md" || {
+    echo "FAIL: cold plan-cache report differs from the serial report" >&2
+    exit 1; }
+cmp "$out_dir/report.md" "$out_dir/report-plan-warm.md" || {
+    echo "FAIL: warm plan-cache report differs from the serial report" >&2
+    exit 1; }
+
+# A fresh process against the populated cache must rehydrate its plan
+# from disk (hits > 0) instead of recompiling — the counters land in the
+# telemetry, so probe them through the exported JSON.
+python -m repro metrics --model agenet --plan-cache-dir "$plan_dir" \
+    --format json > "$out_dir/plan-metrics.json" 2> /dev/null
+python - "$out_dir/plan-metrics.json" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1], "r", encoding="utf-8") as handle:
+    doc = json.load(handle)
+families = doc["metrics"]
+hits = sum(s["value"] for s in families["plan_cache_hits_total"]["series"])
+misses = sum(s["value"] for s in families["plan_cache_misses_total"]["series"])
+assert hits > 0, (
+    f"warm process recompiled instead of rehydrating "
+    f"(hits={hits:.0f}, misses={misses:.0f})"
+)
+print(f"ok: plan-cache reports byte-identical; warm process rehydrated "
+      f"({hits:.0f} hits, {misses:.0f} misses)")
+PY
 
 echo "smoke ok — artifacts in $out_dir"

@@ -20,7 +20,9 @@ plus the execution-engine flags ``--jobs N`` (fan independent sections
 across N worker processes), ``--cache-dir DIR`` (content-addressed result
 cache; unchanged scenarios are served from disk) and ``--no-cache``.
 Run commands also accept ``--no-optimize`` to fall back from compiled
-execution plans to the reference layer walk.  Results are byte-identical
+execution plans to the reference layer walk, and ``--plan-cache-dir DIR``
+(exported as ``REPRO_PLAN_CACHE`` so pool workers inherit it) to persist
+compiled plans across processes.  Results are byte-identical
 whichever way a command executes; see ``docs/PERFORMANCE.md``.
 """
 
@@ -83,6 +85,28 @@ def _apply_optimize_flag(args: argparse.Namespace) -> None:
         plan.set_optimization(False)
 
 
+def _add_plan_cache_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--plan-cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist compiled execution plans here so later processes "
+        "(including pool workers) rehydrate instead of recompiling; "
+        "results are byte-identical either way",
+    )
+
+
+def _apply_plan_cache_flag(args: argparse.Namespace) -> None:
+    """Honour ``--plan-cache-dir`` process-wide (workers inherit the env)."""
+    if getattr(args, "plan_cache_dir", None):
+        import os
+
+        from repro.exec import cache as exec_cache
+
+        os.environ[exec_cache.PLAN_CACHE_ENV] = args.plan_cache_dir
+        exec_cache.set_plan_cache(args.plan_cache_dir)
+
+
 def _add_exec_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -104,6 +128,7 @@ def _add_exec_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="ignore --cache-dir (force recomputation)",
     )
+    _add_plan_cache_arg(parser)
 
 
 def _engine_from_args(args: argparse.Namespace):
@@ -264,6 +289,19 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         network = build_paper_model(args.model).network
         network.plan_for().record_metrics(registry)
         print(network.plan_for().describe_text(), file=sys.stderr)
+    from repro.exec import cache as exec_cache
+
+    plan_dir = exec_cache.plan_cache_dir()
+    if plan_dir is not None:
+        exec_cache.record_plan_cache_metrics(registry)
+        stats = exec_cache.plan_cache_stats()
+        print(
+            f"plan cache {plan_dir}: {stats.hits} hits, {stats.misses} "
+            f"misses, {stats.compile_seconds * 1e3:.1f} ms compiling",
+            file=sys.stderr,
+        )
+    else:
+        print("plan cache: disabled", file=sys.stderr)
     if args.format == "json":
         print(to_json(registry))
     else:
@@ -315,6 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("demo", help="one offloaded GoogLeNet inference")
     _add_metrics_arg(p)
     _add_optimize_arg(p)
+    _add_plan_cache_arg(p)
     p.set_defaults(func=cmd_demo)
 
     p = sub.add_parser(
@@ -339,6 +378,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the session's span trace (Chrome Trace Event JSON)",
     )
     _add_optimize_arg(p)
+    _add_plan_cache_arg(p)
     p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser(
@@ -364,6 +404,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     _apply_optimize_flag(args)
+    _apply_plan_cache_flag(args)
     metrics_out = getattr(args, "metrics_out", None)
     if not metrics_out:
         return args.func(args)

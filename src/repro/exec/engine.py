@@ -143,7 +143,8 @@ class ExecutionEngine:
         outcomes: List[Optional[TaskOutcome]],
     ) -> None:
         workers = min(self.jobs, len(tasks))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
             pending = {
                 pool.submit(execute_task, task): index
                 for task, index in zip(tasks, indices)
@@ -153,3 +154,10 @@ class ExecutionEngine:
                 for future in done:
                     index = pending.pop(future)
                     outcomes[index] = future.result()  # re-raises task errors
+        except BaseException:
+            # Fail fast: a plain context exit would block until every
+            # in-flight task finishes.  Drop everything not yet handed to
+            # a worker, then shut down without waiting for the rest.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown(wait=True)

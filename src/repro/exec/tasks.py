@@ -34,3 +34,25 @@ def ablation_report(which: str) -> str:
     from repro.eval.ablations import study_report
 
     return study_report(which)
+
+
+def failing_probe(message: str = "boom") -> None:
+    """Raise immediately — the engine's fail-fast regression test uses it."""
+    raise RuntimeError(message)
+
+
+def slow_marker(marker_dir: str, name: str, seconds: float = 0.5) -> str:
+    """Sleep, then drop a marker file proving this task ran to completion.
+
+    The fail-fast test fans these out next to one :func:`failing_probe`
+    and asserts that not every marker appears: a fail-slow engine would
+    wait for all of them before re-raising.
+    """
+    import os
+    import time
+
+    time.sleep(seconds)
+    path = os.path.join(marker_dir, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(name)
+    return name

@@ -149,9 +149,12 @@ class Network:
 
         Plans are cached per (start, end) and recompiled automatically when
         any captured parameter array has been replaced (the same identity
-        rule the conv operand cache uses).
+        rule the conv operand cache uses).  With a plan cache configured
+        (``--plan-cache-dir`` / ``REPRO_PLAN_CACHE``) an in-memory miss
+        consults the on-disk cache before compiling, so pool workers reuse
+        plans compiled by any earlier process.
         """
-        from repro.nn.plan import compile_plan
+        from repro.nn.plan import load_or_compile_plan
 
         self._require_built()
         if end is None:
@@ -159,7 +162,7 @@ class Network:
         key = (start, end)
         plan = self._plans.get(key)
         if plan is None or not plan.is_valid():
-            plan = compile_plan(self, start, end)
+            plan = load_or_compile_plan(self, start, end)
             self._plans[key] = plan
         return plan
 

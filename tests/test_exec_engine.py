@@ -2,9 +2,14 @@
 
 import os
 import pickle
+import subprocess
+import sys
+import time
+from pathlib import Path
 
 import pytest
 
+import repro
 from repro.exec import (
     ExecutionEngine,
     ResultCache,
@@ -17,6 +22,8 @@ from repro.exec import (
 from repro.obs import MetricsRegistry, collect_metrics, to_prometheus_text
 
 PROBE = "repro.exec.tasks.session_probe"
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
 
 
 def probe_task(key="probe", **overrides):
@@ -86,6 +93,60 @@ class TestCacheKey:
     def test_source_fingerprint_stable(self):
         assert source_fingerprint() == source_fingerprint()
 
+    def test_set_kwargs_keyed_canonically(self):
+        # Two sets with different construction (and so likely different
+        # iteration) orders must produce one key.
+        a = probe_task(tags={"alpha", "beta", "gamma"})
+        b = probe_task(tags={"gamma", "beta", "alpha"})
+        assert task_cache_key(a) == task_cache_key(b)
+        assert task_cache_key(a) == task_cache_key(
+            probe_task(tags=frozenset({"beta", "gamma", "alpha"}))
+        )
+
+    def test_unorderable_set_kwargs_rejected(self):
+        with pytest.raises(TypeError, match="order-comparable"):
+            task_cache_key(probe_task(tags={1, "a"}))
+
+
+HASHSEED_KEY_SCRIPT = """\
+import sys
+
+sys.path.insert(0, sys.argv[1])
+from repro.exec import Task, task_cache_key
+
+task = Task.make(
+    "k",
+    "repro.exec.tasks.session_probe",
+    {
+        "tags": {"alpha", "beta", "gamma", "delta", "epsilon", "zeta"},
+        "names": frozenset({"x", "y", "z", "w"}),
+        "nested": ((1, 2), ("a", ("b", "c"))),
+    },
+)
+print(task_cache_key(task))
+"""
+
+
+class TestCacheKeyDeterminism:
+    """String hash randomization must never leak into cache keys."""
+
+    @staticmethod
+    def _key_under_hashseed(hashseed):
+        proc = subprocess.run(
+            [sys.executable, "-c", HASHSEED_KEY_SCRIPT, SRC_DIR],
+            env={"PYTHONHASHSEED": hashseed, "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return proc.stdout.strip()
+
+    def test_set_and_nested_tuple_kwargs_stable_across_interpreters(self):
+        key_a = self._key_under_hashseed("1")
+        key_b = self._key_under_hashseed("2")
+        assert key_a == key_b
+        assert len(key_a) == 64  # a full sha256 hex digest came back
+
 
 class TestResultCache:
     def test_miss_then_hit(self, tmp_path):
@@ -122,6 +183,28 @@ class TestResultCache:
         assert cache.stats()["entries"] == 1
         cache.purge()
         assert cache.stats()["entries"] == 0
+
+    def test_stats_excludes_inflight_tmp_files(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        task = probe_task()
+        cache.store(task, execute_task(task))
+        shard = next(p for p in tmp_path.iterdir() if p.is_dir())
+        (shard / ".tmp-abc123.pkl").write_bytes(b"half-written entry")
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] == next(shard.glob("*.pkl")).stat().st_size
+
+    def test_stats_tolerates_concurrently_unlinked_entries(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        task = probe_task()
+        cache.store(task, execute_task(task))
+        # A dangling symlink is globbed like a real entry but its stat()
+        # raises FileNotFoundError — exactly what a concurrent purge or
+        # os.replace produces between the glob and the stat.
+        (tmp_path / "vanished.pkl").symlink_to(tmp_path / "no-such-file.pkl")
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
 
 
 class TestEngine:
@@ -173,3 +256,33 @@ class TestEngine:
         with collect_metrics() as registries:
             engine.run([probe_task("a")])
         assert len(registries) == 1
+
+    def test_pool_fails_fast_on_task_error(self, tmp_path):
+        """A failing pooled task must abort the run promptly: pending
+        futures are cancelled instead of running to completion, so not
+        every slow task gets to drop its marker file."""
+        sleep_seconds = 0.5
+        tasks = [
+            Task.make("boom", "repro.exec.tasks.failing_probe", {"message": "kapow"})
+        ]
+        for index in range(8):
+            tasks.append(
+                Task.make(
+                    f"slow{index}",
+                    "repro.exec.tasks.slow_marker",
+                    {
+                        "marker_dir": str(tmp_path),
+                        "name": f"marker{index}",
+                        "seconds": sleep_seconds,
+                    },
+                )
+            )
+        started = time.perf_counter()
+        with pytest.raises(RuntimeError, match="kapow"):
+            ExecutionEngine(jobs=2).run(tasks)
+        wall = time.perf_counter() - started
+        markers = len(list(tmp_path.glob("marker*")))
+        # Fail-slow would finish all 8 sleeps (≥ 4 × sleep_seconds at two
+        # workers) and write every marker; the cancelled futures never run.
+        assert markers < 8, f"all {markers} markers written — engine failed slow"
+        assert wall < 8 * sleep_seconds, f"run blocked for {wall:.1f}s on failure"

@@ -1,0 +1,303 @@
+"""Tests for the cross-process plan cache.
+
+Covers the serialization contract (a rehydrated plan is bitwise-identical
+to a freshly compiled one, including folded operands and branch/join
+graphs), the key (params digest + range + options + source fingerprint),
+the poisoning rule (corrupt or unbindable entries degrade to a silent
+recompile), and true cross-process rehydration under different
+``PYTHONHASHSEED`` values.
+"""
+
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.exec import cache as exec_cache
+from repro.nn import plan as plan_module
+from repro.nn.plan import (
+    PlanCacheError,
+    PlanGraphError,
+    compile_plan,
+    load_or_compile_plan,
+    network_params_digest,
+    plan_cache_key,
+    plan_from_descriptor,
+    plan_to_descriptor,
+)
+from repro.nn.zoo import build_model, smallnet
+from repro.nn.zoo.resnetlike import resnet_mini_bn
+from repro.sim import SeededRng
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+
+@pytest.fixture(autouse=True)
+def plan_cache_reset():
+    """Every test controls the plan cache explicitly; restore defaults."""
+    exec_cache.set_plan_cache("")  # disabled unless the test opts in
+    exec_cache.reset_plan_cache_stats()
+    yield
+    exec_cache.set_plan_cache(None)
+    exec_cache.reset_plan_cache_stats()
+
+
+def plan_input(network, seed=7):
+    return SeededRng(seed, f"plancache/{network.name}").uniform_array(
+        tuple(network.input_shape), 0, 255
+    )
+
+
+def roundtrip(plan, network):
+    """Serialize through pickle bytes (the on-disk format) and rebind."""
+    descriptor = pickle.loads(pickle.dumps(plan_to_descriptor(plan, network)))
+    return plan_from_descriptor(descriptor, network)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("name", ["smallnet", "resnet-mini", "googlenet"])
+    def test_bitwise_identical_forward(self, name):
+        network = build_model(name).network
+        plan = compile_plan(network)
+        restored = roundtrip(plan, network)
+        x = plan_input(network)
+        assert plan.forward(x).tobytes() == restored.forward(x).tobytes()
+        assert restored.describe_text() == plan.describe_text()
+        assert restored.stats == plan.stats
+
+    def test_folded_operands_stored_verbatim(self):
+        network = resnet_mini_bn().network
+        plan = compile_plan(network)
+        assert plan.stats.folded > 0
+        restored = roundtrip(plan, network)
+        for step, other in zip(plan.steps, restored.steps):
+            if not hasattr(step, "operands"):
+                continue
+            for (matrix, bias), (matrix2, bias2) in zip(
+                step.operands, other.operands
+            ):
+                assert np.array_equal(matrix, matrix2)
+                assert np.array_equal(bias, bias2)
+        x = plan_input(network)
+        assert plan.forward(x).tobytes() == restored.forward(x).tobytes()
+
+    def test_unfolded_operands_rebind_to_live_cache(self):
+        # Without folding the operands are a pure reshape of the live
+        # weights; the descriptor stores nothing and rehydration re-reads
+        # the layer's operand cache (identity-equal arrays).
+        network = smallnet().network
+        plan = compile_plan(network)
+        restored = roundtrip(plan, network)
+        for step, other in zip(plan.steps, restored.steps):
+            if type(step).__name__ != "ConvStep":
+                continue
+            for (matrix, _), (matrix2, _) in zip(step.operands, other.operands):
+                assert matrix is matrix2
+
+    def test_restored_plan_passes_arena_trace(self):
+        network = build_model("resnet-mini").network
+        restored = roundtrip(compile_plan(network), network)
+        _, trace = restored.forward_traced(plan_input(network))
+        assert not any(
+            entry["output_aliases_input"] or entry["output_clobbers_live"]
+            for entry in trace
+        )
+
+    def test_split_range_plans_roundtrip(self):
+        network = smallnet().network
+        x = plan_input(network)
+        expected = network.forward(x, optimize=False)
+        last = len(network.layers) - 1
+        for point in network.offload_points():
+            front = roundtrip(compile_plan(network, 0, point.index), network)
+            rear = roundtrip(compile_plan(network, point.index + 1, last), network)
+            assert np.array_equal(rear.forward(front.forward(x)), expected)
+
+    def test_stale_plan_refuses_to_serialize(self):
+        network = smallnet().network
+        plan = compile_plan(network)
+        layer, key, array = plan._witnesses[0]
+        layer.params[key] = array.copy()
+        with pytest.raises(PlanCacheError):
+            plan_to_descriptor(plan, network)
+
+    def test_corrupt_slot_assignment_rejected(self):
+        network = build_model("resnet-mini").network
+        plan = compile_plan(network)
+        descriptor = plan_to_descriptor(plan, network)
+        arena_entries = [e for e in descriptor["steps"] if e["slot"] is not None]
+        assert len(arena_entries) > 2
+        for entry in arena_entries:
+            entry["slot"] = 0  # aliases every live value into one slot
+        with pytest.raises(PlanGraphError):
+            plan_from_descriptor(descriptor, network)
+
+
+class TestCacheKey:
+    def test_stable_for_identical_builds(self):
+        a = smallnet().network
+        b = smallnet().network
+        assert plan_cache_key(a, 0, 3) == plan_cache_key(b, 0, 3)
+
+    def test_changes_with_range_options_and_params(self):
+        network = smallnet().network
+        base = plan_cache_key(network, 0, 3)
+        assert plan_cache_key(network, 0, 2) != base
+        assert plan_cache_key(network, 0, 3, fold=False) != base
+        assert plan_cache_key(network, 0, 3, fuse=False) != base
+        conv = next(l for l in network.layers if l.params)
+        key = next(iter(conv.params))
+        conv.params[key] = conv.params[key] * 2.0
+        assert plan_cache_key(network, 0, 3) != base
+
+    def test_params_digest_memoized_per_network(self):
+        network = smallnet().network
+        first = network_params_digest(network)
+        assert network_params_digest(network) == first
+        assert network._plan_digest_memo[1] == first
+
+    def test_split_halves_get_distinct_keys(self):
+        network = smallnet().network
+        split = network.split(2)
+        last_front = len(split.front.layers) - 1
+        last_rear = len(split.rear.layers) - 1
+        assert plan_cache_key(split.front, 0, last_front) != plan_cache_key(
+            split.rear, 0, last_rear
+        )
+
+
+class TestPlanCacheStore:
+    def _enable(self, tmp_path):
+        exec_cache.set_plan_cache(str(tmp_path))
+        exec_cache.reset_plan_cache_stats()
+        return exec_cache.plan_cache_stats()
+
+    def test_miss_then_cross_instance_hit(self, tmp_path):
+        stats = self._enable(tmp_path)
+        a = smallnet().network
+        plan = load_or_compile_plan(a)
+        assert (stats.misses, stats.hits) == (1, 0)
+        assert stats.compile_seconds > 0
+        b = smallnet().network  # a "new process" as far as plans go
+        restored = load_or_compile_plan(b)
+        assert (stats.misses, stats.hits) == (1, 1)
+        x = plan_input(a)
+        assert plan.forward(x).tobytes() == restored.forward(x).tobytes()
+
+    def test_network_plan_for_consults_cache(self, tmp_path):
+        stats = self._enable(tmp_path)
+        a = smallnet().network
+        a.plan_for()
+        a.plan_for()  # in-memory reuse: no second cache consult
+        assert (stats.misses, stats.hits) == (1, 0)
+        b = smallnet().network
+        b.plan_for()
+        assert (stats.misses, stats.hits) == (1, 1)
+
+    def test_poisoned_entries_recompile_silently(self, tmp_path):
+        self._enable(tmp_path)
+        network = smallnet().network
+        plan = load_or_compile_plan(network)
+        x = plan_input(network)
+        expected = plan.forward(x).tobytes()
+        key = plan_cache_key(network, 0, len(network.layers) - 1)
+        path = tmp_path / key[:2] / f"{key}.plan"
+        assert path.exists()
+        for poison in (path.read_bytes()[:40], b"garbage, not a pickle"):
+            path.write_bytes(poison)
+            exec_cache.reset_plan_cache_stats()
+            stats = exec_cache.plan_cache_stats()
+            recompiled = load_or_compile_plan(smallnet().network)
+            assert (stats.misses, stats.hits) == (1, 0)
+            assert recompiled.forward(x).tobytes() == expected
+            assert path.exists()  # the recompile re-stores a good entry
+
+    def test_unbindable_descriptor_recompiles_silently(self, tmp_path):
+        # A well-formed pickle whose steps can't rebind (wrong layer ids)
+        # must also fall back — covers the rebind path, not just unpickle.
+        self._enable(tmp_path)
+        network = smallnet().network
+        load_or_compile_plan(network)
+        key = plan_cache_key(network, 0, len(network.layers) - 1)
+        cache = exec_cache.active_plan_cache()
+        descriptor = cache.load(key)
+        for entry in descriptor["steps"]:
+            if "layer" in entry:
+                entry["layer"] = 10_000
+        cache.store(key, descriptor)
+        exec_cache.reset_plan_cache_stats()
+        stats = exec_cache.plan_cache_stats()
+        plan = load_or_compile_plan(smallnet().network)
+        assert (stats.misses, stats.hits) == (1, 0)
+        x = plan_input(network)
+        assert np.array_equal(
+            plan.forward(x), network.forward(x, optimize=False)
+        )
+
+    def test_rehydrated_witnesses_track_replacement(self, tmp_path):
+        self._enable(tmp_path)
+        load_or_compile_plan(smallnet().network)
+        network = smallnet().network
+        restored = load_or_compile_plan(network)
+        assert restored.is_valid()
+        layer = next(l for l in network.layers if l.params)
+        key = next(iter(layer.params))
+        layer.params[key] = layer.params[key].copy()
+        assert not restored.is_valid()
+
+    def test_plan_cache_stats_and_purge(self, tmp_path):
+        self._enable(tmp_path)
+        load_or_compile_plan(smallnet().network)
+        cache = exec_cache.active_plan_cache()
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+        assert cache.purge() == 1
+        assert cache.stats()["entries"] == 0
+
+
+SUBPROCESS_SCRIPT = """\
+import hashlib
+import sys
+
+sys.path.insert(0, sys.argv[1])
+from repro.exec import cache as exec_cache
+from repro.nn.plan import load_or_compile_plan
+from repro.nn.zoo import smallnet
+from repro.sim import SeededRng
+
+exec_cache.set_plan_cache(sys.argv[2])
+network = smallnet().network
+plan = load_or_compile_plan(network)
+x = SeededRng(7, f"plancache/{network.name}").uniform_array(
+    tuple(network.input_shape), 0, 255
+)
+digest = hashlib.sha256(plan.forward(x).tobytes()).hexdigest()
+stats = exec_cache.plan_cache_stats()
+print(f"{digest} {stats.hits} {stats.misses}")
+"""
+
+
+class TestCrossProcess:
+    def test_rehydration_across_hashseeds(self, tmp_path):
+        """Process A compiles and stores; process B — with a different
+        string-hash seed — must hit the same key and produce the same
+        forward bits."""
+        results = []
+        for hashseed in ("1", "2"):
+            proc = subprocess.run(
+                [sys.executable, "-c", SUBPROCESS_SCRIPT, SRC_DIR, str(tmp_path)],
+                env={"PYTHONHASHSEED": hashseed, "PATH": "/usr/bin:/bin"},
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            results.append(proc.stdout.split())
+        (sha_a, hits_a, misses_a), (sha_b, hits_b, misses_b) = results
+        assert (hits_a, misses_a) == ("0", "1")
+        assert (hits_b, misses_b) == ("1", "0")
+        assert sha_a == sha_b
