@@ -16,6 +16,8 @@ interval-colored arena against the retired two-slot allocator (the
 measures cross-process plan rehydration against compile-from-scratch
 (the ``plan_cache`` stage: fresh interpreters with ``REPRO_PLAN_CACHE``
 pointing at cold vs pre-warmed directories),
+runs the multi-edge fleet scheduler shoot-out and a mid-run edge kill
+(the ``fleet`` stage: virtual-time p50/p99 per policy on a skewed fleet),
 and writes the timings, speedups, cache statistics and claim verdicts to
 ``BENCH_perf.json`` at the repo root.
 Claims that cannot be tested on this machine (the parallel speedup on a
@@ -238,16 +240,16 @@ print(json.dumps({
 """
 
 
-def _bench_plan_cache(model="googlenet", repetitions=3):
+def _bench_plan_cache(model="googlenet", repetitions=5):
     """Cross-process plan rehydration vs compile-from-scratch.
 
-    Cold runs get a fresh ``REPRO_PLAN_CACHE`` directory each (digest the
-    params, compile, store); warm runs share one directory primed by a
-    separate process (digest the params, load, rebind).  Both sides pay
-    the params digest — it *is* the cache key — so the delta isolates
-    compile+store vs load+rehydrate.  The honest claim is therefore
-    "warm is not slower", not a large speedup: on these model sizes the
-    digest dominates either way (see docs/PERFORMANCE.md).
+    Cold runs get a fresh ``REPRO_PLAN_CACHE`` directory each (compile,
+    store); warm runs share one directory primed by a separate process
+    (load, rebind).  The params digest — the expensive part of the cache
+    key — is primed at ``build_model`` time in both processes, so the
+    timed ``plan_for()`` window isolates compile+store vs load+rehydrate
+    and warm runs are strictly faster than cold ones (see
+    docs/PERFORMANCE.md; minima over repetitions to shed scheduler noise).
     """
     print("-- plan cache (cross-process rehydrate vs compile) ...", flush=True)
 
@@ -301,6 +303,114 @@ def _bench_plan_cache(model="googlenet", repetitions=3):
     return result
 
 
+def _fleet_specs():
+    """A deliberately skewed fleet: device speed AND link quality spread."""
+    from repro.fleet import EdgeSpec
+    from repro.netsim import NetemProfile
+
+    return [
+        EdgeSpec(
+            "edge-fast", server_speedup=1.0, profile=NetemProfile.lan_1gbps()
+        ),
+        EdgeSpec(
+            "edge-mid",
+            server_speedup=0.7,
+            profile=NetemProfile(bandwidth_bps=30e6, latency_s=0.005),
+        ),
+        EdgeSpec(
+            "edge-slow",
+            server_speedup=0.4,
+            profile=NetemProfile(bandwidth_bps=8e6, latency_s=0.02),
+        ),
+    ]
+
+
+def _bench_fleet(sessions=400, requests=2, rate=25.0, seed=0):
+    """Fleet scheduling policies + mid-run edge kill, in virtual time.
+
+    Latencies here are *virtual* seconds (deterministic: same seed, same
+    numbers on any machine); only the wall-clock cost of simulating them
+    varies.  Two questions:
+
+    (a) under skewed edge profiles, do the load-aware policies
+        (min-response-time, queue-aware) beat the load-oblivious baselines
+        (round-robin, random) on p99 latency?
+    (b) does killing the *fastest* edge mid-run complete every session
+        with p99 degradation bounded by one reply timeout + a re-run?
+    """
+    from repro.fleet import FleetScenario, compare_policies
+
+    print("-- fleet (4 policies x skewed edges, then a mid-run kill) ...",
+          flush=True)
+    workload = dict(
+        sessions=sessions,
+        requests_per_session=requests,
+        arrival_rate_per_s=rate,
+        seed=seed,
+        reply_timeout=1.0,
+    )
+    reports = compare_policies(edges=_fleet_specs(), **workload)
+    policies = {
+        name: {
+            "p50_ms": round(r.p50_latency * 1e3, 3),
+            "p99_ms": round(r.p99_latency * 1e3, 3),
+            "mean_ms": round(r.mean_latency * 1e3, 3),
+            "requests": r.count,
+            "all_correct": r.all_correct,
+            "admission_waits": r.admission_waits,
+            "utilization": {
+                row.name: round(row.utilization, 4) for row in r.edges
+            },
+        }
+        for name, r in reports.items()
+    }
+    for name, row in policies.items():
+        print(
+            f"   {name:18s} p50 {row['p50_ms']:7.1f}ms  "
+            f"p99 {row['p99_ms']:7.1f}ms  mean {row['mean_ms']:7.1f}ms",
+            flush=True,
+        )
+
+    healthy = reports["queue-aware"]
+    killed_scenario = FleetScenario(
+        edges=_fleet_specs(), policy="queue-aware", **workload
+    )
+    killed_scenario.inject_kill(
+        "edge-fast", healthy.makespan_seconds / 3
+    )
+    killed = killed_scenario.run()
+    expected = sessions * requests
+    degradation_bound_s = killed_scenario.reply_timeout + 2 * max(
+        r.latency_seconds for r in healthy.records
+    )
+    print(
+        f"   kill edge-fast @ {healthy.makespan_seconds / 3:.2f}s: "
+        f"{killed.count}/{expected} served, {killed.failovers} failovers, "
+        f"p99 {killed.p99_latency * 1e3:.1f}ms "
+        f"(healthy {healthy.p99_latency * 1e3:.1f}ms)",
+        flush=True,
+    )
+    return {
+        "sessions": sessions,
+        "requests_per_session": requests,
+        "arrival_rate_per_s": rate,
+        "seed": seed,
+        "policies": policies,
+        "kill": {
+            "edge": "edge-fast",
+            "at_seconds": round(healthy.makespan_seconds / 3, 6),
+            "served": killed.count,
+            "expected": expected,
+            "all_correct": killed.all_correct,
+            "failovers": killed.failovers,
+            "handshake_misses": killed.handshake_misses,
+            "p99_ms": round(killed.p99_latency * 1e3, 3),
+            "healthy_p99_ms": round(healthy.p99_latency * 1e3, 3),
+            "degradation_bound_ms": round(degradation_bound_s * 1e3, 3),
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument(
@@ -344,6 +454,7 @@ def main(argv=None) -> int:
     # Read the prior JSON for the two-slot baseline *before* overwriting it.
     dag = _bench_dag_forward(forward, args.out)
     plan_cache = _bench_plan_cache()
+    fleet = _bench_fleet()
 
     reports = {
         "serial": serial.report_markdown,
@@ -412,14 +523,13 @@ def main(argv=None) -> int:
             "measured_bytes": dag["arena_bytes"],
             "two_slot_bytes": dag["two_slot_arena_bytes"],
         },
-        # Rehydrating a stored plan must not cost time vs compiling from
-        # scratch (10% + 5ms grace: both sides are a few ms and share the
-        # params-digest cost, so tiny absolute jitter is a large ratio).
-        "plan_cache_warm_not_slower": {
-            "held": plan_cache["warm_plan_ms"]
-            <= plan_cache["cold_plan_ms"] * 1.10 + 5.0,
+        # With the params digest primed at model-build time (it used to be
+        # recomputed inside the timed window on both sides, drowning the
+        # difference), rehydrating a stored plan must beat compiling one.
+        "plan_cache_warm_faster_than_cold": {
+            "held": plan_cache["warm_plan_ms"] < plan_cache["cold_plan_ms"],
             "skipped": False,
-            "threshold": "<= 1.10x cold + 5ms",
+            "threshold": "warm < cold (minima over repetitions)",
             "measured_ms": plan_cache["warm_plan_ms"],
             "baseline_ms": plan_cache["cold_plan_ms"],
         },
@@ -433,6 +543,38 @@ def main(argv=None) -> int:
             "cold_hits_misses": plan_cache["cold_hits_misses"],
             "warm_hits_misses": plan_cache["warm_hits_misses"],
             "forward_sha_identical": plan_cache["forward_sha_identical"],
+        },
+        # Load-aware scheduling must pay off where it matters — the tail —
+        # when the edges are genuinely unequal.  Virtual-time latencies,
+        # so this is deterministic, not a flaky wall-clock race.
+        "fleet_load_aware_beats_oblivious_p99": {
+            "held": max(
+                fleet["policies"]["min-response-time"]["p99_ms"],
+                fleet["policies"]["queue-aware"]["p99_ms"],
+            )
+            < min(
+                fleet["policies"]["round-robin"]["p99_ms"],
+                fleet["policies"]["random"]["p99_ms"],
+            ),
+            "skipped": False,
+            "p99_ms": {
+                name: row["p99_ms"] for name, row in fleet["policies"].items()
+            },
+        },
+        # Killing the fastest edge mid-run must lose zero requests and
+        # keep p99 within one reply timeout + a full re-run of the cost.
+        "fleet_kill_bounded_p99": {
+            "held": fleet["kill"]["served"] == fleet["kill"]["expected"]
+            and fleet["kill"]["all_correct"]
+            and fleet["kill"]["p99_ms"]
+            < fleet["kill"]["healthy_p99_ms"]
+            + fleet["kill"]["degradation_bound_ms"],
+            "skipped": False,
+            "served": fleet["kill"]["served"],
+            "expected": fleet["kill"]["expected"],
+            "p99_ms": fleet["kill"]["p99_ms"],
+            "bound_ms": fleet["kill"]["healthy_p99_ms"]
+            + fleet["kill"]["degradation_bound_ms"],
         },
     }
     claims_hold = all(
@@ -456,6 +598,7 @@ def main(argv=None) -> int:
             "optimized_forward": forward,
             "dag_forward": dag,
             "plan_cache": plan_cache,
+            "fleet": fleet,
         },
         "speedup": {
             "parallel_vs_serial": round(serial_wall / parallel_wall, 3),

@@ -11,7 +11,9 @@
 # contract (two --jobs 2 campaigns sharing one --plan-cache-dir must
 # both reproduce the serial report byte for byte, and a fresh process
 # against the populated cache must rehydrate — hits > 0 — rather than
-# recompile).
+# recompile), and the fleet scheduler's contract (a small multi-edge
+# scenario with a mid-run kill, run twice with the same seed, must
+# produce byte-identical reports and serve every request).
 #
 #   scripts/smoke.sh [output-dir]
 #
@@ -25,15 +27,15 @@ mkdir -p "$out_dir"
 cd "$repo_root"
 export PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== 1/6 unit + property tests"
+echo "== 1/7 unit + property tests"
 python -m pytest -x -q
 
-echo "== 2/6 quick campaign with telemetry export"
+echo "== 2/7 quick campaign with telemetry export"
 python -m repro campaign --quick \
     --out "$out_dir/report.md" \
     --metrics-out "$out_dir/metrics.prom"
 
-echo "== 3/6 exported metrics parse + sanity"
+echo "== 3/7 exported metrics parse + sanity"
 python - "$out_dir/metrics.prom" <<'PY'
 import sys
 
@@ -52,7 +54,7 @@ print(f"ok: {len(samples)} samples, {sessions:.0f} sessions, "
       f"{executions:.0f} server executions")
 PY
 
-echo "== 4/6 execution engine: parallel + cache determinism"
+echo "== 4/7 execution engine: parallel + cache determinism"
 cache_dir="$out_dir/result-cache"
 rm -rf "$cache_dir"
 cold_start=$(python -c 'import time; print(time.perf_counter())')
@@ -77,7 +79,7 @@ print(f"ok: cold {cold:.1f}s, warm {warm:.1f}s (reports byte-identical)")
 assert warm <= cold, f"cached rerun slower than cold run ({warm:.1f}s > {cold:.1f}s)"
 PY
 
-echo "== 5/6 graph optimizer: equivalence + not-slower"
+echo "== 5/7 graph optimizer: equivalence + not-slower"
 opt_start=$(python -c 'import time; print(time.perf_counter())')
 python -m repro fig7 --models googlenet \
     > "$out_dir/fig7-optimized.txt"
@@ -121,7 +123,7 @@ cmp "$out_dir/fig8-split-optimized.txt" "$out_dir/fig8-split-reference.txt" || {
     exit 1; }
 echo "ok: googlenet partial-inference sweep byte-identical across joins"
 
-echo "== 6/6 plan cache: cross-process reuse + determinism"
+echo "== 6/7 plan cache: cross-process reuse + determinism"
 plan_dir="$out_dir/plan-cache"
 rm -rf "$plan_dir"
 python -m repro campaign --quick --jobs 2 --plan-cache-dir "$plan_dir" \
@@ -157,5 +159,19 @@ assert hits > 0, (
 print(f"ok: plan-cache reports byte-identical; warm process rehydrated "
       f"({hits:.0f} hits, {misses:.0f} misses)")
 PY
+
+echo "== 7/7 fleet: seeded determinism + failover conservation"
+# A small multi-edge scenario with an edge killed (and revived) mid-run,
+# executed twice with the same seed, must emit byte-identical reports —
+# the scheduler, failover, and report rendering are all virtual-time
+# deterministic.  The CLI exits non-zero if any request is dropped or
+# returns a wrong result, so conservation is checked for free.
+python -m repro fleet --sessions 10 --requests 2 --seed 5 \
+    --kill edge-0@0.7:2.0 --out "$out_dir/fleet-a.md" > /dev/null
+python -m repro fleet --sessions 10 --requests 2 --seed 5 \
+    --kill edge-0@0.7:2.0 --out "$out_dir/fleet-b.md" > /dev/null
+cmp "$out_dir/fleet-a.md" "$out_dir/fleet-b.md" || {
+    echo "FAIL: fleet reports diverge across same-seed reruns" >&2; exit 1; }
+echo "ok: fleet report byte-identical across same-seed reruns"
 
 echo "smoke ok — artifacts in $out_dir"

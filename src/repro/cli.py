@@ -10,6 +10,8 @@ Usage::
     python -m repro ablation {bandwidth,partition,decision,snapshot,gpu,
                               energy,cache,contention}
     python -m repro demo
+    python -m repro fleet [--policy queue-aware] [--edges 3] [--sessions 40]
+                          [--kill edge-0@1.5:4.0]
     python -m repro metrics [--format prometheus|json] [--trace-out t.json]
 
 Every command prints the same rows/series the paper reports and exits 0
@@ -273,6 +275,54 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Run a multi-edge fleet scenario and print its report."""
+    from repro.fleet import FleetScenario, default_fleet
+
+    scenario = FleetScenario(
+        model_name=args.model,
+        edges=default_fleet(args.edges, skew=args.skew),
+        policy=args.policy,
+        sessions=args.sessions,
+        requests_per_session=args.requests,
+        arrivals=args.arrivals,
+        arrival_rate_per_s=args.rate,
+        seed=args.seed,
+        reply_timeout=args.reply_timeout,
+    )
+    for spec in args.kill or []:
+        parts = spec.split("@")
+        if len(parts) != 2:
+            print(f"error: --kill wants EDGE@SECONDS, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        name, rest = parts
+        revive = None
+        if ":" in rest:
+            at_str, revive_str = rest.split(":", 1)
+            revive = float(revive_str)
+        else:
+            at_str = rest
+        scenario.inject_kill(name, float(at_str), revive_at_seconds=revive)
+    report = scenario.run()
+    text = report.render_markdown()
+    print(text)
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(text)
+        except OSError as exc:
+            print(f"error: cannot write report to {args.out}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"report written to {args.out}")
+    if not report.all_correct:
+        print("\nSHAPE VIOLATION: some fleet results were incorrect",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     """Run one instrumented offload session and print its telemetry."""
     from repro.eval.scenarios import Testbed
@@ -380,6 +430,54 @@ def build_parser() -> argparse.ArgumentParser:
     _add_optimize_arg(p)
     _add_plan_cache_arg(p)
     p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser(
+        "fleet", help="multi-edge fleet with load-aware offload scheduling"
+    )
+    from repro.fleet import POLICY_NAMES
+
+    p.add_argument(
+        "--model",
+        default="smallnet",
+        choices=list(PAPER_MODELS) + ["smallnet", "tinynet"],
+        help="model every session offloads (default: smallnet, fast)",
+    )
+    p.add_argument(
+        "--policy",
+        default="queue-aware",
+        choices=list(POLICY_NAMES),
+        help="edge-selection policy (default: queue-aware)",
+    )
+    p.add_argument("--edges", type=int, default=3, help="fleet size")
+    p.add_argument(
+        "--skew", type=float, default=2.0,
+        help="speed ratio between fastest and slowest edge (default: 2)",
+    )
+    p.add_argument("--sessions", type=int, default=40, help="user sessions")
+    p.add_argument(
+        "--requests", type=int, default=2, help="inferences per session"
+    )
+    p.add_argument(
+        "--arrivals", default="poisson", choices=("poisson", "trace"),
+        help="session arrival / think-time process",
+    )
+    p.add_argument(
+        "--rate", type=float, default=8.0,
+        help="session arrival rate per second (default: 8)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="replay seed")
+    p.add_argument(
+        "--reply-timeout", type=float, default=5.0,
+        help="seconds before a missing reply marks the edge dead",
+    )
+    p.add_argument(
+        "--kill", action="append", metavar="EDGE@SECONDS[:REVIVE]",
+        help="inject an edge death (repeatable), e.g. edge-0@1.5 or "
+        "edge-0@1.5:4.0 to revive at t=4",
+    )
+    p.add_argument("--out", default=None, help="also write the report here")
+    _add_metrics_arg(p)
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser(
         "campaign", help="regenerate every artifact into one report"

@@ -112,6 +112,20 @@ class ClientAgent:
             **labels,
         )
 
+    # -- attachment --------------------------------------------------------------
+    def rebind(self, endpoint: ChannelEnd) -> None:
+        """Point the agent at a different channel endpoint (fleet failover).
+
+        The browser runtime and all app state stay put — only the wire
+        changes, exactly as when a mobile client re-associates with a new
+        edge server.  Any pre-send manager is dropped: it belonged to the
+        old server's store, and the caller decides (digest handshake)
+        whether the new edge needs its own upload before assigning a fresh
+        one.
+        """
+        self.endpoint = endpoint
+        self.presend = None
+
     # -- app lifecycle -----------------------------------------------------------
     def start_app(self, app: WebApp, presend: bool = True) -> None:
         """Load the app; begin pre-sending its models if enabled."""

@@ -10,6 +10,10 @@ Message kinds (all travel as :class:`repro.netsim.Message`):
 ``MODEL_OBJECT``           the runnable model handle, once all files are in
                            (bookkeeping-sized: its bytes were the files)
 ``MODEL_ACK``              server: all files stored (paper's ACK)
+``MODEL_QUERY``            digest handshake: does this edge already hold a
+                           model with this params fingerprint? (fleet
+                           clients ask before re-running pre-send)
+``MODEL_STATUS``           server's answer to ``MODEL_QUERY``
 ``SNAPSHOT``               a full snapshot, optionally with model deliveries
                            attached (offloading before the ACK)
 ``RESULT``                 the server's delta snapshot with the new state
@@ -32,6 +36,8 @@ MODEL_MANIFEST = "MODEL_MANIFEST"
 MODEL_FILE = "MODEL_FILE"
 MODEL_OBJECT = "MODEL_OBJECT"
 MODEL_ACK = "MODEL_ACK"
+MODEL_QUERY = "MODEL_QUERY"
+MODEL_STATUS = "MODEL_STATUS"
 SNAPSHOT = "SNAPSHOT"
 RESULT = "RESULT"
 VM_OVERLAY = "VM_OVERLAY"
@@ -73,6 +79,37 @@ class ModelObjectPayload:
 
     model_id: str
     model: Model
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_BYTES
+
+
+@dataclass
+class ModelQueryPayload:
+    """MODEL_QUERY body: model id plus its params fingerprint.
+
+    The digest-first handshake of the fleet scheduler: before pre-sending
+    to a new edge (or after failing over to one), the client asks whether
+    the server already holds a model whose parameter fingerprint matches.
+    A hit skips the whole upload — another client already paid for it.
+    """
+
+    model_id: str
+    fingerprint: str
+
+    @property
+    def size_bytes(self) -> int:
+        return CONTROL_BYTES + len(self.fingerprint.encode("ascii"))
+
+
+@dataclass
+class ModelStatusPayload:
+    """MODEL_STATUS body: whether the queried model is present and matching."""
+
+    model_id: str
+    present: bool
+    server_name: str = ""
 
     @property
     def size_bytes(self) -> int:

@@ -157,6 +157,7 @@ class EdgeServer:
                 protocol.MODEL_MANIFEST: self._on_manifest,
                 protocol.MODEL_FILE: self._on_model_file,
                 protocol.MODEL_OBJECT: self._on_model_object,
+                protocol.MODEL_QUERY: self._on_model_query,
                 protocol.SNAPSHOT: self._on_snapshot,
                 protocol.VM_OVERLAY: self._on_vm_overlay,
             }.get(message.kind)
@@ -206,6 +207,35 @@ class EdgeServer:
             self._error(endpoint, str(exc))
             return
         endpoint.send(protocol.MODEL_ACK, protocol.ack_payload(payload.model_id))
+
+    def _on_model_query(self, endpoint: ChannelEnd, message: Message) -> None:
+        """Digest handshake: answer whether a matching model is stored.
+
+        A fleet client failing over to this edge asks before re-running
+        pre-send; a hit means some earlier client (or this one, before the
+        server restarted — the store survives restarts) already uploaded a
+        model with the same params fingerprint, so the whole upload can be
+        skipped.  An uninstalled server answers ``present=False`` rather
+        than erroring: the query is a probe, not a request.
+        """
+        payload: protocol.ModelQueryPayload = message.payload
+        present = self.installed and self.store.matches_fingerprint(
+            payload.model_id, payload.fingerprint
+        )
+        self.sim.metrics.counter(
+            "server_model_queries_total",
+            help="digest-handshake queries answered",
+            server=self.name,
+            present=str(bool(present)).lower(),
+        ).inc()
+        endpoint.send(
+            protocol.MODEL_STATUS,
+            protocol.ModelStatusPayload(
+                model_id=payload.model_id,
+                present=present,
+                server_name=self.name,
+            ),
+        )
 
     # -- snapshots --------------------------------------------------------------------
     def _on_snapshot(self, endpoint: ChannelEnd, message: Message):

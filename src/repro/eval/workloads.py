@@ -54,6 +54,26 @@ def generate_trace(
     return interactions
 
 
+def poisson_arrivals(
+    rng: SeededRng, rate_per_s: float, count: int
+) -> List[float]:
+    """Absolute start times of ``count`` sessions arriving Poisson(rate).
+
+    The fleet scenarios use this for session arrivals: inter-arrival gaps
+    are exponential with mean ``1/rate_per_s``, cumulated from t=0.
+    """
+    if rate_per_s <= 0:
+        raise ValueError("arrival rate must be positive")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    starts: List[float] = []
+    now = 0.0
+    for _ in range(count):
+        now += rng.expovariate(rate_per_s)
+        starts.append(now)
+    return starts
+
+
 @dataclass
 class RequestRecord:
     """Latency record of one offloaded inference."""

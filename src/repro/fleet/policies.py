@@ -1,0 +1,125 @@
+"""Pluggable edge-selection policies for the fleet scheduler.
+
+A policy answers one question: *given the live state of every admissible
+edge, which one gets this request?*  The baselines (round-robin, random)
+ignore the live signals; the load-aware policies use the sliding window of
+observed response times and the client-observed queue depth (outstanding
+requests), the pattern of OpenCDA's offloading scheduler — nearest in
+coverage first, then minimum measured response time — and of the Edgent
+line of work, where scheduling on live latency beats static profiles.
+
+Policies are deterministic given their construction-time
+:class:`~repro.sim.SeededRng` (only :class:`RandomPolicy` draws from it),
+so a whole fleet run replays bit-for-bit from one seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.sim import SeededRng
+
+
+class PolicyError(RuntimeError):
+    """Raised for unknown policy names or empty candidate sets."""
+
+
+class Policy:
+    """Base class: pick one edge from the admissible candidates.
+
+    ``candidates`` is never empty and arrives in fleet registration order,
+    so tie-breaking by list position is deterministic.
+    """
+
+    name = "abstract"
+
+    def choose(self, candidates: Sequence["EdgeView"]):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class RoundRobinPolicy(Policy):
+    """Cycle through the fleet in registration order, skipping inadmissible
+    edges — the classic load-oblivious baseline."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, candidates: Sequence["EdgeView"]):
+        picked = candidates[self._cursor % len(candidates)]
+        self._cursor += 1
+        return picked
+
+
+class RandomPolicy(Policy):
+    """Uniform random choice (seeded, so replayable)."""
+
+    name = "random"
+
+    def __init__(self, rng: Optional[SeededRng] = None):
+        self.rng = rng or SeededRng(0, "fleet/random-policy")
+
+    def choose(self, candidates: Sequence["EdgeView"]):
+        return self.rng.choice(list(candidates))
+
+
+class MinResponseTimePolicy(Policy):
+    """Minimum mean observed response time over the sliding window.
+
+    Unprobed edges score 0.0 so they are tried before any measured edge —
+    the optimistic-initialization trick that guarantees every edge gets
+    probed instead of the first-measured one absorbing all traffic.
+    """
+
+    name = "min-response-time"
+
+    def choose(self, candidates: Sequence["EdgeView"]):
+        return min(candidates, key=lambda edge: (edge.mean_response_seconds(), edge.order))
+
+
+class QueueAwarePolicy(Policy):
+    """Expected-wait scoring: window mean scaled by the local queue depth.
+
+    ``score = mean_rt * (outstanding + 1)`` — an edge twice as fast but
+    with three requests already in flight loses to an idle slower one.
+    This is the signal that separates it from pure min-response-time under
+    bursty load, where the fastest edge otherwise becomes the hotspot.
+    """
+
+    name = "queue-aware"
+
+    def choose(self, candidates: Sequence["EdgeView"]):
+        return min(
+            candidates,
+            key=lambda edge: (
+                edge.mean_response_seconds() * (edge.outstanding + 1),
+                edge.outstanding,
+                edge.order,
+            ),
+        )
+
+
+#: registry used by the CLI, the benchmark stage, and the scenario config
+POLICY_NAMES = ("round-robin", "random", "min-response-time", "queue-aware")
+
+_FACTORIES: Dict[str, Callable[..., Policy]] = {
+    "round-robin": lambda rng=None: RoundRobinPolicy(),
+    "random": lambda rng=None: RandomPolicy(rng),
+    "min-response-time": lambda rng=None: MinResponseTimePolicy(),
+    "queue-aware": lambda rng=None: QueueAwarePolicy(),
+}
+
+
+def make_policy(name: str, rng: Optional[SeededRng] = None) -> Policy:
+    """Build a policy by registry name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise PolicyError(
+            f"unknown policy {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+    return factory(rng)

@@ -1,0 +1,770 @@
+"""Fleet scenarios: many clients, many edges, one load-aware scheduler.
+
+A :class:`FleetScenario` places several :class:`~repro.core.server.EdgeServer`
+instances — each with its own device profile and link quality — on one
+:class:`~repro.netsim.topology.Topology`, then drives hundreds-to-thousands
+of user sessions against them.  Each session is a real protocol client
+(browser runtime, snapshots, pre-send, deltas); the shared client-side
+:class:`~repro.fleet.scheduler.FleetScheduler` picks an edge per request
+from live response-time windows and queue depths under a pluggable policy.
+
+What makes it a *fleet* rather than N copies of the paper's testbed:
+
+* **digest handshake** — before uploading a model to an edge, the client
+  sends ``MODEL_QUERY`` with the model's params fingerprint; a hit (some
+  earlier client already uploaded it, or the store survived a server
+  restart) skips pre-send entirely.
+* **admission control** — per-edge in-flight caps bound server queues;
+  requests beyond the cap back off instead of stacking up.
+* **failover** — :meth:`FleetScenario.inject_kill` makes an edge die
+  mid-run (links down, server restarted, in-flight messages lost).  The
+  scheduler *detects* this through reply timeouts, marks the edge dead,
+  and re-routes the request — and every other in-flight request on that
+  edge — to the next-best edge, re-running pre-send only if the digest
+  handshake misses there.
+
+No request is ever silently dropped: a request either completes exactly
+once (the at-most-once reply cache plus per-request ids make retransmits
+and failovers safe) or the scenario raises loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core import protocol
+from repro.core.client import ClientAgent, OffloadError
+from repro.core.server import EdgeServer
+from repro.core.snapshot import CaptureOptions
+from repro.devices import Device, edge_server_x86, odroid_xu4_client
+from repro.eval.workloads import Interaction, generate_trace, poisson_arrivals
+from repro.fleet.policies import Policy, make_policy
+from repro.fleet.scheduler import FleetScheduler, NoEdgeAvailable
+from repro.netsim import EdgeDown, NetemProfile, ReceiveTimeout, Topology
+from repro.netsim.link import LinkDown
+from repro.nn.cost import costs_for_range, network_costs
+from repro.nn.modelstore import ModelStore
+from repro.nn.zoo import build_model
+from repro.sim import SeededRng, Simulator
+from repro.web.app import make_inference_app, make_partial_inference_app
+from repro.web.values import TypedArray
+
+
+@dataclass(frozen=True)
+class EdgeSpec:
+    """Configuration of one edge server in the fleet."""
+
+    name: str
+    #: relative compute speed of the edge device (1.0 = the paper's x86 box)
+    server_speedup: float = 1.0
+    #: link shaping between every client and this edge
+    profile: NetemProfile = field(default_factory=NetemProfile.wifi_30mbps)
+    installed: bool = True
+    session_cache_capacity: int = 256
+
+
+def default_fleet(count: int = 3, skew: float = 2.0) -> List[EdgeSpec]:
+    """A heterogeneous fleet: server speeds spread by ``skew``.
+
+    Edge 0 is the fastest; each subsequent edge is slower by an even step
+    down to ``1/skew`` of edge 0 — the skewed-profile setup under which
+    load-aware policies visibly beat round-robin on tail latency.
+    """
+    if count <= 0:
+        raise ValueError("a fleet needs at least one edge")
+    specs = []
+    for index in range(count):
+        fraction = index / max(1, count - 1)
+        speedup = 1.0 / (1.0 + (skew - 1.0) * fraction)
+        specs.append(EdgeSpec(name=f"edge-{index}", server_speedup=speedup))
+    return specs
+
+
+@dataclass
+class FleetRequestRecord:
+    """One completed request, as the client observed it."""
+
+    session: str
+    request_index: int
+    issued_at: float
+    completed_at: float
+    edge: str
+    #: edges this request failed over from before completing
+    failovers: int
+    snapshot_kind: str
+    result_label: Optional[int]
+    expected_label: Optional[int]
+    #: the classifier's confidence, exactly as the app displayed it —
+    #: lets tests assert bitwise-identical results across fleet layouts
+    result_score: Optional[float] = None
+    #: phase durations of the winning attempt (for fault-point injection)
+    transfer_to_server_seconds: float = 0.0
+    transfer_to_client_seconds: float = 0.0
+    restore_seconds: float = 0.0
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.completed_at - self.issued_at
+
+    @property
+    def correct(self) -> bool:
+        return (
+            self.expected_label is not None
+            and self.result_label == self.expected_label
+        )
+
+
+@dataclass
+class EdgeReportRow:
+    """Per-edge aggregate for the fleet report."""
+
+    name: str
+    served: int
+    failures: int
+    busy_seconds: float
+    utilization: float
+    mean_latency: float
+
+
+class FleetReport:
+    """Outcome of one fleet run: per-request records plus aggregates."""
+
+    def __init__(
+        self,
+        policy: str,
+        records: List[FleetRequestRecord],
+        edges: List[EdgeReportRow],
+        *,
+        makespan_seconds: float,
+        sessions: int,
+        failovers: int,
+        admission_waits: int,
+        handshake_hits: int,
+        handshake_misses: int,
+        kills: List[Tuple[float, str]],
+    ):
+        self.policy = policy
+        self.records = records
+        self.edges = edges
+        self.makespan_seconds = makespan_seconds
+        self.sessions = sessions
+        self.failovers = failovers
+        self.admission_waits = admission_waits
+        self.handshake_hits = handshake_hits
+        self.handshake_misses = handshake_misses
+        self.kills = kills
+
+    @property
+    def count(self) -> int:
+        return len(self.records)
+
+    @property
+    def all_correct(self) -> bool:
+        return all(record.correct for record in self.records)
+
+    def latencies(self) -> List[float]:
+        return sorted(record.latency_seconds for record in self.records)
+
+    def latency_quantile(self, q: float) -> float:
+        """Nearest-rank quantile of request latency (q in [0, 1])."""
+        ordered = self.latencies()
+        if not ordered:
+            return 0.0
+        rank = min(len(ordered) - 1, max(0, int(np.ceil(q * len(ordered))) - 1))
+        return ordered[rank]
+
+    @property
+    def p50_latency(self) -> float:
+        return self.latency_quantile(0.50)
+
+    @property
+    def p99_latency(self) -> float:
+        return self.latency_quantile(0.99)
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.latency_seconds for r in self.records) / len(self.records)
+
+    def as_dict(self) -> Dict:
+        return {
+            "policy": self.policy,
+            "sessions": self.sessions,
+            "requests": self.count,
+            "all_correct": self.all_correct,
+            "makespan_seconds": round(self.makespan_seconds, 6),
+            "latency": {
+                "mean": round(self.mean_latency, 6),
+                "p50": round(self.p50_latency, 6),
+                "p99": round(self.p99_latency, 6),
+                "max": round(self.latency_quantile(1.0), 6),
+            },
+            "failovers": self.failovers,
+            "admission_waits": self.admission_waits,
+            "handshake": {
+                "hits": self.handshake_hits,
+                "misses": self.handshake_misses,
+            },
+            "kills": [[round(at, 6), name] for at, name in self.kills],
+            "edges": [
+                {
+                    "name": row.name,
+                    "served": row.served,
+                    "failures": row.failures,
+                    "busy_seconds": round(row.busy_seconds, 6),
+                    "utilization": round(row.utilization, 6),
+                    "mean_latency": round(row.mean_latency, 6),
+                }
+                for row in self.edges
+            ],
+        }
+
+    def render_markdown(self) -> str:
+        """Deterministic plain-text report (byte-stable across runs)."""
+        from repro.eval.reporting import format_table
+
+        lines = [f"# Fleet report — policy `{self.policy}`", ""]
+        lines.append(
+            f"{self.sessions} sessions, {self.count} requests, "
+            f"makespan {self.makespan_seconds:.3f}s virtual, "
+            f"all correct: {self.all_correct}"
+        )
+        lines.append(
+            f"latency p50 {self.p50_latency:.4f}s, "
+            f"p99 {self.p99_latency:.4f}s, "
+            f"mean {self.mean_latency:.4f}s, "
+            f"max {self.latency_quantile(1.0):.4f}s"
+        )
+        lines.append(
+            f"failovers {self.failovers}, admission waits "
+            f"{self.admission_waits}, handshake {self.handshake_hits} hits / "
+            f"{self.handshake_misses} misses"
+        )
+        if self.kills:
+            killed = ", ".join(
+                f"{name}@{at:.3f}s" for at, name in self.kills
+            )
+            lines.append(f"edge kills: {killed}")
+        lines.append("")
+        lines.append(
+            format_table(
+                ["edge", "served", "failures", "busy_s", "util_%", "mean_lat_s"],
+                [
+                    [
+                        row.name,
+                        row.served,
+                        row.failures,
+                        f"{row.busy_seconds:.3f}",
+                        f"{100.0 * row.utilization:.1f}",
+                        f"{row.mean_latency:.4f}",
+                    ]
+                    for row in self.edges
+                ],
+                title="Per-edge utilization",
+            )
+        )
+        lines.append("")
+        return "\n".join(lines)
+
+
+class _FleetClient:
+    """Per-session client state: agent, attachment, per-edge handshakes."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.agent: Optional[ClientAgent] = None
+        self.attached_edge: Optional[str] = None
+        #: edge -> (channel end identity, presend manager or None); a new
+        #: channel to the same edge invalidates the handshake
+        self.presends: Dict[str, Tuple[object, object]] = {}
+        self.expected_label: Optional[int] = None
+        #: image loaded before the agent exists (first attach is lazy)
+        self.pending_pixels = None
+
+
+class FleetScenario:
+    """N edge servers + M user sessions + one scheduling policy."""
+
+    def __init__(
+        self,
+        model_name: str = "smallnet",
+        edges: Optional[List[EdgeSpec]] = None,
+        policy: str = "queue-aware",
+        *,
+        sessions: int = 40,
+        requests_per_session: int = 2,
+        arrivals: str = "poisson",
+        arrival_rate_per_s: float = 8.0,
+        mean_think_seconds: float = 1.0,
+        new_image_probability: float = 0.3,
+        mode: str = "offload",
+        split_index: Optional[int] = None,
+        seed: int = 0,
+        window: int = 16,
+        max_outstanding_per_edge: int = 8,
+        reply_timeout: float = 5.0,
+        retries: int = 0,
+        backoff_seconds: float = 0.05,
+    ):
+        if sessions <= 0 or requests_per_session <= 0:
+            raise ValueError("sessions and requests_per_session must be positive")
+        if arrivals not in ("poisson", "trace"):
+            raise ValueError(f"unknown arrival process {arrivals!r}")
+        if mode not in ("offload", "offload-partial"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.model_name = model_name
+        self.specs = list(edges) if edges is not None else default_fleet(3)
+        self.policy_name = policy
+        self.sessions = sessions
+        self.requests_per_session = requests_per_session
+        self.arrivals = arrivals
+        self.arrival_rate_per_s = arrival_rate_per_s
+        self.mean_think_seconds = mean_think_seconds
+        self.new_image_probability = new_image_probability
+        self.mode = mode
+        self.seed = seed
+        self.reply_timeout = reply_timeout
+        self.retries = retries
+        self.backoff_seconds = backoff_seconds
+
+        self.sim = Simulator(max_events=20_000_000)
+        self.rng = SeededRng(seed, f"fleet/{model_name}/{policy}")
+        self.topology = Topology(self.sim, client_name="fleet-gateway")
+        self.servers: Dict[str, EdgeServer] = {}
+        for spec in self.specs:
+            self.topology.add_edge_host(spec.name, profile=spec.profile)
+            self.servers[spec.name] = EdgeServer(
+                self.sim,
+                Device(self.sim, edge_server_x86(spec.server_speedup)),
+                name=spec.name,
+                installed=spec.installed,
+                session_cache_capacity=spec.session_cache_capacity,
+            )
+        self.policy: Policy = make_policy(policy, self.rng.child("policy"))
+        self.scheduler = FleetScheduler(
+            self.sim,
+            [spec.name for spec in self.specs],
+            self.policy,
+            window=window,
+            max_outstanding_per_edge=max_outstanding_per_edge,
+        )
+
+        # The model and its cost tables are shared by every session (they
+        # never mutate parameters), exactly like the multi-client workloads.
+        self.model = build_model(model_name)
+        network = self.model.network
+        self.full_costs = network_costs(network)
+        if mode == "offload-partial":
+            last = len(network.layers) - 1
+            split = split_index if split_index is not None else last // 2
+            self.split_index = split
+            self.front_model, self.rear_model = self.model.split(split)
+            self.front_costs = costs_for_range(network, 0, split)
+            self.rear_costs = costs_for_range(network, split + 1, last)
+            self.app = make_partial_inference_app(
+                self.front_model,
+                self.rear_model,
+                name=f"{model_name}-fleet-partial",
+            )
+        else:
+            self.split_index = None
+            self.app = make_inference_app(self.model, name=f"{model_name}-fleet")
+
+        self.records: List[FleetRequestRecord] = []
+        self.kill_log: List[Tuple[float, str]] = []
+        self._kills: List[Tuple[float, str, bool]] = []
+        self._revivals: List[Tuple[float, str]] = []
+        self._served_ends: Set[int] = set()
+        self._ran = False
+
+        metrics = self.sim.metrics
+        labels = {"policy": self.policy.name}
+        self._requests_counter = metrics.counter(
+            "fleet_requests_total", help="requests completed fleet-wide",
+            **labels,
+        )
+        self._failover_counter = metrics.counter(
+            "fleet_failovers_total",
+            help="request attempts abandoned on one edge and re-routed",
+            **labels,
+        )
+        self._handshake_hit_counter = metrics.counter(
+            "fleet_handshake_hits_total",
+            help="digest handshakes answered 'model present' (pre-send skipped)",
+        )
+        self._handshake_miss_counter = metrics.counter(
+            "fleet_handshake_misses_total",
+            help="digest handshakes answered 'model missing' (pre-send ran)",
+        )
+        self._sessions_counter = metrics.counter(
+            "fleet_sessions_total", help="user sessions completed", **labels
+        )
+
+    # -- fault injection ---------------------------------------------------------
+    def inject_kill(
+        self,
+        edge_name: str,
+        at_seconds: float,
+        *,
+        revive_at_seconds: Optional[float] = None,
+        cold: bool = False,
+    ) -> None:
+        """Schedule an edge death at a virtual time (before :meth:`run`).
+
+        The edge's links go down (in-flight messages lost, channels
+        discarded) and its server process restarts — cached sessions and
+        the at-most-once reply cache are gone; the model store survives
+        unless ``cold`` (a replacement box with an empty disk).  With
+        ``revive_at_seconds`` the edge later comes back and the scenario's
+        health probe tells the scheduler.
+        """
+        if edge_name not in self.servers:
+            raise KeyError(f"no edge named {edge_name!r}")
+        if revive_at_seconds is not None and revive_at_seconds <= at_seconds:
+            raise ValueError("revive must come after the kill")
+        self._kills.append((at_seconds, edge_name, cold))
+        if revive_at_seconds is not None:
+            self._revivals.append((revive_at_seconds, edge_name))
+
+    def _kill_now(self, edge_name: str, cold: bool) -> None:
+        self.topology.fail_edge(edge_name)
+        server = self.servers[edge_name]
+        server.restart()
+        if cold:
+            server.store = ModelStore()
+        self.kill_log.append((self.sim.now, edge_name))
+        self.sim.metrics.counter(
+            "fleet_edge_kills_total", help="injected edge deaths",
+            edge=edge_name,
+        ).inc()
+
+    def _revive_now(self, edge_name: str) -> None:
+        self.topology.restore_edge(edge_name)
+        # The health probe's view: the edge answers again.  Its stale
+        # response-time window is forgotten by mark_alive.
+        self.scheduler.mark_alive(edge_name)
+
+    # -- wiring -------------------------------------------------------------------
+    def _attach(self, client: _FleetClient, edge_name: str):
+        """Simulated sub-process: connect, (re)bind, digest-handshake."""
+        client_end, edge_end = self.topology.connect(client.name, edge_name)
+        if id(edge_end) not in self._served_ends:
+            self._served_ends.add(id(edge_end))
+            self.servers[edge_name].serve(edge_end)
+        agent = client.agent
+        if agent is None:
+            agent = ClientAgent(
+                self.sim,
+                Device(self.sim, odroid_xu4_client()),
+                client_end,
+                capture_options=CaptureOptions(include_canvas_pixels=True),
+            )
+            agent.start_app(self.app, presend=False)
+            if self.mode == "offload-partial":
+                agent.mark_offload_point("front_complete")
+            else:
+                agent.mark_offload_point("click", "infer_btn")
+            client.agent = agent
+        elif agent.endpoint is not client_end:
+            agent.rebind(client_end)
+            if client.attached_edge != edge_name:
+                # We know we switched servers; the old session baseline is
+                # useless there (and would cost one failed delta round).
+                agent.session_baselines.pop(agent.runtime.app_name, None)
+        client.attached_edge = edge_name
+
+        # Digest-first handshake, once per channel instance: a fresh
+        # channel (first contact, or reconnect after an edge death) must
+        # re-ask, because the store may have changed behind it.
+        known = client.presends.get(edge_name)
+        if known is not None and known[0] is client_end:
+            agent.presend = known[1]
+            return
+        presend_model = (
+            self.rear_model if self.mode == "offload-partial" else self.model
+        )
+        client_end.send(
+            protocol.MODEL_QUERY,
+            protocol.ModelQueryPayload(
+                model_id=presend_model.model_id,
+                fingerprint=presend_model.fingerprint(),
+            ),
+        )
+        reply = yield client_end.recv_kind(
+            protocol.MODEL_STATUS, timeout=self.reply_timeout
+        )
+        if reply.payload.present:
+            self._handshake_hit_counter.inc()
+            manager = None
+        else:
+            self._handshake_miss_counter.inc()
+            from repro.core.presend import PresendManager
+
+            manager = PresendManager(self.sim, client_end, [presend_model])
+            manager.start()
+        agent.presend = manager
+        client.presends[edge_name] = (client_end, manager)
+
+    # -- the per-request scheduling loop ------------------------------------------
+    def _offload_with_failover(self, client: _FleetClient, event, server_costs):
+        """Dispatch one request, failing over until it completes.
+
+        Returns ``(edge_name, outcome, failovers)``.  Raises
+        :class:`NoEdgeAvailable` only when every edge is dead with no
+        revival pending — a dropped request is always loud.
+        """
+        excluded: Set[str] = set()
+        failovers = 0
+        waits = 0
+        while True:
+            edge_name = self.scheduler.try_pick(frozenset(excluded))
+            if edge_name is None:
+                if not self.scheduler.any_alive() and not self._revivals_after(
+                    self.sim.now
+                ):
+                    raise NoEdgeAvailable(
+                        f"{client.name}: every edge is dead and none will "
+                        "revive"
+                    )
+                waits += 1
+                excluded.clear()  # a revived or drained edge may qualify now
+                yield self.sim.timeout(
+                    min(0.25, self.backoff_seconds * waits)
+                )
+                continue
+            self.scheduler.begin(edge_name)
+            issued_at = self.sim.now
+            try:
+                yield from self._attach(client, edge_name)
+                outcome = yield from client.agent.offload(
+                    event,
+                    server_costs=server_costs,
+                    reply_timeout=self.reply_timeout,
+                    retries=self.retries,
+                )
+            except (OffloadError, ReceiveTimeout, LinkDown, EdgeDown):
+                # The reply never came (or the edge refused): the scheduler
+                # *detects* the failure here and re-routes.
+                self.scheduler.fail(edge_name)
+                self._failover_counter.inc()
+                failovers += 1
+                excluded.add(edge_name)
+                continue
+            self.scheduler.complete(edge_name, self.sim.now - issued_at)
+            self._requests_counter.inc()
+            return edge_name, outcome, failovers
+
+    def _revivals_after(self, now: float) -> List[Tuple[float, str]]:
+        return [(at, name) for at, name in self._revivals if at > now]
+
+    # -- session processes ---------------------------------------------------------
+    def _interactions_for(self, session_name: str) -> List[Interaction]:
+        if self.arrivals == "trace":
+            return generate_trace(
+                self.rng.child(f"trace/{session_name}"),
+                inferences=self.requests_per_session,
+                mean_think_seconds=self.mean_think_seconds,
+                new_image_probability=self.new_image_probability,
+            )
+        rng = self.rng.child(f"think/{session_name}")
+        interactions: List[Interaction] = []
+        now = 0.0
+        for index in range(self.requests_per_session):
+            if index == 0 or rng.chance(self.new_image_probability):
+                interactions.append(Interaction(at_seconds=now, action="new_image"))
+            interactions.append(Interaction(at_seconds=now, action="infer"))
+            now += rng.expovariate(1.0 / self.mean_think_seconds)
+        return interactions
+
+    def _session_proc(self, index: int, start_at: float):
+        session_name = f"user-{index:04d}"
+        yield self.sim.timeout(start_at)
+        client = _FleetClient(session_name)
+        image_rng = self.rng.child(f"images/{session_name}")
+        shape = tuple(self.model.network.input_shape)
+        server_costs = (
+            self.rear_costs if self.mode == "offload-partial" else self.full_costs
+        )
+        interactions = self._interactions_for(session_name)
+        started = self.sim.now
+        request_index = 0
+        for interaction in interactions:
+            wait = started + interaction.at_seconds - self.sim.now
+            if wait > 0:
+                yield self.sim.timeout(wait)
+            if interaction.action == "new_image":
+                pixels = TypedArray(image_rng.uniform_array(shape, 0, 255))
+                client.expected_label = int(
+                    np.argmax(self.model.inference(pixels.data))
+                )
+                if client.agent is not None:
+                    client.agent.runtime.globals["pending_pixels"] = pixels
+                    client.agent.runtime.dispatch("click", "load_btn")
+                else:
+                    client.pending_pixels = pixels
+                continue
+            # An "infer" interaction: the client must exist (attach lazily
+            # on the first request, to whatever edge the scheduler picks).
+            if client.agent is None:
+                # First contact: pick an edge now so the agent has a wire.
+                yield from self._first_attach(client)
+                client.agent.runtime.globals["pending_pixels"] = (
+                    client.pending_pixels
+                )
+                client.agent.runtime.dispatch("click", "load_btn")
+            issued_at = self.sim.now
+            if self.mode == "offload-partial":
+                front_seconds = client.agent.device.forward_seconds(
+                    self.front_costs
+                )
+                yield client.agent.device.execute(
+                    front_seconds, label="front-dnn"
+                )
+            client.agent.runtime.dispatch("click", "infer_btn")
+            event = client.agent.take_intercepted()
+            edge_name, outcome, failovers = yield from (
+                self._offload_with_failover(client, event, server_costs)
+            )
+            self.records.append(
+                FleetRequestRecord(
+                    session=session_name,
+                    request_index=request_index,
+                    issued_at=issued_at,
+                    completed_at=self.sim.now,
+                    edge=edge_name,
+                    failovers=failovers,
+                    snapshot_kind=outcome.snapshot.kind,
+                    result_label=client.agent.runtime.globals.get(
+                        "result_label"
+                    ),
+                    expected_label=client.expected_label,
+                    result_score=client.agent.runtime.globals.get(
+                        "result_score"
+                    ),
+                    transfer_to_server_seconds=(
+                        outcome.transfer_to_server_seconds
+                    ),
+                    transfer_to_client_seconds=(
+                        outcome.transfer_to_client_seconds
+                    ),
+                    restore_seconds=outcome.restore_seconds,
+                )
+            )
+            request_index += 1
+        self._sessions_counter.inc()
+
+    def _first_attach(self, client: _FleetClient):
+        """Attach a brand-new client to whichever edge the policy picks."""
+        waits = 0
+        while True:
+            edge_name = self.scheduler.try_pick()
+            if edge_name is not None:
+                break
+            if not self.scheduler.any_alive() and not self._revivals_after(
+                self.sim.now
+            ):
+                raise NoEdgeAvailable(
+                    f"{client.name}: no edge to attach to and none will revive"
+                )
+            waits += 1
+            yield self.sim.timeout(min(0.25, self.backoff_seconds * waits))
+        try:
+            yield from self._attach(client, edge_name)
+        except (ReceiveTimeout, LinkDown, EdgeDown):
+            # The chosen edge died during the very first handshake: let the
+            # scheduler know and try again from scratch.
+            self.scheduler.mark_dead(edge_name)
+            yield from self._first_attach(client)
+
+    # -- running ---------------------------------------------------------------------
+    def run(self) -> FleetReport:
+        if self._ran:
+            raise RuntimeError("a FleetScenario can only run once")
+        self._ran = True
+        arrival_rng = self.rng.child("arrivals")
+        starts = poisson_arrivals(
+            arrival_rng, self.arrival_rate_per_s, self.sessions
+        )
+        processes = [
+            self.sim.spawn(
+                self._session_proc(index, start_at),
+                label=f"fleet-session-{index}",
+            )
+            for index, start_at in enumerate(starts)
+        ]
+        for at_seconds, edge_name, cold in sorted(self._kills):
+            self.sim.schedule(
+                at_seconds, self._kill_now, edge_name, cold,
+                label=f"kill:{edge_name}",
+            )
+        for at_seconds, edge_name in sorted(self._revivals):
+            self.sim.schedule(
+                at_seconds, self._revive_now, edge_name,
+                label=f"revive:{edge_name}",
+            )
+        self.sim.run_until(lambda: all(p.triggered for p in processes))
+        for process in processes:
+            if process.ok is False:
+                raise process.value
+        return self._build_report()
+
+    def _build_report(self) -> FleetReport:
+        makespan = self.sim.now
+        rows: List[EdgeReportRow] = []
+        for spec in self.specs:
+            state = self.scheduler.edge(spec.name)
+            device = self.servers[spec.name].device
+            latencies = [
+                r.latency_seconds for r in self.records if r.edge == spec.name
+            ]
+            utilization = (
+                device.busy_seconds / makespan if makespan > 0 else 0.0
+            )
+            self.sim.metrics.gauge(
+                "fleet_edge_utilization",
+                help="edge device busy fraction over the run",
+                edge=spec.name,
+            ).set(utilization)
+            rows.append(
+                EdgeReportRow(
+                    name=spec.name,
+                    served=state.served,
+                    failures=state.failures,
+                    busy_seconds=device.busy_seconds,
+                    utilization=utilization,
+                    mean_latency=(
+                        sum(latencies) / len(latencies) if latencies else 0.0
+                    ),
+                )
+            )
+        registry = self.sim.metrics
+        return FleetReport(
+            self.policy.name,
+            list(self.records),
+            rows,
+            makespan_seconds=makespan,
+            sessions=self.sessions,
+            failovers=int(self._failover_counter.value),
+            admission_waits=int(
+                registry.value("fleet_admission_waits_total") or 0
+            ),
+            handshake_hits=int(self._handshake_hit_counter.value),
+            handshake_misses=int(self._handshake_miss_counter.value),
+            kills=list(self.kill_log),
+        )
+
+
+def compare_policies(
+    policies=("round-robin", "random", "min-response-time", "queue-aware"),
+    **scenario_kwargs,
+) -> Dict[str, FleetReport]:
+    """Run the same workload under several policies (fresh sim each)."""
+    reports: Dict[str, FleetReport] = {}
+    for name in policies:
+        scenario = FleetScenario(policy=name, **scenario_kwargs)
+        reports[name] = scenario.run()
+    return reports

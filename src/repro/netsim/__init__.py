@@ -14,11 +14,12 @@ edge-server hosts supporting handover between service areas.
 from repro.netsim.link import Link, LinkDown, NetemProfile
 from repro.netsim.message import Message, payload_size
 from repro.netsim.channel import Channel, ChannelEnd, ReceiveTimeout
-from repro.netsim.topology import Host, Topology
+from repro.netsim.topology import EdgeDown, Host, Topology
 
 __all__ = [
     "Channel",
     "ChannelEnd",
+    "EdgeDown",
     "Host",
     "Link",
     "LinkDown",

@@ -118,6 +118,19 @@ class Model:
             digest.update(file.checksum.encode("ascii"))
         return f"{self.name}:{digest.hexdigest()[:12]}"
 
+    def fingerprint(self) -> str:
+        """Content fingerprint of the network structure and every parameter.
+
+        This is the plan cache's params digest (sha256 over structure plus
+        per-array digests), memoized on the :class:`Network` and invalidated
+        whenever a parameter array is replaced — so calling it once at model
+        load/store time makes every later lookup (plan-cache keys, the
+        fleet's ``MODEL_QUERY`` digest handshake) near-free.
+        """
+        from repro.nn.plan import network_params_digest
+
+        return network_params_digest(self.network)
+
     @property
     def total_bytes(self) -> int:
         return sum(file.size_bytes for file in self.files())

@@ -28,6 +28,9 @@ class StoredModel:
     received: Set[str] = field(default_factory=set)
     #: the runnable model object, attached when the upload completes
     model: Optional[Model] = None
+    #: params fingerprint, computed once when the model is attached — the
+    #: content address the fleet's digest handshake answers from
+    fingerprint: Optional[str] = None
 
     @property
     def complete(self) -> bool:
@@ -77,7 +80,14 @@ class ModelStore:
         return entry
 
     def attach_model(self, model_id: str, model: Model) -> None:
-        """Attach the runnable model once its upload is complete."""
+        """Attach the runnable model once its upload is complete.
+
+        The model is fingerprinted here, at store time: the digest is the
+        expensive part of every plan-cache key and of the fleet's
+        ``MODEL_QUERY`` handshake, and paying it once on attach (instead of
+        on every lookup) is what makes warm plan loads and handshake
+        answers near-free.
+        """
         entry = self._models.get(model_id)
         if entry is None:
             raise ModelStoreError(f"no upload registered for model {model_id!r}")
@@ -86,10 +96,26 @@ class ModelStore:
                 f"model {model_id!r} incomplete; missing {entry.missing}"
             )
         entry.model = model
+        entry.fingerprint = model.fingerprint()
 
     def has_complete(self, model_id: str) -> bool:
         entry = self._models.get(model_id)
         return entry is not None and entry.complete
+
+    def fingerprint_of(self, model_id: str) -> Optional[str]:
+        """The stored model's params fingerprint (None until attached)."""
+        entry = self._models.get(model_id)
+        return entry.fingerprint if entry is not None else None
+
+    def matches_fingerprint(self, model_id: str, fingerprint: str) -> bool:
+        """Digest handshake: is a runnable model with this digest stored?"""
+        entry = self._models.get(model_id)
+        return (
+            entry is not None
+            and entry.complete
+            and entry.model is not None
+            and entry.fingerprint == fingerprint
+        )
 
     def get_model(self, model_id: str) -> Model:
         entry = self._models.get(model_id)

@@ -192,7 +192,12 @@ class TestResultCache:
         (shard / ".tmp-abc123.pkl").write_bytes(b"half-written entry")
         stats = cache.stats()
         assert stats["entries"] == 1
-        assert stats["bytes"] == next(shard.glob("*.pkl")).stat().st_size
+        # glob("*.pkl") may also match the planted dotfile (and directory
+        # order is arbitrary), so pick the real entry by name
+        entry = next(
+            p for p in shard.glob("*.pkl") if not p.name.startswith(".")
+        )
+        assert stats["bytes"] == entry.stat().st_size
 
     def test_stats_tolerates_concurrently_unlinked_entries(self, tmp_path):
         cache = ResultCache(str(tmp_path))

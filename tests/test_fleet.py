@@ -1,0 +1,327 @@
+"""Unit tests for the fleet: policies, scheduler, topology, handshake.
+
+The end-to-end failover behaviour lives in ``test_fleet_failover.py`` and
+the property-based invariants in ``test_fleet_properties.py``; this module
+pins down the building blocks — policy selection math, scheduler
+bookkeeping, the multi-client topology extension, and the MODEL_QUERY /
+MODEL_STATUS digest handshake — plus one small healthy-fleet run.
+"""
+
+import pytest
+
+from repro.core import protocol
+from repro.core.server import EdgeServer
+from repro.devices import Device, edge_server_x86
+from repro.fleet import (
+    EdgeSpec,
+    FleetScenario,
+    FleetScheduler,
+    PolicyError,
+    compare_policies,
+    default_fleet,
+    make_policy,
+)
+from repro.fleet.policies import POLICY_NAMES
+from repro.netsim import EdgeDown, Topology
+from repro.nn.zoo import build_model
+from repro.sim import SeededRng, Simulator
+
+
+def scheduler(policy="round-robin", names=("a", "b", "c"), **kwargs):
+    sim = Simulator()
+    return FleetScheduler(sim, names, make_policy(policy), **kwargs)
+
+
+class TestPolicies:
+    def test_registry_builds_every_policy(self):
+        for name in POLICY_NAMES:
+            assert make_policy(name, SeededRng(0, "t")).name == name
+        with pytest.raises(PolicyError):
+            make_policy("least-loaded")
+
+    def test_round_robin_cycles_in_registration_order(self):
+        sched = scheduler("round-robin")
+        picks = [sched.try_pick() for _ in range(6)]
+        assert picks == ["a", "b", "c", "a", "b", "c"]
+
+    def test_random_is_seed_deterministic(self):
+        def picks(seed):
+            sim = Simulator()
+            sched = FleetScheduler(
+                sim, ["a", "b", "c"], make_policy("random", SeededRng(seed, "p"))
+            )
+            return [sched.try_pick() for _ in range(12)]
+
+        assert picks(5) == picks(5)
+        assert picks(5) != picks(6)  # astronomically unlikely to collide
+
+    def test_min_response_time_prefers_fastest_window(self):
+        sched = scheduler("min-response-time")
+        for seconds, name in ((0.5, "a"), (0.1, "b"), (0.3, "c")):
+            sched.begin(name)
+            sched.complete(name, seconds)
+        assert sched.try_pick() == "b"
+
+    def test_min_response_time_probes_unmeasured_edges_first(self):
+        sched = scheduler("min-response-time")
+        sched.begin("a")
+        sched.complete("a", 0.001)  # blazing fast, but "b"/"c" are unknown
+        assert sched.try_pick() == "b"
+        sched.begin("b")
+        sched.complete("b", 0.2)
+        assert sched.try_pick() == "c"
+
+    def test_queue_aware_scales_by_outstanding(self):
+        sched = scheduler("queue-aware")
+        for name, seconds in (("a", 0.1), ("b", 0.3), ("c", 0.35)):
+            sched.begin(name)
+            sched.complete(name, seconds)
+        # "a" is 3x faster, but stack up requests and its expected wait
+        # (mean_rt * (outstanding + 1)) passes "b"'s.
+        assert sched.try_pick() == "a"
+        sched.begin("a")
+        assert sched.try_pick() == "a"  # 0.1 * 2 < 0.3
+        sched.begin("a")
+        assert sched.try_pick() == "b"  # 0.1 * 3 == 0.3: queue breaks the tie
+
+
+class TestScheduler:
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            scheduler(names=())
+        with pytest.raises(PolicyError):
+            scheduler(names=("a", "a"))
+        with pytest.raises(PolicyError):
+            scheduler(window=0)
+        with pytest.raises(PolicyError):
+            scheduler(max_outstanding_per_edge=0)
+
+    def test_window_is_sliding(self):
+        sched = scheduler(window=2)
+        state = sched.edge("a")
+        for seconds in (1.0, 2.0, 3.0):
+            sched.begin("a")
+            sched.complete("a", seconds)
+        assert state.window_values() == [2.0, 3.0]
+        assert state.mean_response_seconds() == pytest.approx(2.5)
+
+    def test_admission_control_caps_outstanding(self):
+        sched = scheduler(names=("a",), max_outstanding_per_edge=2)
+        assert sched.try_pick() == "a"
+        sched.begin("a")
+        sched.begin("a")
+        assert sched.try_pick() is None  # full: back off
+        assert sched.sim.metrics.value("fleet_admission_waits_total") == 1
+        sched.complete("a", 0.1)
+        assert sched.try_pick() == "a"
+
+    def test_fail_marks_dead_and_excludes(self):
+        sched = scheduler()
+        sched.begin("b")
+        sched.fail("b")
+        assert not sched.edge("b").alive
+        assert sched.edge("b").outstanding == 0
+        assert "b" not in {sched.try_pick() for _ in range(6)}
+        # dead-with-no-candidates is not an admission wait
+        sched2 = scheduler(names=("a",))
+        sched2.begin("a")
+        sched2.fail("a")
+        assert sched2.try_pick() is None
+        assert sched2.sim.metrics.value("fleet_admission_waits_total") == 0
+
+    def test_exclusion_is_per_request(self):
+        sched = scheduler("round-robin")
+        assert sched.try_pick(frozenset({"a", "b"})) == "c"
+        assert sched.try_pick(frozenset({"a", "b", "c"})) is None
+
+    def test_mark_alive_revives_and_forgets_stale_window(self):
+        sched = scheduler()
+        sched.begin("a")
+        sched.complete("a", 9.0)
+        sched.mark_dead("a")
+        sched.mark_alive("a")
+        assert sched.edge("a").alive
+        assert sched.edge("a").window_values() == []
+        assert sched.any_alive()
+
+
+class TestFleetTopology:
+    def setup_method(self):
+        self.sim = Simulator()
+        self.topo = Topology(self.sim)
+        self.topo.add_edge_host("e0")
+        self.topo.add_edge_host("e1")
+
+    def test_concurrent_connections_are_stable_by_identity(self):
+        a0, _ = self.topo.connect("alice", "e0")
+        a1, _ = self.topo.connect("alice", "e1")  # concurrent, no teardown
+        b0, _ = self.topo.connect("bob", "e0")
+        assert a0 is not a1 and a0 is not b0
+        again, _ = self.topo.connect("alice", "e0")
+        assert again is a0  # same pair -> same channel ends
+
+    def test_fail_edge_drops_channels_and_blocks_connect(self):
+        self.topo.connect("alice", "e0")
+        self.topo.connect("bob", "e0")
+        keep, _ = self.topo.connect("alice", "e1")
+        assert self.topo.fail_edge("e0") == 2
+        assert not self.topo.edge_is_up("e0")
+        with pytest.raises(EdgeDown):
+            self.topo.connect("alice", "e0")
+        assert self.topo.connection("alice", "e0") is None
+        assert self.topo.connection("alice", "e1").end_a is keep
+
+    def test_restore_edge_builds_fresh_channels(self):
+        old, _ = self.topo.connect("alice", "e0")
+        self.topo.fail_edge("e0")
+        self.topo.restore_edge("e0")
+        fresh, _ = self.topo.connect("alice", "e0")
+        assert fresh is not old  # identity change => handshake redone
+        assert [entry[1:] for entry in self.topo.outage_log] == [
+            ("e0", "fail"), ("e0", "restore")
+        ]
+
+
+class TestDigestHandshake:
+    def _query(self, server, topo, client, fingerprint, model_id):
+        client_end, edge_end = topo.connect(client, "e0")
+        server.serve(edge_end)
+        client_end.send(
+            protocol.MODEL_QUERY,
+            protocol.ModelQueryPayload(model_id=model_id, fingerprint=fingerprint),
+        )
+        wait = client_end.recv_kind(protocol.MODEL_STATUS, timeout=5.0)
+        topo.sim.run_until(lambda: wait.triggered)
+        return wait.value.payload
+
+    def test_status_reflects_store_contents(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        topo.add_edge_host("e0")
+        server = EdgeServer(sim, Device(sim, edge_server_x86()), name="e0")
+        model = build_model("tinynet")
+
+        miss = self._query(server, topo, "c0", model.fingerprint(), model.model_id)
+        assert miss.present is False
+
+        server.store.begin_upload(model.model_id, model.files())
+        for file in model.files():
+            server.store.receive_file(model.model_id, file)
+        server.store.attach_model(model.model_id, model)
+        hit = self._query(server, topo, "c1", model.fingerprint(), model.model_id)
+        assert hit.present is True
+        assert hit.server_name == "e0"
+
+        stale = self._query(server, topo, "c2", "0" * 64, model.model_id)
+        assert stale.present is False  # same id, different params digest
+
+
+class TestFleetScenario:
+    def test_default_fleet_is_skewed(self):
+        specs = default_fleet(3, skew=2.0)
+        speeds = [spec.server_speedup for spec in specs]
+        assert speeds[0] == 1.0
+        assert speeds[-1] == pytest.approx(0.5)
+        assert speeds == sorted(speeds, reverse=True)
+        with pytest.raises(ValueError):
+            default_fleet(0)
+
+    def test_healthy_run_serves_everything_correctly(self):
+        scenario = FleetScenario(sessions=6, requests_per_session=2, seed=2)
+        report = scenario.run()
+        assert report.count == 12
+        assert report.all_correct
+        assert report.failovers == 0
+        # one pre-send per edge that got traffic, handshake hits after
+        assert report.handshake_misses <= len(scenario.specs)
+        assert sum(row.served for row in report.edges) == 12
+
+    def test_trace_arrivals_and_partial_mode(self):
+        scenario = FleetScenario(
+            sessions=4,
+            requests_per_session=2,
+            arrivals="trace",
+            mode="offload-partial",
+            seed=4,
+            edges=[EdgeSpec("only")],
+        )
+        report = scenario.run()
+        assert report.count == 8
+        assert report.all_correct
+
+    def test_report_is_deterministic_and_serializable(self):
+        import json
+
+        def run():
+            scenario = FleetScenario(sessions=5, requests_per_session=2, seed=9)
+            scenario.inject_kill("edge-2", 0.5, revive_at_seconds=2.0)
+            report = scenario.run()
+            return report.render_markdown(), json.dumps(
+                report.as_dict(), sort_keys=True
+            )
+
+        assert run() == run()
+
+    def test_scenario_runs_once(self):
+        scenario = FleetScenario(sessions=1, requests_per_session=1)
+        scenario.run()
+        with pytest.raises(RuntimeError):
+            scenario.run()
+
+    def test_compare_policies_runs_each(self):
+        reports = compare_policies(
+            policies=("round-robin", "queue-aware"),
+            sessions=3,
+            requests_per_session=1,
+            seed=3,
+        )
+        assert set(reports) == {"round-robin", "queue-aware"}
+        assert all(r.all_correct for r in reports.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetScenario(sessions=0)
+        with pytest.raises(ValueError):
+            FleetScenario(arrivals="uniform")
+        with pytest.raises(ValueError):
+            FleetScenario(mode="local")
+        scenario = FleetScenario(sessions=1)
+        with pytest.raises(KeyError):
+            scenario.inject_kill("nope", 1.0)
+        with pytest.raises(ValueError):
+            scenario.inject_kill("edge-0", 2.0, revive_at_seconds=1.0)
+
+
+@pytest.mark.fleet
+class TestFleetAtScale:
+    """Thousands of concurrent sessions (slow; deselect with -m 'not fleet')."""
+
+    def test_two_thousand_sessions_all_served(self):
+        scenario = FleetScenario(
+            sessions=2000,
+            requests_per_session=1,
+            arrival_rate_per_s=400.0,
+            seed=1,
+        )
+        report = scenario.run()
+        assert report.count == 2000
+        assert report.all_correct
+        assert report.admission_waits > 0  # 400/s genuinely saturates
+        assert {row.name for row in report.edges if row.served} == {
+            spec.name for spec in scenario.specs
+        }
+
+    def test_kill_at_scale_completes_every_session(self):
+        scenario = FleetScenario(
+            sessions=1000,
+            requests_per_session=2,
+            arrival_rate_per_s=150.0,
+            seed=2,
+            reply_timeout=1.0,
+        )
+        scenario.inject_kill("edge-1", 2.0, revive_at_seconds=5.0)
+        report = scenario.run()
+        assert report.count == 2000
+        assert report.all_correct
+        keys = {(r.session, r.request_index) for r in report.records}
+        assert len(keys) == 2000

@@ -260,6 +260,69 @@ class TestPlanCacheStore:
         assert cache.stats()["entries"] == 0
 
 
+class TestDigestPrimedAtLoad:
+    """The params digest is computed once, at model load/store time.
+
+    It used to be computed lazily inside the first ``plan_for()`` — which
+    in a fresh process is the *timed request path*, and it made warm
+    plan-cache lookups cost as much as cold compiles (the BENCH_perf wart:
+    ~identical cold/warm ms on googlenet).
+    """
+
+    def test_build_model_primes_params_digest(self):
+        model = build_model("smallnet")
+        memo = getattr(model.network, "_plan_digest_memo", None)
+        assert memo is not None
+        assert model.fingerprint() == memo[1]
+        assert model.fingerprint() == network_params_digest(model.network)
+
+    def test_store_attach_primes_fingerprint(self):
+        from repro.nn.modelstore import ModelStore
+
+        model = build_model("smallnet")
+        store = ModelStore()
+        store.begin_upload(model.model_id, model.files())
+        for file in model.files():
+            store.receive_file(model.model_id, file)
+        store.attach_model(model.model_id, model)
+        assert store.fingerprint_of(model.model_id) == model.fingerprint()
+        assert store.matches_fingerprint(model.model_id, model.fingerprint())
+        assert not store.matches_fingerprint(model.model_id, "bogus")
+
+    def test_warm_load_recomputes_no_array_digests(self, tmp_path, monkeypatch):
+        exec_cache.set_plan_cache(str(tmp_path))
+        exec_cache.reset_plan_cache_stats()
+        # "Process one": compile and store the plan.
+        load_or_compile_plan(build_model("smallnet").network)
+        # "Process two": a freshly built model whose digest was primed at
+        # load time.  The warm lookup must hash zero weight arrays.
+        model = build_model("smallnet")
+        calls = []
+        real_digest = plan_module._array_digest
+
+        def counting_digest(array):
+            calls.append(array.shape)
+            return real_digest(array)
+
+        monkeypatch.setattr(plan_module, "_array_digest", counting_digest)
+        stats = exec_cache.plan_cache_stats()
+        restored = load_or_compile_plan(model.network)
+        assert (stats.misses, stats.hits) == (1, 1)
+        assert calls == []
+        x = plan_input(model.network)
+        assert np.array_equal(
+            restored.forward(x), model.network.forward(x, optimize=False)
+        )
+
+    def test_param_rebinding_still_invalidates_fingerprint(self):
+        model = build_model("smallnet")
+        before = model.fingerprint()
+        layer = next(l for l in model.network.layers if l.params)
+        key = next(iter(layer.params))
+        layer.params[key] = layer.params[key] * 2.0
+        assert model.fingerprint() != before
+
+
 SUBPROCESS_SCRIPT = """\
 import hashlib
 import sys
