@@ -18,6 +18,9 @@ measures cross-process plan rehydration against compile-from-scratch
 pointing at cold vs pre-warmed directories),
 runs the multi-edge fleet scheduler shoot-out and a mid-run edge kill
 (the ``fleet`` stage: virtual-time p50/p99 per policy on a skewed fleet),
+compares continuous-batching against sequential per-request serving under
+rising offered load (the ``serving`` stage: requests/sec and the p99 knee,
+plus bitwise result equality and kill-replay determinism),
 and writes the timings, speedups, cache statistics and claim verdicts to
 ``BENCH_perf.json`` at the repo root.
 Claims that cannot be tested on this machine (the parallel speedup on a
@@ -411,6 +414,117 @@ def _bench_fleet(sessions=400, requests=2, rate=25.0, seed=0):
     }
 
 
+def _bench_serving(sessions=32, requests=2, seed=7):
+    """Continuous batching vs sequential serving under rising offered load.
+
+    Virtual-time again, so every number is deterministic.  The workload is
+    resnet-mini at split 0 — the rear-heavy partition where the server's
+    batched forward dominates its device time — on a single edge, so the
+    server (not routing) is the bottleneck.  Three questions:
+
+    (a) requests/sec vs offered load: where is the p99 knee, and does the
+        batching loop push it out (higher throughput at saturation)?
+    (b) are the batched results bitwise-identical to sequential serving at
+        *every* load point (labels, scores, snapshot kinds)?
+    (c) does a same-seed serving run — including one with a mid-run edge
+        kill and revival — replay byte-for-byte?
+    """
+    from repro.fleet import EdgeSpec, FleetScenario
+    from repro.serve import ServingConfig
+
+    print("-- serving (continuous batching vs sequential, rising load) ...",
+          flush=True)
+
+    def run(rate, serving, *, edges=1, kill=None):
+        scenario = FleetScenario(
+            model_name="resnet-mini",
+            edges=[EdgeSpec(name=f"edge-{i}") for i in range(edges)],
+            policy="queue-aware",
+            sessions=sessions,
+            requests_per_session=requests,
+            arrival_rate_per_s=rate,
+            mean_think_seconds=0.05,
+            mode="offload-partial",
+            split_index=0,
+            seed=seed,
+            reply_timeout=120.0,
+            serving=serving,
+        )
+        if kill is not None:
+            name, at, revive = kill
+            scenario.inject_kill(name, at, revive_at_seconds=revive)
+        return scenario.run()
+
+    config = ServingConfig(max_batch=8, batch_timeout_s=0.02)
+
+    def result_key(record):
+        return (
+            record.session, record.request_index, record.result_label,
+            record.expected_label, record.result_score,
+            record.snapshot_kind,
+        )
+
+    sweep = {}
+    bitwise_equal = True
+    for rate in (8.0, 24.0, 64.0):
+        seq = run(rate, None)
+        bat = run(rate, config)
+        equal = sorted(map(result_key, seq.records)) == sorted(
+            map(result_key, bat.records)
+        )
+        bitwise_equal = bitwise_equal and equal and seq.all_correct
+        sweep[str(rate)] = {
+            "offered_rate_per_s": rate,
+            "sequential_rps": round(seq.count / seq.makespan_seconds, 3),
+            "batched_rps": round(bat.count / bat.makespan_seconds, 3),
+            "sequential_p99_ms": round(seq.p99_latency * 1e3, 3),
+            "batched_p99_ms": round(bat.p99_latency * 1e3, 3),
+            "results_identical": equal,
+            "serving": bat.serving,
+        }
+        print(
+            f"   rate {rate:5.1f}/s: sequential "
+            f"{sweep[str(rate)]['sequential_rps']:7.2f} rps "
+            f"(p99 {sweep[str(rate)]['sequential_p99_ms']:8.1f}ms)  "
+            f"batched {sweep[str(rate)]['batched_rps']:7.2f} rps "
+            f"(p99 {sweep[str(rate)]['batched_p99_ms']:8.1f}ms)  "
+            f"identical: {equal}",
+            flush=True,
+        )
+
+    # Same-seed byte-determinism, including under a mid-run edge kill
+    # (two edges so the failover path actually runs).
+    kill = ("edge-0", 0.35, 1.2)
+    first = run(48.0, config, edges=2, kill=kill)
+    second = run(48.0, config, edges=2, kill=kill)
+    kill_deterministic = (
+        first.render_markdown() == second.render_markdown()
+        and first.all_correct
+        and first.count == sessions * requests
+    )
+    print(
+        f"   kill edge-0 @ 0.35s (revive 1.2s): byte-identical replay: "
+        f"{first.render_markdown() == second.render_markdown()}, "
+        f"{first.count}/{sessions * requests} served",
+        flush=True,
+    )
+
+    saturated = sweep["64.0"]
+    return {
+        "model": "resnet-mini",
+        "split_index": 0,
+        "sessions": sessions,
+        "requests_per_session": requests,
+        "seed": seed,
+        "max_batch": config.max_batch,
+        "batch_timeout_s": config.batch_timeout_s,
+        "sweep": sweep,
+        "saturating_rate_per_s": saturated["offered_rate_per_s"],
+        "bitwise_equal_at_every_load": bitwise_equal,
+        "kill_replay_deterministic": kill_deterministic,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument(
@@ -455,6 +569,7 @@ def main(argv=None) -> int:
     dag = _bench_dag_forward(forward, args.out)
     plan_cache = _bench_plan_cache()
     fleet = _bench_fleet()
+    serving = _bench_serving()
 
     reports = {
         "serial": serial.report_markdown,
@@ -576,6 +691,35 @@ def main(argv=None) -> int:
             "bound_ms": fleet["kill"]["healthy_p99_ms"]
             + fleet["kill"]["degradation_bound_ms"],
         },
+        # At saturating offered load the coalesced rear-half forwards must
+        # finish the same work in less virtual time than per-request
+        # serving (and not at the tail's expense).
+        "serving_batched_throughput_beats_sequential": {
+            "held": (
+                serving["sweep"]["64.0"]["batched_rps"]
+                > serving["sweep"]["64.0"]["sequential_rps"]
+                and serving["sweep"]["64.0"]["batched_p99_ms"]
+                < serving["sweep"]["64.0"]["sequential_p99_ms"]
+            ),
+            "skipped": False,
+            "offered_rate_per_s": serving["saturating_rate_per_s"],
+            "batched_rps": serving["sweep"]["64.0"]["batched_rps"],
+            "sequential_rps": serving["sweep"]["64.0"]["sequential_rps"],
+        },
+        # Batching must be invisible in the results: identical labels,
+        # scores, and snapshot kinds at every load point, and same-seed
+        # serving runs (with a mid-run kill) must replay byte-for-byte.
+        "serving_results_bitwise_equal_sequential": {
+            "held": serving["bitwise_equal_at_every_load"]
+            and serving["kill_replay_deterministic"],
+            "skipped": False,
+            "bitwise_equal_at_every_load": (
+                serving["bitwise_equal_at_every_load"]
+            ),
+            "kill_replay_deterministic": (
+                serving["kill_replay_deterministic"]
+            ),
+        },
     }
     claims_hold = all(
         claim["held"] for claim in claims.values() if not claim["skipped"]
@@ -599,6 +743,7 @@ def main(argv=None) -> int:
             "dag_forward": dag,
             "plan_cache": plan_cache,
             "fleet": fleet,
+            "serving": serving,
         },
         "speedup": {
             "parallel_vs_serial": round(serial_wall / parallel_wall, 3),

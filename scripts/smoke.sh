@@ -13,7 +13,10 @@
 # against the populated cache must rehydrate — hits > 0 — rather than
 # recompile), and the fleet scheduler's contract (a small multi-edge
 # scenario with a mid-run kill, run twice with the same seed, must
-# produce byte-identical reports and serve every request).
+# produce byte-identical reports and serve every request), and the
+# serving loop's contract (a same-seed continuous-batching scenario
+# with a mid-run kill, run twice, must emit byte-identical reports —
+# batching changes timing, never results).
 #
 #   scripts/smoke.sh [output-dir]
 #
@@ -27,15 +30,15 @@ mkdir -p "$out_dir"
 cd "$repo_root"
 export PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== 1/7 unit + property tests"
+echo "== 1/8 unit + property tests"
 python -m pytest -x -q
 
-echo "== 2/7 quick campaign with telemetry export"
+echo "== 2/8 quick campaign with telemetry export"
 python -m repro campaign --quick \
     --out "$out_dir/report.md" \
     --metrics-out "$out_dir/metrics.prom"
 
-echo "== 3/7 exported metrics parse + sanity"
+echo "== 3/8 exported metrics parse + sanity"
 python - "$out_dir/metrics.prom" <<'PY'
 import sys
 
@@ -54,7 +57,7 @@ print(f"ok: {len(samples)} samples, {sessions:.0f} sessions, "
       f"{executions:.0f} server executions")
 PY
 
-echo "== 4/7 execution engine: parallel + cache determinism"
+echo "== 4/8 execution engine: parallel + cache determinism"
 cache_dir="$out_dir/result-cache"
 rm -rf "$cache_dir"
 cold_start=$(python -c 'import time; print(time.perf_counter())')
@@ -79,7 +82,7 @@ print(f"ok: cold {cold:.1f}s, warm {warm:.1f}s (reports byte-identical)")
 assert warm <= cold, f"cached rerun slower than cold run ({warm:.1f}s > {cold:.1f}s)"
 PY
 
-echo "== 5/7 graph optimizer: equivalence + not-slower"
+echo "== 5/8 graph optimizer: equivalence + not-slower"
 opt_start=$(python -c 'import time; print(time.perf_counter())')
 python -m repro fig7 --models googlenet \
     > "$out_dir/fig7-optimized.txt"
@@ -123,7 +126,7 @@ cmp "$out_dir/fig8-split-optimized.txt" "$out_dir/fig8-split-reference.txt" || {
     exit 1; }
 echo "ok: googlenet partial-inference sweep byte-identical across joins"
 
-echo "== 6/7 plan cache: cross-process reuse + determinism"
+echo "== 6/8 plan cache: cross-process reuse + determinism"
 plan_dir="$out_dir/plan-cache"
 rm -rf "$plan_dir"
 python -m repro campaign --quick --jobs 2 --plan-cache-dir "$plan_dir" \
@@ -160,7 +163,7 @@ print(f"ok: plan-cache reports byte-identical; warm process rehydrated "
       f"({hits:.0f} hits, {misses:.0f} misses)")
 PY
 
-echo "== 7/7 fleet: seeded determinism + failover conservation"
+echo "== 7/8 fleet: seeded determinism + failover conservation"
 # A small multi-edge scenario with an edge killed (and revived) mid-run,
 # executed twice with the same seed, must emit byte-identical reports —
 # the scheduler, failover, and report rendering are all virtual-time
@@ -173,5 +176,21 @@ python -m repro fleet --sessions 10 --requests 2 --seed 5 \
 cmp "$out_dir/fleet-a.md" "$out_dir/fleet-b.md" || {
     echo "FAIL: fleet reports diverge across same-seed reruns" >&2; exit 1; }
 echo "ok: fleet report byte-identical across same-seed reruns"
+
+echo "== 8/8 serving: continuous-batching determinism under a kill"
+# The batching serving loop must be invisible in the results: a same-seed
+# serving scenario — two edges, an edge killed and revived mid-run — run
+# twice must emit byte-identical reports (dispatcher wake-ups, batch
+# cuts, drains, and failovers all replay on the virtual clock).  The CLI
+# exits non-zero on any wrong result, so correctness is checked for free.
+python -m repro serve --edges 2 --sessions 10 --requests 2 --rate 48 \
+    --seed 5 --kill edge-0@0.35:1.2 --out "$out_dir/serve-a.md" > /dev/null
+python -m repro serve --edges 2 --sessions 10 --requests 2 --rate 48 \
+    --seed 5 --kill edge-0@0.35:1.2 --out "$out_dir/serve-b.md" > /dev/null
+cmp "$out_dir/serve-a.md" "$out_dir/serve-b.md" || {
+    echo "FAIL: serving reports diverge across same-seed reruns" >&2; exit 1; }
+grep -q "serving:" "$out_dir/serve-a.md" || {
+    echo "FAIL: serving report carries no batching stats" >&2; exit 1; }
+echo "ok: serving report byte-identical across same-seed reruns"
 
 echo "smoke ok — artifacts in $out_dir"

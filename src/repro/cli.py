@@ -323,6 +323,65 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run a fleet scenario with continuous batching on every edge."""
+    from repro.fleet import FleetScenario, default_fleet
+    from repro.serve import ServingConfig
+
+    config = ServingConfig(
+        max_batch=args.max_batch,
+        batch_timeout_s=args.batch_timeout,
+        deadline_s=args.deadline,
+        former=args.former,
+    )
+    scenario = FleetScenario(
+        model_name=args.model,
+        edges=default_fleet(args.edges, skew=args.skew),
+        policy=args.policy,
+        sessions=args.sessions,
+        requests_per_session=args.requests,
+        arrivals=args.arrivals,
+        arrival_rate_per_s=args.rate,
+        mean_think_seconds=args.think,
+        mode="offload-partial",
+        split_index=args.split_index,
+        seed=args.seed,
+        reply_timeout=args.reply_timeout,
+        serving=config,
+    )
+    for spec in args.kill or []:
+        parts = spec.split("@")
+        if len(parts) != 2:
+            print(f"error: --kill wants EDGE@SECONDS, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        name, rest = parts
+        revive = None
+        if ":" in rest:
+            at_str, revive_str = rest.split(":", 1)
+            revive = float(revive_str)
+        else:
+            at_str = rest
+        scenario.inject_kill(name, float(at_str), revive_at_seconds=revive)
+    report = scenario.run()
+    text = report.render_markdown()
+    print(text)
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(text)
+        except OSError as exc:
+            print(f"error: cannot write report to {args.out}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"report written to {args.out}")
+    if not report.all_correct:
+        print("\nSHAPE VIOLATION: some serving results were incorrect",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     """Run one instrumented offload session and print its telemetry."""
     from repro.eval.scenarios import Testbed
@@ -478,6 +537,82 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, help="also write the report here")
     _add_metrics_arg(p)
     p.set_defaults(func=cmd_fleet)
+
+    p = sub.add_parser(
+        "serve",
+        help="fleet scenario with a continuous-batching serving loop on "
+        "every edge (always offload-partial)",
+    )
+    from repro.serve import FORMER_NAMES
+
+    p.add_argument(
+        "--model",
+        default="resnet-mini",
+        choices=list(PAPER_MODELS) + ["smallnet", "tinynet", "resnet-mini"],
+        help="model every session offloads (default: resnet-mini, whose "
+        "rear half dominates server time — where batching pays)",
+    )
+    p.add_argument(
+        "--policy",
+        default="queue-aware",
+        choices=list(POLICY_NAMES),
+        help="edge-selection policy (default: queue-aware)",
+    )
+    p.add_argument("--edges", type=int, default=1, help="fleet size")
+    p.add_argument(
+        "--skew", type=float, default=2.0,
+        help="speed ratio between fastest and slowest edge (default: 2)",
+    )
+    p.add_argument("--sessions", type=int, default=32, help="user sessions")
+    p.add_argument(
+        "--requests", type=int, default=2, help="inferences per session"
+    )
+    p.add_argument(
+        "--arrivals", default="poisson", choices=("poisson", "trace"),
+        help="session arrival / think-time process",
+    )
+    p.add_argument(
+        "--rate", type=float, default=64.0,
+        help="session arrival rate per second (default: 64 — batching needs "
+        "a saturated server)",
+    )
+    p.add_argument(
+        "--think", type=float, default=0.05,
+        help="mean think seconds between a session's requests",
+    )
+    p.add_argument(
+        "--split-index", type=int, default=0,
+        help="partition layer: everything after it runs on the server "
+        "(default 0, the rear-heavy split)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="replay seed")
+    p.add_argument(
+        "--reply-timeout", type=float, default=60.0,
+        help="seconds before a missing reply marks the edge dead",
+    )
+    p.add_argument(
+        "--max-batch", type=int, default=8,
+        help="most rear-half inferences coalesced into one forward",
+    )
+    p.add_argument(
+        "--batch-timeout", type=float, default=0.02,
+        help="longest a queued request waits for batch-mates (seconds)",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-request completion deadline for the deadline former",
+    )
+    p.add_argument(
+        "--former", default="size-timeout", choices=list(FORMER_NAMES),
+        help="batch-forming policy",
+    )
+    p.add_argument(
+        "--kill", action="append", metavar="EDGE@SECONDS[:REVIVE]",
+        help="inject an edge death (repeatable)",
+    )
+    p.add_argument("--out", default=None, help="also write the report here")
+    _add_metrics_arg(p)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "campaign", help="regenerate every artifact into one report"

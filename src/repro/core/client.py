@@ -51,6 +51,9 @@ class OffloadOutcome:
     server_timings: Dict[str, float] = field(default_factory=dict)
     #: bytes of model files that rode along with the snapshot
     delivery_bytes: int = 0
+    #: server-reported serving-queue depth at reply time (0 when the
+    #: server runs without a serving loop)
+    server_queue_depth: int = 0
     started_at: float = 0.0
     finished_at: float = 0.0
 
@@ -185,8 +188,15 @@ class ClientAgent:
         use_session_cache: bool = True,
         reply_timeout: Optional[float] = None,
         retries: int = 0,
+        batch_hint: Optional[Dict[str, str]] = None,
     ):
         """Simulated process performing one offload round trip.
+
+        ``batch_hint`` (``{"model_id": ..., "feature_global": ...}``) rides
+        in the snapshot metadata and tells a batching server which stored
+        model and which restored global hold this request's rear-half
+        inference, so concurrent same-model requests can share one batched
+        forward.  Servers without a serving loop ignore it.
 
         Yields simulation events; the process result is an
         :class:`OffloadOutcome`.  Raises :class:`OffloadError` if the server
@@ -225,6 +235,8 @@ class ClientAgent:
             snapshot = capture_snapshot(self.runtime, event, self.capture_options)
         if server_costs is not None:
             snapshot.metadata["server_costs"] = server_costs
+        if batch_hint is not None:
+            snapshot.metadata["batch"] = dict(batch_hint)
         capture_seconds = self.device.snapshot_capture_seconds(snapshot.size_bytes)
         yield self.device.execute(capture_seconds, label="snapshot-capture")
 
@@ -277,6 +289,7 @@ class ClientAgent:
                     use_session_cache=False,
                     reply_timeout=reply_timeout,
                     retries=retries,
+                    batch_hint=batch_hint,
                 )
                 return outcome
             self._failure_counter.inc()
@@ -307,6 +320,9 @@ class ClientAgent:
             transfer_to_client_seconds=(reply.delivered_at - reply.sent_at),
             server_timings=dict(reply.payload.timings),
             delivery_bytes=payload.delivery_bytes,
+            server_queue_depth=int(
+                getattr(reply.payload, "queue_depth", 0) or 0
+            ),
             started_at=started_at,
             finished_at=self.sim.now,
         )

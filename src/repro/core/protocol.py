@@ -159,9 +159,15 @@ class ResultPayload:
 
     delta: Any  # repro.core.snapshot.Snapshot
     request_id: int = 0
-    #: server-side phase durations, for the Fig. 7 breakdown
+    #: server-side phase durations, for the Fig. 7 breakdown; servers with
+    #: a serving loop add a ``"queue"`` entry (batching delay) so clients
+    #: can attribute latency to waiting rather than execution
     timings: Dict[str, float] = field(default_factory=dict)
     fingerprint: Optional[Any] = None  # StateFingerprint
+    #: work items still queued in the server's serving loop at reply time
+    #: (0 without a serving loop) — the load signal the fleet scheduler's
+    #: queue-aware policy folds into its scoring
+    queue_depth: int = 0
 
     @property
     def size_bytes(self) -> int:

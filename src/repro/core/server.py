@@ -22,7 +22,9 @@ served app is kept so follow-up offloads can send deltas — the paper's
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core import protocol
 from repro.core.snapshot import capture_delta, fingerprint_runtime, restore_snapshot
@@ -30,8 +32,36 @@ from repro.devices.device import Device
 from repro.netsim.channel import ChannelEnd
 from repro.netsim.message import Message
 from repro.nn.modelstore import ModelStore, ModelStoreError
+from repro.serve import ServingConfig, ServingDropped, ServingLoop, WorkItem
 from repro.sim import Simulator
 from repro.web.runtime import MissingModelError, WebRuntime
+
+
+class _BatchRowProxy:
+    """Serves one precomputed batched-forward row as ``inference``.
+
+    While a batched work item's pending event runs, the browser's installed
+    model is swapped for this proxy so the handler's ``inference(feature)``
+    call returns the row the batched forward already computed — the layer
+    walk happened once for the whole batch.  Any call with a *different*
+    input (a handler that infers twice, or on fresh data) falls through to
+    the real model, so correctness never depends on the swap.
+    """
+
+    def __init__(self, model, feature, row):
+        self._model = model
+        self._feature = feature
+        self._row = row
+
+    def inference(self, x, *args, **kwargs):
+        if not args and not kwargs and np.array_equal(
+            np.asarray(x), self._feature
+        ):
+            return np.array(self._row, copy=True)
+        return self._model.inference(x, *args, **kwargs)
+
+    def __getattr__(self, name):
+        return getattr(self._model, name)
 
 
 class EdgeServer:
@@ -51,11 +81,19 @@ class EdgeServer:
         installed: bool = True,
         session_cache: bool = True,
         session_cache_capacity: int = 32,
+        serving: Optional[ServingConfig] = None,
     ):
         self.sim = sim
         self.device = device
         self.name = name
         self.installed = installed
+        #: the continuous-batching loop; None = sequential inline serving
+        #: (the seed behaviour, byte-identical by construction)
+        self.serving: Optional[ServingLoop] = (
+            ServingLoop(sim, device, name, serving, compute=self._compute_batch)
+            if serving is not None
+            else None
+        )
         self.store = ModelStore()
         self.served_requests = 0
         self.errors: List[str] = []
@@ -136,6 +174,13 @@ class EdgeServer:
         self._sessions.clear()
         self._replies.clear()
         self._cache_size_gauge.set(0)
+        if self.serving is not None:
+            # Queued-but-unformed work dies with the process; each waiting
+            # protocol loop resumes with the failure and answers its
+            # (likely dead) channel through the ordinary error path.
+            self.serving.drain(
+                ServingDropped(f"server {self.name} restarted")
+            )
         self.sim.metrics.counter(
             "server_restarts_total", help="simulated process restarts",
             server=self.name,
@@ -318,20 +363,50 @@ class EdgeServer:
             return
         self.last_runtime = browser
 
-        # 2. Continue execution: run the pending event's handlers.
+        # 2. Continue execution: run the pending event's handlers — inline
+        # (sequential, the seed behaviour) or through the serving loop's
+        # batch queue (enqueue, yield, resume on batch completion).
         exec_seconds = self._execution_seconds(snapshot)
-        yield self.device.execute(exec_seconds, label="dnn-exec")
-        timings["exec"] = exec_seconds
-        self._executions_counter.inc()
-        if report.pending_event is not None:
-            try:
-                browser.run_event(report.pending_event)
-            except MissingModelError as exc:
-                self._error(endpoint, str(exc), payload.request_id)
+        if self.serving is not None and report.pending_event is not None:
+            model_id, feature = self._batch_target(snapshot, browser)
+            item = self.serving.submit(
+                sender=sender,
+                request_id=payload.request_id,
+                browser=browser,
+                event=report.pending_event,
+                exec_seconds=exec_seconds,
+                model_id=model_id,
+                feature=feature,
+            )
+            yield item.done
+            timings["queue"] = item.queue_seconds
+            timings["exec"] = item.exec_share_seconds
+            self._executions_counter.inc()
+            if item.error is not None:
+                if isinstance(item.error, MissingModelError):
+                    self._error(endpoint, str(item.error), payload.request_id)
+                else:
+                    self._error(
+                        endpoint,
+                        f"handler failed: {item.error}",
+                        payload.request_id,
+                    )
                 return
-            except Exception as exc:
-                self._error(endpoint, f"handler failed: {exc}", payload.request_id)
-                return
+        else:
+            yield self.device.execute(exec_seconds, label="dnn-exec")
+            timings["exec"] = exec_seconds
+            self._executions_counter.inc()
+            if report.pending_event is not None:
+                try:
+                    browser.run_event(report.pending_event)
+                except MissingModelError as exc:
+                    self._error(endpoint, str(exc), payload.request_id)
+                    return
+                except Exception as exc:
+                    self._error(
+                        endpoint, f"handler failed: {exc}", payload.request_id
+                    )
+                    return
 
         # 3. Capture the new state as a delta snapshot and send it back.
         delta = capture_delta(browser, report.fingerprint)
@@ -356,6 +431,9 @@ class EdgeServer:
             request_id=payload.request_id,
             timings=timings,
             fingerprint=fingerprint,
+            queue_depth=(
+                self.serving.depth() if self.serving is not None else 0
+            ),
         )
         if payload.request_id:
             self._replies[reply_key] = reply
@@ -371,10 +449,12 @@ class EdgeServer:
         (inception concats, residual adds) included, since the plan inlines
         composites into first-class steps (``Model.inference_batch``).
         Returns the
-        per-session outputs in request order.  This is an explicit server
-        API (exercised by the throughput benchmark) rather than a change to
-        the per-request protocol loop, whose virtual timings are calibrated
-        per session.
+        per-session outputs in request order.  Originally an explicit
+        server API exercised only by the throughput benchmark; with a
+        :class:`~repro.serve.ServingLoop` attached it is the request path —
+        the loop's batches (size >= 2) land here, so the
+        ``server_batch_forwards_total`` / ``server_batch_size`` metrics
+        count real serving traffic.
         """
         if not features:
             return []
@@ -396,6 +476,73 @@ class EdgeServer:
         if costs:
             return self.device.forward_seconds(costs)
         return 0.0
+
+    def _batch_target(
+        self, snapshot, browser: WebRuntime
+    ) -> Tuple[Optional[str], Optional[np.ndarray]]:
+        """Resolve a snapshot's batch hint against the restored state.
+
+        Clients that offload a rear-half inference attach
+        ``metadata["batch"] = {"model_id", "feature_global"}``; the feature
+        tensor itself only exists *after* restore, so resolution happens
+        here.  Anything missing or malformed makes the item solo — it still
+        flows through the serving loop (queue accounting, batches of one)
+        but never shares a forward.
+        """
+        hint = snapshot.metadata.get("batch")
+        if not isinstance(hint, dict):
+            return None, None
+        model_id = hint.get("model_id")
+        feature_global = hint.get("feature_global")
+        if not model_id or not feature_global:
+            return None, None
+        value = browser.globals.get(feature_global)
+        data = getattr(value, "data", None)
+        if data is None:
+            return None, None
+        return model_id, np.asarray(data)
+
+    def _compute_batch(self, batch: List[WorkItem]) -> None:
+        """Run the real handlers for one dispatched batch.
+
+        Real batches (>= 2 items, one shared model id by queue construction)
+        go through :meth:`batch_partial_inference` — one stacked layer walk
+        — and each item's handler reads its row back through a
+        :class:`_BatchRowProxy`.  Batches of one take the untouched
+        per-item path, which keeps single-item serving bitwise-identical to
+        sequential serving (even an n=1 batched forward is only
+        almost-equal).  Handler exceptions are stored per item for the
+        protocol loop to classify; one bad request never poisons its
+        batchmates.
+        """
+        rows = None
+        if len(batch) > 1:
+            try:
+                rows = self.batch_partial_inference(
+                    batch[0].model_id,
+                    [item.feature for item in batch],
+                )
+            except Exception:
+                rows = None  # fall back to independent per-item forwards
+        for index, item in enumerate(batch):
+            try:
+                real = (
+                    item.browser.installed_models.get(item.model_id)
+                    if item.model_id is not None
+                    else None
+                )
+                if rows is not None and real is not None:
+                    item.browser.installed_models[item.model_id] = (
+                        _BatchRowProxy(real, item.feature, rows[index])
+                    )
+                    try:
+                        item.browser.run_event(item.event)
+                    finally:
+                        item.browser.installed_models[item.model_id] = real
+                else:
+                    item.browser.run_event(item.event)
+            except Exception as exc:
+                item.error = exc
 
     # -- on-demand installation -----------------------------------------------------
     def _on_vm_overlay(self, endpoint: ChannelEnd, message: Message):

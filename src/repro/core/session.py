@@ -44,6 +44,7 @@ PHASE_TRACKS: Tuple[Tuple[str, str, str], ...] = (
     ("snapshot_capture_client", "snapshot capture", "client"),
     ("transfer_to_server", "snapshot uplink", "network"),
     ("snapshot_restore_server", "snapshot restore", "server"),
+    ("server_queue", "batch queue", "server"),
     ("server_exec", "DNN exec", "server"),
     ("snapshot_capture_server", "delta capture", "server"),
     ("transfer_to_client", "delta downlink", "network"),
@@ -60,6 +61,9 @@ class PhaseBreakdown:
     snapshot_capture_client: float = 0.0
     transfer_to_server: float = 0.0
     snapshot_restore_server: float = 0.0
+    #: time spent queued in the server's batching loop (0 when the server
+    #: executes inline); attributed from the reply's ``timings["queue"]``
+    server_queue: float = 0.0
     server_exec: float = 0.0
     snapshot_capture_server: float = 0.0
     transfer_to_client: float = 0.0
@@ -73,6 +77,7 @@ class PhaseBreakdown:
             + self.snapshot_capture_client
             + self.transfer_to_server
             + self.snapshot_restore_server
+            + self.server_queue
             + self.server_exec
             + self.snapshot_capture_server
             + self.transfer_to_client
@@ -88,6 +93,7 @@ class PhaseBreakdown:
             "snapshot_capture_client": self.snapshot_capture_client,
             "transfer_to_server": self.transfer_to_server,
             "snapshot_restore_server": self.snapshot_restore_server,
+            "server_queue": self.server_queue,
             "server_exec": self.server_exec,
             "snapshot_capture_server": self.snapshot_capture_server,
             "transfer_to_client": self.transfer_to_client,
@@ -322,6 +328,7 @@ class OffloadingSession:
             snapshot_capture_client=outcome.capture_seconds,
             transfer_to_server=outcome.transfer_to_server_seconds,
             snapshot_restore_server=outcome.server_timings.get("restore", 0.0),
+            server_queue=outcome.server_timings.get("queue", 0.0),
             server_exec=outcome.server_timings.get("exec", 0.0),
             snapshot_capture_server=outcome.server_timings.get("capture", 0.0),
             transfer_to_client=outcome.transfer_to_client_seconds,

@@ -84,6 +84,22 @@ class Device:
         """Wall time for a sequence of layers."""
         return sum(self.layer_seconds(cost) for cost in costs)
 
+    def batch_forward_seconds(self, item_seconds: Iterable[float]) -> float:
+        """Wall time for one *batched* forward serving several work items.
+
+        The longest item pays full price; every other item pays only the
+        profile's marginal fraction of its own solo cost (the batched
+        kernels amortize dispatch and weight-matrix reuse).  A batch of
+        one therefore costs exactly :meth:`forward_seconds` of that item,
+        which keeps single-item serving identical to sequential serving.
+        """
+        seconds = list(item_seconds)
+        if not seconds:
+            return 0.0
+        longest = max(seconds)
+        marginal = self.profile.batch_marginal_fraction
+        return longest + marginal * (sum(seconds) - longest)
+
     def snapshot_capture_seconds(self, size_bytes: int) -> float:
         """Time to serialize ``size_bytes`` of snapshot text."""
         return (

@@ -46,6 +46,14 @@ class DeviceProfile:
     snapshot_restore_bps: float = 80e6
     #: fixed cost of taking / restoring any snapshot (DOM walk, page setup)
     snapshot_fixed_s: float = 0.01
+    #: marginal cost of adding one more sample to a batched forward, as a
+    #: fraction of that sample's standalone cost.  The batched kernels
+    #: (im2col_batch + broadcast GEMM) amortize dispatch and weight-matrix
+    #: reuse across the batch; the measured smallnet batch-8 speedup is
+    #: ~2.3x per image, i.e. each extra sample costs ~1/2.3 ≈ 0.45 of a
+    #: solo forward.  1.0 disables amortization (a batch costs the sum of
+    #: its items); the first item always costs its full solo time.
+    batch_marginal_fraction: float = 0.45
     memory_bytes: int = 2 * 1024**3
     cores: int = 4
 

@@ -82,25 +82,32 @@ class MinResponseTimePolicy(Policy):
 
 
 class QueueAwarePolicy(Policy):
-    """Expected-wait scoring: window mean scaled by the local queue depth.
+    """Expected-wait scoring: window mean scaled by the total queue depth.
 
-    ``score = mean_rt * (outstanding + 1)`` — an edge twice as fast but
-    with three requests already in flight loses to an idle slower one.
-    This is the signal that separates it from pure min-response-time under
-    bursty load, where the fastest edge otherwise becomes the hotspot.
+    ``score = mean_rt * (outstanding + server_queue_depth + 1)`` — an edge
+    twice as fast but with three requests already in flight loses to an
+    idle slower one.  This is the signal that separates it from pure
+    min-response-time under bursty load, where the fastest edge otherwise
+    becomes the hotspot.  ``server_queue_depth`` is the depth the server's
+    serving loop piggybacks on replies: batching servers expose backlog
+    this gateway never dispatched (other clients, still-queued work), so
+    the policy sees the *server's* queue, not just its own in-flight
+    count.  Without a serving loop the depth is 0 and the scoring reduces
+    to the original client-side form.
     """
 
     name = "queue-aware"
 
     def choose(self, candidates: Sequence["EdgeView"]):
-        return min(
-            candidates,
-            key=lambda edge: (
-                edge.mean_response_seconds() * (edge.outstanding + 1),
-                edge.outstanding,
+        def score(edge):
+            depth = edge.outstanding + getattr(edge, "server_queue_depth", 0)
+            return (
+                edge.mean_response_seconds() * (depth + 1),
+                depth,
                 edge.order,
-            ),
-        )
+            )
+
+        return min(candidates, key=score)
 
 
 #: registry used by the CLI, the benchmark stage, and the scenario config

@@ -48,6 +48,7 @@ from repro.netsim.link import LinkDown
 from repro.nn.cost import costs_for_range, network_costs
 from repro.nn.modelstore import ModelStore
 from repro.nn.zoo import build_model
+from repro.serve import ServingConfig
 from repro.sim import SeededRng, Simulator
 from repro.web.app import make_inference_app, make_partial_inference_app
 from repro.web.values import TypedArray
@@ -145,6 +146,7 @@ class FleetReport:
         handshake_hits: int,
         handshake_misses: int,
         kills: List[Tuple[float, str]],
+        serving: Optional[Dict] = None,
     ):
         self.policy = policy
         self.records = records
@@ -156,6 +158,8 @@ class FleetReport:
         self.handshake_hits = handshake_hits
         self.handshake_misses = handshake_misses
         self.kills = kills
+        #: aggregated serving-loop stats (None when serving is disabled)
+        self.serving = serving
 
     @property
     def count(self) -> int:
@@ -210,6 +214,7 @@ class FleetReport:
                 "misses": self.handshake_misses,
             },
             "kills": [[round(at, 6), name] for at, name in self.kills],
+            "serving": self.serving,
             "edges": [
                 {
                     "name": row.name,
@@ -249,6 +254,25 @@ class FleetReport:
                 f"{name}@{at:.3f}s" for at, name in self.kills
             )
             lines.append(f"edge kills: {killed}")
+        if self.serving is not None:
+            stats = self.serving
+            mean_batch = (
+                stats["items"] / stats["batches"] if stats["batches"] else 0.0
+            )
+            mean_wait = (
+                stats["queue_wait_seconds"] / stats["items"]
+                if stats["items"]
+                else 0.0
+            )
+            lines.append(
+                f"serving: {stats['batches']} batches, "
+                f"{stats['items']} items "
+                f"({stats['batched_items']} in real batches, "
+                f"max batch {stats['max_batch']}), "
+                f"mean batch {mean_batch:.2f}, "
+                f"mean queue wait {mean_wait * 1e3:.3f}ms, "
+                f"deadline misses {stats['deadline_misses']}"
+            )
         lines.append("")
         lines.append(
             format_table(
@@ -309,6 +333,7 @@ class FleetScenario:
         reply_timeout: float = 5.0,
         retries: int = 0,
         backoff_seconds: float = 0.05,
+        serving: Optional[ServingConfig] = None,
     ):
         if sessions <= 0 or requests_per_session <= 0:
             raise ValueError("sessions and requests_per_session must be positive")
@@ -330,6 +355,8 @@ class FleetScenario:
         self.reply_timeout = reply_timeout
         self.retries = retries
         self.backoff_seconds = backoff_seconds
+        #: per-edge continuous-batching config (None = sequential serving)
+        self.serving_config = serving
 
         self.sim = Simulator(max_events=20_000_000)
         self.rng = SeededRng(seed, f"fleet/{model_name}/{policy}")
@@ -343,6 +370,7 @@ class FleetScenario:
                 name=spec.name,
                 installed=spec.installed,
                 session_cache_capacity=spec.session_cache_capacity,
+                serving=serving,
             )
         self.policy: Policy = make_policy(policy, self.rng.child("policy"))
         self.scheduler = FleetScheduler(
@@ -370,9 +398,17 @@ class FleetScenario:
                 self.rear_model,
                 name=f"{model_name}-fleet-partial",
             )
+            #: tells a batching server which stored model / restored global
+            #: carry the rear-half inference, so concurrent same-model
+            #: requests can share one batched forward
+            self.batch_hint = {
+                "model_id": self.rear_model.model_id,
+                "feature_global": "feature",
+            }
         else:
             self.split_index = None
             self.app = make_inference_app(self.model, name=f"{model_name}-fleet")
+            self.batch_hint = None
 
         self.records: List[FleetRequestRecord] = []
         self.kill_log: List[Tuple[float, str]] = []
@@ -545,6 +581,7 @@ class FleetScenario:
                     server_costs=server_costs,
                     reply_timeout=self.reply_timeout,
                     retries=self.retries,
+                    batch_hint=self.batch_hint,
                 )
             except (OffloadError, ReceiveTimeout, LinkDown, EdgeDown):
                 # The reply never came (or the edge refused): the scheduler
@@ -555,6 +592,9 @@ class FleetScenario:
                 excluded.add(edge_name)
                 continue
             self.scheduler.complete(edge_name, self.sim.now - issued_at)
+            self.scheduler.observe_server_queue(
+                edge_name, outcome.server_queue_depth
+            )
             self._requests_counter.inc()
             return edge_name, outcome, failovers
 
@@ -742,6 +782,28 @@ class FleetScenario:
                 )
             )
         registry = self.sim.metrics
+        serving_stats = None
+        if self.serving_config is not None:
+            serving_stats = {
+                "batches": 0,
+                "items": 0,
+                "batched_items": 0,
+                "max_batch": 0,
+                "queue_wait_seconds": 0.0,
+                "deadline_misses": 0,
+            }
+            for spec in self.specs:
+                loop = self.servers[spec.name].serving
+                if loop is None:
+                    continue
+                for key, value in loop.stats.items():
+                    if key == "max_batch":
+                        serving_stats[key] = max(serving_stats[key], value)
+                    else:
+                        serving_stats[key] += value
+            serving_stats["queue_wait_seconds"] = round(
+                serving_stats["queue_wait_seconds"], 9
+            )
         return FleetReport(
             self.policy.name,
             list(self.records),
@@ -755,6 +817,7 @@ class FleetScenario:
             handshake_hits=int(self._handshake_hit_counter.value),
             handshake_misses=int(self._handshake_miss_counter.value),
             kills=list(self.kill_log),
+            serving=serving_stats,
         )
 
 

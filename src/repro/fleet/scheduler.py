@@ -38,6 +38,11 @@ class EdgeState:
         self.order = order
         self.alive = True
         self.outstanding = 0
+        #: last *server-reported* serving-queue depth (piggybacked on
+        #: replies); 0 for servers without a serving loop.  Client-side
+        #: ``outstanding`` only counts this gateway's in-flight requests —
+        #: this is the server's own view of its backlog.
+        self.server_queue_depth = 0
         self.served = 0
         self.failures = 0
         self._window: Deque[float] = deque(maxlen=window)
@@ -122,6 +127,14 @@ class FleetScheduler:
             )
             for name in names
         }
+        self._server_queue_gauges = {
+            name: metrics.gauge(
+                "fleet_edge_server_queue_depth",
+                help="last server-reported serving-queue depth",
+                edge=name,
+            )
+            for name in names
+        }
         self._admission_wait_counter = metrics.counter(
             "fleet_admission_waits_total",
             help="picks deferred because every live edge was at its "
@@ -191,6 +204,12 @@ class FleetScheduler:
         self._outstanding_gauges[name].set(state.outstanding)
         self._latency_histogram.observe(seconds)
 
+    def observe_server_queue(self, name: str, depth: int) -> None:
+        """A reply reported the server's own serving-queue depth."""
+        state = self._edges[name]
+        state.server_queue_depth = max(0, int(depth))
+        self._server_queue_gauges[name].set(state.server_queue_depth)
+
     def fail(self, name: str) -> None:
         """A dispatched request failed (timeout / link down): mark dead.
 
@@ -219,3 +238,4 @@ class FleetScheduler:
         if not state.alive:
             state.alive = True
             state.reset_window()
+            state.server_queue_depth = 0  # stale: the process restarted

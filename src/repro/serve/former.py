@@ -1,0 +1,151 @@
+"""Pluggable batch-forming policies for the serving loop.
+
+A :class:`BatchFormer` answers one question per dispatcher wake-up: *given
+the queued work items, dispatch a batch now, or sleep — and for how long?*
+The contract mirrors :mod:`repro.fleet.policies`: formers are registered by
+name (:data:`FORMER_NAMES` / :func:`make_former`), deterministic, and pure
+functions of the queue and the virtual clock — no wall time, no randomness
+— so serving runs replay bit-for-bit from one seed.
+
+The two-method protocol keeps the dispatcher loop trivially non-spinning:
+
+* :meth:`BatchFormer.wait_seconds` returns ``0.0`` to dispatch immediately,
+  or a positive upper bound on how long to wait for more work.  Returning
+  ``0.0`` **guarantees** :meth:`BatchFormer.take` pops at least one item.
+* :meth:`BatchFormer.take` removes the batch (always a FIFO *prefix* of the
+  queue, so per-client request order is preserved by construction).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.serve.queue import BatchQueue, WorkItem
+
+#: tolerance for "the timeout has expired" on the float virtual clock
+_EPS = 1e-9
+
+
+class FormerError(RuntimeError):
+    """Raised for unknown former names or invalid knobs."""
+
+
+class BatchFormer:
+    """Base class: decide when a queue's pending items become a batch."""
+
+    name = "abstract"
+
+    def wait_seconds(self, items: List[WorkItem], now: float) -> float:
+        """``0.0`` = dispatch now; ``> 0`` = wait at most this long."""
+        raise NotImplementedError
+
+    def take(self, queue: BatchQueue, now: float) -> List[WorkItem]:
+        """Pop the batch to dispatch (a non-empty FIFO prefix)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class SizeTimeoutFormer(BatchFormer):
+    """Dispatch on a full batch or when the oldest item's wait expires.
+
+    The classic continuous-batching policy: a batch goes out as soon as
+    ``max_batch`` items are queued, and no item ever waits more than
+    ``timeout_s`` for company — under light load the timeout bounds added
+    latency, under heavy load the size cap keeps batches forming
+    back-to-back.
+    """
+
+    name = "size-timeout"
+
+    def __init__(self, max_batch: int, timeout_s: float):
+        if max_batch < 1:
+            raise FormerError("max_batch must be >= 1")
+        if timeout_s < 0:
+            raise FormerError("timeout_s must be >= 0")
+        self.max_batch = max_batch
+        self.timeout_s = timeout_s
+
+    def wait_seconds(self, items: List[WorkItem], now: float) -> float:
+        if len(items) >= self.max_batch:
+            return 0.0
+        oldest_wait = now - items[0].enqueued_at
+        remaining = self.timeout_s - oldest_wait
+        return remaining if remaining > _EPS else 0.0
+
+    def take(self, queue: BatchQueue, now: float) -> List[WorkItem]:
+        return queue.pop_prefix(self.max_batch)
+
+
+class DeadlineAwareFormer(SizeTimeoutFormer):
+    """Size-timeout forming plus per-request deadline pressure.
+
+    Identical to :class:`SizeTimeoutFormer`, except that a queued item
+    whose deadline slack (time left minus its own execution cost) has run
+    out forces an immediate dispatch — a request at risk of missing its
+    deadline stops waiting for a fuller batch.
+    """
+
+    name = "deadline"
+
+    def wait_seconds(self, items: List[WorkItem], now: float) -> float:
+        wait = super().wait_seconds(items, now)
+        if wait <= 0.0:
+            return 0.0
+        for item in items:
+            if item.deadline_at is None:
+                continue
+            slack = item.deadline_at - now - item.exec_seconds
+            if slack <= _EPS:
+                return 0.0
+            wait = min(wait, slack)
+        return wait
+
+
+class ImmediateFormer(BatchFormer):
+    """Never wait: dispatch whatever is queued, up to the size cap.
+
+    With ``max_batch=1`` this is exactly sequential serving — the solo
+    queue uses it so unbatchable items pay no forming delay.
+    """
+
+    name = "immediate"
+
+    def __init__(self, max_batch: int = 1):
+        if max_batch < 1:
+            raise FormerError("max_batch must be >= 1")
+        self.max_batch = max_batch
+
+    def wait_seconds(self, items: List[WorkItem], now: float) -> float:
+        return 0.0
+
+    def take(self, queue: BatchQueue, now: float) -> List[WorkItem]:
+        return queue.pop_prefix(self.max_batch)
+
+
+#: registry used by the CLI, the benchmark stage, and the serving config
+FORMER_NAMES = ("size-timeout", "deadline", "immediate")
+
+_FACTORIES: Dict[str, Callable[[int, float], BatchFormer]] = {
+    "size-timeout": lambda max_batch, timeout_s: SizeTimeoutFormer(
+        max_batch, timeout_s
+    ),
+    "deadline": lambda max_batch, timeout_s: DeadlineAwareFormer(
+        max_batch, timeout_s
+    ),
+    "immediate": lambda max_batch, timeout_s: ImmediateFormer(max_batch),
+}
+
+
+def make_former(
+    name: str, max_batch: int, timeout_s: float
+) -> BatchFormer:
+    """Build a batch former by registry name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise FormerError(
+            f"unknown former {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+    return factory(max_batch, timeout_s)

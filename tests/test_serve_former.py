@@ -1,0 +1,301 @@
+"""Unit and property tests for the batch formers and the serving loop.
+
+The Hypothesis suite drives a bare :class:`~repro.serve.ServingLoop`
+(``compute=None`` — virtual time only) with generated arrival schedules and
+checks the three forming invariants the design guarantees:
+
+* **timeout bound** — no item sits in the forming queue longer than the
+  former's timeout (the dispatcher never blocks on execution, so the bound
+  is exact, not amortized);
+* **size cap** — no batch ever exceeds ``max_batch``;
+* **FIFO per queue** — batches are FIFO prefixes, so items sharing a batch
+  key are formed in arrival order (which preserves per-client order).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.device import Device
+from repro.devices.profiles import edge_server_x86
+from repro.serve import (
+    FORMER_NAMES,
+    BatchQueue,
+    FormerError,
+    ImmediateFormer,
+    ServingConfig,
+    ServingDropped,
+    ServingLoop,
+    SizeTimeoutFormer,
+    WorkItem,
+    make_former,
+)
+from repro.sim import Simulator
+
+_EPS = 1e-6
+
+
+def _item(enqueued_at, exec_seconds=0.01, model_id="m", deadline_at=None,
+          sender="user", request_id=1):
+    sim = Simulator()
+    return WorkItem(
+        sender=sender,
+        request_id=request_id,
+        browser=None,
+        event=None,
+        exec_seconds=exec_seconds,
+        model_id=model_id,
+        feature=object() if model_id else None,
+        enqueued_at=enqueued_at,
+        deadline_at=deadline_at,
+        done=sim.event(),
+    )
+
+
+class TestFormerRegistry:
+    def test_names_and_factories_agree(self):
+        for name in FORMER_NAMES:
+            assert make_former(name, 4, 0.01).name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(FormerError):
+            make_former("nope", 4, 0.01)
+
+    def test_invalid_knobs_raise(self):
+        with pytest.raises(FormerError):
+            SizeTimeoutFormer(0, 0.01)
+        with pytest.raises(FormerError):
+            SizeTimeoutFormer(4, -1.0)
+        with pytest.raises(FormerError):
+            ImmediateFormer(0)
+        with pytest.raises(FormerError):
+            ServingConfig(max_batch=0)
+        with pytest.raises(FormerError):
+            ServingConfig(deadline_s=0.0)
+
+
+class TestSizeTimeoutFormer:
+    def test_full_batch_dispatches_now(self):
+        former = SizeTimeoutFormer(2, 10.0)
+        items = [_item(0.0), _item(0.0)]
+        assert former.wait_seconds(items, 0.0) == 0.0
+
+    def test_partial_batch_waits_out_the_timeout(self):
+        former = SizeTimeoutFormer(4, 0.5)
+        items = [_item(1.0)]
+        assert former.wait_seconds(items, 1.0) == pytest.approx(0.5)
+        assert former.wait_seconds(items, 1.4) == pytest.approx(0.1)
+        assert former.wait_seconds(items, 1.5) == 0.0
+        assert former.wait_seconds(items, 2.0) == 0.0
+
+    def test_take_pops_fifo_prefix(self):
+        former = SizeTimeoutFormer(2, 0.5)
+        queue = BatchQueue(key="m")
+        items = [_item(0.0, request_id=i) for i in range(3)]
+        for item in items:
+            queue.push(item)
+        batch = former.take(queue, 1.0)
+        assert [i.request_id for i in batch] == [0, 1]
+        assert len(queue) == 1
+
+    def test_deadline_former_preempts_on_slack(self):
+        former = make_former("deadline", 8, 10.0)
+        # 0.2s of work due at t=1.0: slack runs out at t=0.8.
+        items = [_item(0.0, exec_seconds=0.2, deadline_at=1.0)]
+        assert former.wait_seconds(items, 0.0) == pytest.approx(0.8)
+        assert former.wait_seconds(items, 0.85) == 0.0
+
+    def test_immediate_former_never_waits(self):
+        former = ImmediateFormer(3)
+        assert former.wait_seconds([_item(0.0)], 99.0) == 0.0
+
+
+def _drive(arrivals, *, max_batch, timeout_s, former="size-timeout",
+           exec_seconds=0.01, deadline_s=None):
+    """Run a bare loop over a generated arrival schedule.
+
+    ``arrivals`` is a list of (delay_seconds, model_key) tuples; items are
+    submitted sequentially with the given inter-arrival gaps.  Returns the
+    completed items in completion order.
+    """
+    sim = Simulator()
+    device = Device(sim, edge_server_x86())
+    loop = ServingLoop(
+        sim,
+        device,
+        "edge-test",
+        ServingConfig(
+            max_batch=max_batch,
+            batch_timeout_s=timeout_s,
+            former=former,
+            deadline_s=deadline_s,
+        ),
+    )
+    completed = []
+
+    def submitter():
+        for index, (delay, key) in enumerate(arrivals):
+            if delay > 0:
+                yield sim.timeout(delay)
+            item = loop.submit(
+                sender=f"user-{index % 3}",
+                request_id=index,
+                browser=None,
+                event=None,
+                exec_seconds=exec_seconds,
+                model_id=key,
+                feature=object() if key else None,
+            )
+            item.done.add_callback(
+                lambda event: completed.append(event.value)
+            )
+
+    sim.spawn(submitter())
+    sim.run(until=3600.0)
+    return completed
+
+
+arrival_schedules = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=0.05, allow_nan=False),
+        st.sampled_from(["m1", "m2", None]),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestServingLoopProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        arrivals=arrival_schedules,
+        max_batch=st.integers(min_value=1, max_value=6),
+        timeout_s=st.floats(min_value=0.0, max_value=0.05, allow_nan=False),
+    )
+    def test_forming_invariants(self, arrivals, max_batch, timeout_s):
+        completed = _drive(
+            arrivals, max_batch=max_batch, timeout_s=timeout_s
+        )
+        assert len(completed) == len(arrivals)
+        for item in completed:
+            # Size cap: no batch ever exceeds max_batch (solo queue is 1).
+            cap = max_batch if item.batchable else 1
+            assert 1 <= item.batch_size <= cap
+            # Timeout bound: forming wait never exceeds the former's
+            # timeout (solo items never wait at all).
+            forming_wait = item.formed_at - item.enqueued_at
+            bound = timeout_s if item.batchable else 0.0
+            assert forming_wait <= bound + _EPS
+            # Accounting sanity.
+            assert item.queue_seconds >= -_EPS
+            assert item.exec_share_seconds >= 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        arrivals=arrival_schedules,
+        max_batch=st.integers(min_value=1, max_value=6),
+        timeout_s=st.floats(min_value=0.0, max_value=0.05, allow_nan=False),
+    )
+    def test_fifo_preserved_per_queue(self, arrivals, max_batch, timeout_s):
+        completed = _drive(
+            arrivals, max_batch=max_batch, timeout_s=timeout_s
+        )
+        # Items sharing a batch key are formed in arrival order: batches
+        # are FIFO prefixes, so request ids (the submission order) must be
+        # monotonically increasing along each key's formed_at order.
+        by_key = {}
+        for item in completed:
+            by_key.setdefault(item.batch_key, []).append(item)
+        for items in by_key.values():
+            formed_order = sorted(
+                items, key=lambda i: (i.formed_at, i.request_id)
+            )
+            ids = [i.request_id for i in formed_order]
+            assert ids == sorted(ids)
+
+    @settings(max_examples=40, deadline=None)
+    @given(arrivals=arrival_schedules)
+    def test_deadline_former_meets_generous_deadlines(self, arrivals):
+        completed = _drive(
+            arrivals,
+            max_batch=4,
+            timeout_s=0.02,
+            former="deadline",
+            deadline_s=120.0,
+        )
+        assert len(completed) == len(arrivals)
+        for item in completed:
+            assert item.deadline_at is not None
+
+
+class TestServingLoopMechanics:
+    def test_conservation_and_stats(self):
+        completed = _drive(
+            [(0.0, "m")] * 7, max_batch=4, timeout_s=0.01
+        )
+        assert sorted(i.request_id for i in completed) == list(range(7))
+
+    def test_batch_cost_is_amortized(self):
+        sim = Simulator()
+        device = Device(sim, edge_server_x86())
+        solo = device.batch_forward_seconds([0.01])
+        assert solo == pytest.approx(0.01)
+        four = device.batch_forward_seconds([0.01] * 4)
+        assert four < 4 * 0.01
+        marginal = device.profile.batch_marginal_fraction
+        assert four == pytest.approx(0.01 + marginal * 0.03)
+        assert device.batch_forward_seconds([]) == 0.0
+
+    def test_drain_fails_queued_items(self):
+        sim = Simulator()
+        device = Device(sim, edge_server_x86())
+        loop = ServingLoop(
+            sim, device, "edge-test",
+            ServingConfig(max_batch=8, batch_timeout_s=10.0),
+        )
+        failures = []
+
+        def proc():
+            item = loop.submit(
+                sender="u", request_id=1, browser=None, event=None,
+                exec_seconds=0.01, model_id="m", feature=object(),
+            )
+            try:
+                yield item.done
+            except ServingDropped as exc:
+                failures.append(exc)
+
+        sim.spawn(proc())
+        sim.run(until=0.5)  # long before the 10s forming timeout
+        assert loop.depth() == 1
+        dropped = loop.drain(ServingDropped("restart"))
+        sim.run(until=1.0)
+        assert dropped == 1
+        assert len(failures) == 1
+        assert loop.depth() == 0
+
+    def test_depth_gauge_tracks_queue(self):
+        sim = Simulator()
+        device = Device(sim, edge_server_x86())
+        loop = ServingLoop(
+            sim, device, "edge-test",
+            ServingConfig(max_batch=8, batch_timeout_s=10.0),
+        )
+
+        def proc():
+            for i in range(3):
+                loop.submit(
+                    sender="u", request_id=i, browser=None, event=None,
+                    exec_seconds=0.01, model_id="m", feature=object(),
+                )
+            if False:
+                yield
+
+        sim.spawn(proc())
+        sim.run(until=0.001)
+        assert sim.metrics.value("server_queue_depth", server="edge-test") == 3
+        sim.run(until=60.0)
+        assert sim.metrics.value("server_queue_depth", server="edge-test") == 0
+        assert loop.stats["items"] == 3
