@@ -21,7 +21,11 @@ runs the multi-edge fleet scheduler shoot-out and a mid-run edge kill
 compares continuous-batching against sequential per-request serving under
 rising offered load (the ``serving`` stage: requests/sec and the p99 knee,
 plus bitwise result equality and kill-replay determinism),
-and writes the timings, speedups, cache statistics and claim verdicts to
+races the tuned kernel backend against the reference one and measures the
+int8 feature codec's split-point shift vs bandwidth (the ``backend``
+stage),
+and writes the timings, speedups, cache statistics, an ``environment``
+block (backend, BLAS, thread budget) and claim verdicts to
 ``BENCH_perf.json`` at the repo root.
 Claims that cannot be tested on this machine (the parallel speedup on a
 single-CPU container) are recorded as skipped with a reason rather than
@@ -525,6 +529,134 @@ def _bench_serving(sessions=32, requests=2, seed=7):
     }
 
 
+def _bench_backend(zoo_models=("smallnet", "alexnet", "resnet-mini", "googlenet")):
+    """Tuned vs reference kernels, and the int8 split-point shift.
+
+    Two questions:
+
+    (a) is the tuned backend's googlenet plan forward at least as fast as
+        the reference backend's — and faster than the reference layer
+        walk by the headline margin — while preserving every top-1 label
+        across the zoo?  (On this box the win is the float32 LRN and
+        average-pool kernels; the threaded GEMM needs cores to spare and
+        ``effective_threads`` is recorded in the environment block.)
+    (b) when the feature tensor crosses the split 8-bit quantized (so the
+        optimizer prices the bit-packed wire size instead of decimal
+        text), does the chosen split move *no later* at any bandwidth and
+        strictly earlier at low bandwidth, with top-1 agreement preserved
+        at the shifted split?
+    """
+    import numpy as np
+
+    from repro.eval.fig8 import make_optimizer
+    from repro.eval.scenarios import Testbed, build_paper_model
+    from repro.nn.backend import set_backend
+    from repro.nn.quantize import measure_quantization_impact
+    from repro.nn.zoo import build_model
+    from repro.sim import SeededRng
+
+    print("-- backend (tuned vs reference kernels, int8 split shift) ...",
+          flush=True)
+    set_backend("reference")
+    google = build_model("googlenet")
+    image = SeededRng(7, "bench/backend").uniform_array(
+        tuple(google.network.input_shape), 0, 255
+    )
+    reference_out = google.network.forward(image, optimize=False)
+    ref_plan = google.network.plan_for()
+    ref_plan.forward(image)
+    reference_walk_s = _best_of(
+        lambda: google.network.forward(image, optimize=False)
+    )
+    reference_plan_s = _best_of(lambda: ref_plan.forward(image))
+    set_backend("tuned")
+    tuned_plan = google.network.plan_for()  # memo key includes the backend
+    tuned_out = tuned_plan.forward(image)
+    tuned_plan_s = _best_of(lambda: tuned_plan.forward(image))
+    max_abs_diff = float(np.abs(tuned_out - reference_out).max())
+
+    labels_equal = True
+    for name in zoo_models:
+        x = SeededRng(11, f"bench/backend/{name}").uniform_array(
+            tuple(build_model(name).network.input_shape), 0, 255
+        )
+        set_backend("reference")
+        ref_label = int(np.argmax(build_model(name).network.forward(x)))
+        set_backend("tuned")
+        tuned_label = int(np.argmax(build_model(name).network.forward(x)))
+        labels_equal = labels_equal and ref_label == tuned_label
+    set_backend(None)
+
+    model = build_paper_model("googlenet")
+    text_optimizer = make_optimizer("googlenet")
+    quantized_optimizer = make_optimizer("googlenet", quantize_bits=8)
+    splits = {}
+    never_later = True
+    shifts_at_low_bandwidth = False
+    for mbps in (0.5, 2.0, 8.0):
+        link = Testbed(bandwidth_bps=mbps * 1e6).profile
+        text = text_optimizer.choose(model.network, link, denature=True)
+        quantized = quantized_optimizer.choose(
+            model.network, link, denature=True
+        )
+        never_later = never_later and (
+            quantized.point.index <= text.point.index
+        )
+        if mbps <= 1.0 and quantized.point.index < text.point.index:
+            shifts_at_low_bandwidth = True
+        splits[str(mbps)] = {
+            "bandwidth_mbps": mbps,
+            "text_split_index": text.point.index,
+            "text_split_label": text.point.label,
+            "text_predicted_s": round(text.best.total_seconds, 6),
+            "int8_split_index": quantized.point.index,
+            "int8_split_label": quantized.point.label,
+            "int8_predicted_s": round(quantized.best.total_seconds, 6),
+        }
+        print(
+            f"   {mbps:4.1f} Mbps: text split @{text.point.index} "
+            f"({text.point.label}) -> int8 split @{quantized.point.index} "
+            f"({quantized.point.label})",
+            flush=True,
+        )
+    low = splits["0.5"]
+    impact = measure_quantization_impact(
+        model,
+        low["int8_split_label"],
+        8,
+        [
+            SeededRng(seed, "bench/backend/int8").uniform_array(
+                tuple(model.network.input_shape), 0, 255
+            )
+            for seed in range(4)
+        ],
+    )
+    result = {
+        "reference_walk_ms": round(reference_walk_s * 1000, 3),
+        "reference_plan_ms": round(reference_plan_s * 1000, 3),
+        "tuned_plan_ms": round(tuned_plan_s * 1000, 3),
+        "tuned_vs_reference_plan": round(reference_plan_s / tuned_plan_s, 3),
+        "tuned_vs_reference_walk": round(reference_walk_s / tuned_plan_s, 3),
+        "tuned_max_abs_diff": max_abs_diff,
+        "zoo_top1_labels_equal": labels_equal,
+        "zoo_models": list(zoo_models),
+        "int8_splits": splits,
+        "int8_never_later": never_later,
+        "int8_shifts_at_low_bandwidth": shifts_at_low_bandwidth,
+        "int8_agreement_at_low_split": impact.agreement,
+        "int8_size_reduction_at_low_split": round(impact.size_reduction, 4),
+    }
+    print(
+        f"   tuned {result['tuned_vs_reference_plan']:.2f}x vs reference "
+        f"plan, {result['tuned_vs_reference_walk']:.2f}x vs walk; zoo "
+        f"top-1 equal: {labels_equal}; int8 agreement at "
+        f"{low['int8_split_label']}: {impact.agreement:.2f} "
+        f"({result['int8_size_reduction_at_low_split']:.1%} smaller wire)",
+        flush=True,
+    )
+    return result
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument(
@@ -570,6 +702,7 @@ def main(argv=None) -> int:
     plan_cache = _bench_plan_cache()
     fleet = _bench_fleet()
     serving = _bench_serving()
+    backend = _bench_backend()
 
     reports = {
         "serial": serial.report_markdown,
@@ -720,16 +853,59 @@ def main(argv=None) -> int:
                 serving["kill_replay_deterministic"]
             ),
         },
+        # The tuned backend must never cost time against the reference
+        # plan (5% grace: same process, adjacent minima), must beat the
+        # reference layer walk by the headline margin, and must preserve
+        # every top-1 label across the zoo.
+        "tuned_forward_not_slower_than_reference": {
+            "held": backend["tuned_plan_ms"]
+            <= backend["reference_plan_ms"] * 1.05
+            and backend["tuned_vs_reference_walk"] >= 1.2
+            and backend["zoo_top1_labels_equal"],
+            "skipped": False,
+            "threshold": "tuned plan <= 1.05x reference plan and "
+            ">= 1.2x reference walk, top-1 labels equal",
+            "tuned_plan_ms": backend["tuned_plan_ms"],
+            "reference_plan_ms": backend["reference_plan_ms"],
+            "tuned_vs_reference_walk": backend["tuned_vs_reference_walk"],
+            "zoo_top1_labels_equal": backend["zoo_top1_labels_equal"],
+        },
+        # Pricing the split at the bit-packed int8 wire size must never
+        # move the chosen split later, must move it strictly earlier when
+        # bandwidth is scarce (transfer-dominated), and the shifted split
+        # must keep top-1 agreement on the eval inputs.
+        "int8_split_shifts_under_low_bandwidth": {
+            "held": backend["int8_never_later"]
+            and backend["int8_shifts_at_low_bandwidth"]
+            and backend["int8_agreement_at_low_split"] == 1.0,
+            "skipped": False,
+            "never_later": backend["int8_never_later"],
+            "shifts_at_low_bandwidth": (
+                backend["int8_shifts_at_low_bandwidth"]
+            ),
+            "agreement_at_low_split": backend["int8_agreement_at_low_split"],
+        },
     }
     claims_hold = all(
         claim["held"] for claim in claims.values() if not claim["skipped"]
     )
+
+    from repro.nn.backend import active_backend_name, blas_info, effective_threads
 
     payload = {
         "campaign": "quick" if quick else "full",
         "cpu_count": cpu_count,
         "platform": platform.platform(),
         "python": platform.python_version(),
+        # Hardware/library context so cross-box trajectories are
+        # interpretable (the skipped parallel claim, GEMM speedups, and
+        # the tuned backend's thread budget all depend on it).
+        "environment": {
+            "backend": active_backend_name(),
+            "backend_threads": effective_threads(),
+            "blas": blas_info(),
+            "cpu_count": cpu_count,
+        },
         "stages": {
             "serial": {"wall_seconds": round(serial_wall, 3),
                        **serial.engine_stats.as_dict()},
@@ -744,6 +920,7 @@ def main(argv=None) -> int:
             "plan_cache": plan_cache,
             "fleet": fleet,
             "serving": serving,
+            "backend": backend,
         },
         "speedup": {
             "parallel_vs_serial": round(serial_wall / parallel_wall, 3),

@@ -16,7 +16,9 @@
 # produce byte-identical reports and serve every request), and the
 # serving loop's contract (a same-seed continuous-batching scenario
 # with a mid-run kill, run twice, must emit byte-identical reports —
-# batching changes timing, never results).
+# batching changes timing, never results), and the kernel backends'
+# contract (a reference-backend fig7 must byte-match the committed
+# baseline, and the tuned backend must not flip any top-1 label).
 #
 #   scripts/smoke.sh [output-dir]
 #
@@ -30,15 +32,15 @@ mkdir -p "$out_dir"
 cd "$repo_root"
 export PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== 1/8 unit + property tests"
+echo "== 1/9 unit + property tests"
 python -m pytest -x -q
 
-echo "== 2/8 quick campaign with telemetry export"
+echo "== 2/9 quick campaign with telemetry export"
 python -m repro campaign --quick \
     --out "$out_dir/report.md" \
     --metrics-out "$out_dir/metrics.prom"
 
-echo "== 3/8 exported metrics parse + sanity"
+echo "== 3/9 exported metrics parse + sanity"
 python - "$out_dir/metrics.prom" <<'PY'
 import sys
 
@@ -57,7 +59,7 @@ print(f"ok: {len(samples)} samples, {sessions:.0f} sessions, "
       f"{executions:.0f} server executions")
 PY
 
-echo "== 4/8 execution engine: parallel + cache determinism"
+echo "== 4/9 execution engine: parallel + cache determinism"
 cache_dir="$out_dir/result-cache"
 rm -rf "$cache_dir"
 cold_start=$(python -c 'import time; print(time.perf_counter())')
@@ -82,7 +84,7 @@ print(f"ok: cold {cold:.1f}s, warm {warm:.1f}s (reports byte-identical)")
 assert warm <= cold, f"cached rerun slower than cold run ({warm:.1f}s > {cold:.1f}s)"
 PY
 
-echo "== 5/8 graph optimizer: equivalence + not-slower"
+echo "== 5/9 graph optimizer: equivalence + not-slower"
 opt_start=$(python -c 'import time; print(time.perf_counter())')
 python -m repro fig7 --models googlenet \
     > "$out_dir/fig7-optimized.txt"
@@ -126,7 +128,7 @@ cmp "$out_dir/fig8-split-optimized.txt" "$out_dir/fig8-split-reference.txt" || {
     exit 1; }
 echo "ok: googlenet partial-inference sweep byte-identical across joins"
 
-echo "== 6/8 plan cache: cross-process reuse + determinism"
+echo "== 6/9 plan cache: cross-process reuse + determinism"
 plan_dir="$out_dir/plan-cache"
 rm -rf "$plan_dir"
 python -m repro campaign --quick --jobs 2 --plan-cache-dir "$plan_dir" \
@@ -163,7 +165,7 @@ print(f"ok: plan-cache reports byte-identical; warm process rehydrated "
       f"({hits:.0f} hits, {misses:.0f} misses)")
 PY
 
-echo "== 7/8 fleet: seeded determinism + failover conservation"
+echo "== 7/9 fleet: seeded determinism + failover conservation"
 # A small multi-edge scenario with an edge killed (and revived) mid-run,
 # executed twice with the same seed, must emit byte-identical reports —
 # the scheduler, failover, and report rendering are all virtual-time
@@ -177,7 +179,7 @@ cmp "$out_dir/fleet-a.md" "$out_dir/fleet-b.md" || {
     echo "FAIL: fleet reports diverge across same-seed reruns" >&2; exit 1; }
 echo "ok: fleet report byte-identical across same-seed reruns"
 
-echo "== 8/8 serving: continuous-batching determinism under a kill"
+echo "== 8/9 serving: continuous-batching determinism under a kill"
 # The batching serving loop must be invisible in the results: a same-seed
 # serving scenario — two edges, an edge killed and revived mid-run — run
 # twice must emit byte-identical reports (dispatcher wake-ups, batch
@@ -192,5 +194,43 @@ cmp "$out_dir/serve-a.md" "$out_dir/serve-b.md" || {
 grep -q "serving:" "$out_dir/serve-a.md" || {
     echo "FAIL: serving report carries no batching stats" >&2; exit 1; }
 echo "ok: serving report byte-identical across same-seed reruns"
+
+echo "== 9/9 kernel backends: reference baseline + tuned label equality"
+# The reference backend must reproduce the committed fig7 report byte for
+# byte (it *is* the pre-backend numpy path, call for call), and the tuned
+# backend — equivalent only within a tested tolerance — must not flip a
+# single predicted top-1 label across the zoo.
+python -m repro fig7 --models googlenet --backend reference \
+    > "$out_dir/fig7-backend-reference.txt"
+cmp "benchmarks/results/fig7_googlenet_reference.txt" \
+    "$out_dir/fig7-backend-reference.txt" || {
+    echo "FAIL: reference-backend fig7 differs from the committed baseline" >&2
+    exit 1; }
+python -m repro fig7 --models googlenet --backend tuned \
+    > "$out_dir/fig7-backend-tuned.txt" || {
+    echo "FAIL: fig7 failed under the tuned backend" >&2; exit 1; }
+python - <<'PY'
+import numpy as np
+
+from repro.nn.backend import set_backend
+from repro.nn.zoo import build_model
+from repro.sim import SeededRng
+
+for name in ("smallnet", "tinynet", "alexnet", "resnet-mini", "googlenet"):
+    x = SeededRng(13, f"smoke/backend/{name}").uniform_array(
+        tuple(build_model(name).network.input_shape), 0, 255
+    )
+    set_backend("reference")
+    reference = int(np.argmax(build_model(name).network.forward(x)))
+    set_backend("tuned")
+    tuned = int(np.argmax(build_model(name).network.forward(x)))
+    set_backend(None)
+    assert tuned == reference, (
+        f"{name}: tuned backend changed the predicted label "
+        f"({tuned} != {reference})"
+    )
+    print(f"ok: {name} top-1 label {reference} identical under both backends")
+PY
+echo "ok: reference baseline byte-identical; tuned preserves every label"
 
 echo "smoke ok — artifacts in $out_dir"

@@ -22,10 +22,13 @@ plus the execution-engine flags ``--jobs N`` (fan independent sections
 across N worker processes), ``--cache-dir DIR`` (content-addressed result
 cache; unchanged scenarios are served from disk) and ``--no-cache``.
 Run commands also accept ``--no-optimize`` to fall back from compiled
-execution plans to the reference layer walk, and ``--plan-cache-dir DIR``
-(exported as ``REPRO_PLAN_CACHE`` so pool workers inherit it) to persist
-compiled plans across processes.  Results are byte-identical
-whichever way a command executes; see ``docs/PERFORMANCE.md``.
+execution plans to the reference layer walk, ``--backend
+{reference,tuned}`` (exported as ``REPRO_BACKEND``) to pick the kernel
+backend, and ``--plan-cache-dir DIR`` (exported as ``REPRO_PLAN_CACHE``
+so pool workers inherit it) to persist compiled plans across processes.
+Results are byte-identical whichever way a command executes under the
+``reference`` backend (``tuned`` is equivalent within a tested
+tolerance); see ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -85,6 +88,31 @@ def _apply_optimize_flag(args: argparse.Namespace) -> None:
 
         os.environ[plan.NO_OPTIMIZE_ENV] = "1"
         plan.set_optimization(False)
+
+
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    from repro.nn.backend import backend_names
+
+    parser.add_argument(
+        "--backend",
+        choices=backend_names(),
+        default=None,
+        help="kernel backend for DNN forwards: 'reference' (the exact "
+        "numpy path, bitwise-stable) or 'tuned' (float32 end-to-end, "
+        "threaded GEMM; equivalent within tested tolerance).  Also "
+        "settable via REPRO_BACKEND; workers inherit the choice",
+    )
+
+
+def _apply_backend_flag(args: argparse.Namespace) -> None:
+    """Honour ``--backend`` process-wide (workers inherit the env)."""
+    if getattr(args, "backend", None):
+        import os
+
+        from repro.nn import backend as backend_module
+
+        os.environ[backend_module.BACKEND_ENV] = args.backend
+        backend_module.set_backend(args.backend)
 
 
 def _add_plan_cache_arg(parser: argparse.ArgumentParser) -> None:
@@ -389,11 +417,17 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     from repro.obs import to_json, to_prometheus_text
 
     from repro.eval.scenarios import build_paper_model
+    from repro.nn import backend as backend_module
     from repro.nn import plan as plan_module
 
     testbed = Testbed()
     testbed.run_offload(args.model, wait_for_ack=True)
     registry = testbed.sim.metrics
+    backend_module.record_backend_metrics(registry)
+    print(
+        f"kernel backend: {backend_module.active_backend_name()}",
+        file=sys.stderr,
+    )
     if plan_module.optimization_enabled():
         network = build_paper_model(args.model).network
         network.plan_for().record_metrics(registry)
@@ -439,6 +473,7 @@ def build_parser() -> argparse.ArgumentParser:
         _add_metrics_arg(p)
         _add_exec_args(p)
         _add_optimize_arg(p)
+        _add_backend_arg(p)
         p.set_defaults(func=func)
 
     p = sub.add_parser("fig8", help="partial-inference sweep")
@@ -447,6 +482,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_metrics_arg(p)
     _add_exec_args(p)
     _add_optimize_arg(p)
+    _add_backend_arg(p)
     p.add_argument("--max-points", type=int, default=None)
     p.set_defaults(func=cmd_fig8)
 
@@ -457,11 +493,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_metrics_arg(p)
     _add_exec_args(p)
     _add_optimize_arg(p)
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_ablation)
 
     p = sub.add_parser("demo", help="one offloaded GoogLeNet inference")
     _add_metrics_arg(p)
     _add_optimize_arg(p)
+    _add_backend_arg(p)
     _add_plan_cache_arg(p)
     p.set_defaults(func=cmd_demo)
 
@@ -487,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the session's span trace (Chrome Trace Event JSON)",
     )
     _add_optimize_arg(p)
+    _add_backend_arg(p)
     _add_plan_cache_arg(p)
     p.set_defaults(func=cmd_metrics)
 
@@ -536,6 +575,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--out", default=None, help="also write the report here")
     _add_metrics_arg(p)
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser(
@@ -612,6 +652,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--out", default=None, help="also write the report here")
     _add_metrics_arg(p)
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -630,6 +671,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_metrics_arg(p)
     _add_exec_args(p)
     _add_optimize_arg(p)
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_campaign)
     return parser
 
@@ -637,6 +679,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     _apply_optimize_flag(args)
+    _apply_backend_flag(args)
     _apply_plan_cache_flag(args)
     metrics_out = getattr(args, "metrics_out", None)
     if not metrics_out:

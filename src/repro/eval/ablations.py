@@ -562,22 +562,15 @@ def codec_partition_study(
     the optimal split point and always lowers the predicted total.
     """
     from repro.eval.fig8 import make_optimizer
-    from repro.nn.quantize import QUANT_HEADER_BYTES
 
     model = build_paper_model(model_name)
     link = Testbed(bandwidth_bps=bandwidth_mbps * 1e6).profile
     text_optimizer = make_optimizer(model_name)
     text_choice = text_optimizer.choose(model.network, link, denature=True)
 
-    def quantized_bytes(shape) -> int:
-        count = 1
-        for dim in shape:
-            count *= dim
-        return (count * bits + 7) // 8 + QUANT_HEADER_BYTES
-
-    quantized_optimizer = make_optimizer(
-        model_name, feature_bytes_fn=quantized_bytes
-    )
+    # Priced at the genuinely bit-packed wire size (packed_feature_bytes,
+    # via the optimizer's quantize_bits hook).
+    quantized_optimizer = make_optimizer(model_name, quantize_bits=bits)
     quantized_choice = quantized_optimizer.choose(model.network, link, denature=True)
     return CodecPartitionStudy(
         model=model_name,

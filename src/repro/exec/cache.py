@@ -49,7 +49,8 @@ from repro.exec.task import Task, TaskOutcome
 CACHE_FORMAT = 1
 
 #: bump when the serialized plan descriptor layout changes
-PLAN_CACHE_FORMAT = 1
+#: (2: descriptors carry a backend name and quantized-step stats/operands)
+PLAN_CACHE_FORMAT = 2
 
 #: plan-cache directory inherited by pool workers (like REPRO_NO_OPTIMIZE);
 #: empty/unset means disabled
@@ -75,6 +76,7 @@ def task_cache_key(task: Task) -> str:
     """The content address of one task's outcome."""
     import repro
 
+    from repro.nn.backend import active_backend_name
     from repro.nn.plan import optimization_enabled
 
     identity = {
@@ -87,6 +89,9 @@ def task_cache_key(task: Task) -> str:
         # must not share entries: equivalence is a *tested claim*, and a
         # shared key would mask any regression behind a cache hit.
         "optimize": optimization_enabled(),
+        # Same rule for kernel backends: reference and tuned outputs agree
+        # only within a tested tolerance, so they never share entries.
+        "backend": active_backend_name(),
     }
     canonical = json.dumps(identity, sort_keys=True, default=_canonical_default)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.backend import active_backend
 from repro.nn.layers.base import Layer, LayerShapeError, Shape
 
 
@@ -25,10 +26,8 @@ class ReLULayer(_SameShapeLayer):
         """Forward pass; ``out`` (optional) is a reusable output buffer."""
         self.check_input(x)
         if out is not None:
-            target = out.reshape(x.shape)
-            np.maximum(x, 0.0, out=target)
-            return target
-        return np.maximum(x, 0.0).astype(np.float32, copy=False)
+            return active_backend().relu(x, out.reshape(x.shape))
+        return active_backend().relu(x)
 
     def count_flops(self) -> float:
         return float(self.output_elements)

@@ -24,8 +24,9 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.nn.backend import active_backend
 from repro.nn.layers.base import Layer, LayerShapeError, Shape
-from repro.nn.tensor import conv_output_hw, im2col
+from repro.nn.tensor import conv_output_hw
 from repro.sim import SeededRng
 
 
@@ -173,13 +174,14 @@ class ConvLayer(Layer):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self.check_input(x)
+        backend = active_backend()
         operands = self._group_operands()
         _, out_h, out_w = self.out_shape
         if self.groups == 1:
             matrix, bias = operands[0]
             buffer = self._cols_buffer(x.shape[0], out_h, out_w)
-            cols = im2col(x, self.kernel, self.stride, self.pad, out=buffer)
-            out = matrix @ cols + bias
+            cols = backend.im2col(x, self.kernel, self.stride, self.pad, out=buffer)
+            out = backend.gemm(matrix, cols) + bias
             return out.reshape(self.out_shape).astype(np.float32, copy=False)
         # Grouped convolution (AlexNet-style): each filter group only sees
         # its slice of the input channels.
@@ -188,8 +190,10 @@ class ConvLayer(Layer):
         outputs = []
         for group, (matrix, bias) in enumerate(operands):
             x_slice = x[group * per_in : (group + 1) * per_in]
-            cols = im2col(x_slice, self.kernel, self.stride, self.pad, out=buffer)
-            outputs.append(matrix @ cols + bias)
+            cols = backend.im2col(
+                x_slice, self.kernel, self.stride, self.pad, out=buffer
+            )
+            outputs.append(backend.gemm(matrix, cols) + bias)
         out = np.concatenate(outputs, axis=0)
         return out.reshape(self.out_shape).astype(np.float32, copy=False)
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.backend import active_backend
 from repro.nn.layers.base import Layer, LayerShapeError, Shape
 
 
@@ -39,18 +40,7 @@ class LRNLayer(Layer):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self.check_input(x)
-        channels = x.shape[0]
-        half = self.local_size // 2
-        squared = x.astype(np.float64) ** 2
-        # Prefix sums over channels give O(C) sliding-window sums.
-        prefix = np.concatenate(
-            [np.zeros((1,) + x.shape[1:]), np.cumsum(squared, axis=0)], axis=0
-        )
-        lo = np.clip(np.arange(channels) - half, 0, channels)
-        hi = np.clip(np.arange(channels) + half + 1, 0, channels)
-        window_sums = prefix[hi] - prefix[lo]
-        scale = (self.k + (self.alpha / self.local_size) * window_sums) ** self.beta
-        return (x / scale).astype(np.float32)
+        return active_backend().lrn(self, x)
 
     def count_flops(self) -> float:
         # square, windowed sum, scale, divide — roughly 4 ops/element plus

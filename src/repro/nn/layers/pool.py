@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.backend import active_backend
 from repro.nn.layers.base import Layer, LayerShapeError, Shape
-from repro.nn.tensor import max_pool_strided, pool_output_hw, pool_patches
+from repro.nn.tensor import pool_output_hw
 
 
 class PoolLayer(Layer):
@@ -54,23 +55,7 @@ class PoolLayer(Layer):
         convention of :func:`repro.nn.tensor.im2col`.
         """
         self.check_input(x)
-        if self.mode == "max" and out is not None:
-            result = max_pool_strided(x, self.kernel, self.stride, self.pad, out=out)
-            return result.reshape(self.out_shape)
-        patches, _ = pool_patches(x, self.kernel, self.stride, self.pad)
-        if self.mode == "max":
-            result = patches.max(axis=(1, 2))
-        else:
-            finite = np.isfinite(patches)
-            total = np.where(finite, patches, 0.0).sum(axis=(1, 2))
-            count = finite.sum(axis=(1, 2))
-            result = total / np.maximum(count, 1)
-        result = result.reshape(self.out_shape).astype(np.float32, copy=False)
-        if out is not None:
-            target = out.reshape(self.out_shape)
-            np.copyto(target, result)
-            return target
-        return result
+        return active_backend().pool(self, x, out)
 
     def count_flops(self) -> float:
         # One comparison (or add) per window element per output cell.

@@ -144,25 +144,35 @@ class Network:
             return self.plan_for(0, len(self.layers) - 1).forward_batch(xs)
         return np.stack([self.forward(x, optimize=False) for x in xs])
 
-    def plan_for(self, start: int = 0, end: Optional[int] = None):
+    def plan_for(
+        self,
+        start: int = 0,
+        end: Optional[int] = None,
+        quantize_bits: Optional[int] = None,
+    ):
         """The compiled :class:`~repro.nn.plan.ExecutionPlan` for a range.
 
-        Plans are cached per (start, end) and recompiled automatically when
-        any captured parameter array has been replaced (the same identity
-        rule the conv operand cache uses).  With a plan cache configured
-        (``--plan-cache-dir`` / ``REPRO_PLAN_CACHE``) an in-memory miss
-        consults the on-disk cache before compiling, so pool workers reuse
-        plans compiled by any earlier process.
+        Plans are cached per (start, end, backend, quantize_bits) and
+        recompiled automatically when any captured parameter array has been
+        replaced (the same identity rule the conv operand cache uses) —
+        the backend key means switching ``--backend`` mid-process never
+        serves a plan bound to the other backend.  With a plan cache
+        configured (``--plan-cache-dir`` / ``REPRO_PLAN_CACHE``) an
+        in-memory miss consults the on-disk cache before compiling, so
+        pool workers reuse plans compiled by any earlier process.
         """
+        from repro.nn.backend import active_backend_name
         from repro.nn.plan import load_or_compile_plan
 
         self._require_built()
         if end is None:
             end = len(self.layers) - 1
-        key = (start, end)
+        key = (start, end, active_backend_name(), quantize_bits)
         plan = self._plans.get(key)
         if plan is None or not plan.is_valid():
-            plan = load_or_compile_plan(self, start, end)
+            plan = load_or_compile_plan(
+                self, start, end, quantize_bits=quantize_bits
+            )
             self._plans[key] = plan
         return plan
 

@@ -51,6 +51,22 @@ range boundary falls between branch-and-join stages.
 im2col/broadcast-matmul per step — the edge server uses it to batch
 concurrent partial-inference sessions.
 
+Every hot kernel a step executes — im2col, GEMM, pooling, activation,
+LRN, the joins — goes through a :class:`~repro.nn.backend.KernelBackend`
+bound to the plan at compile/restore time (``reference`` reproduces the
+exact pre-backend numpy calls bitwise; ``tuned`` runs float32
+end-to-end).  The backend name is part of the plan's identity: it lands
+in :func:`plan_cache_key` and in ``Network.plan_for``'s memo key, so
+switching backends can never serve a plan compiled under the other one.
+
+``compile_plan(..., quantize_bits=8)`` additionally rewrites conv/fc
+steps into :class:`QuantizedConvStep`/:class:`QuantizedFCStep`: weights
+are affine-quantized per layer (:mod:`repro.nn.quantize`) and multiplied
+through :meth:`~repro.nn.backend.KernelBackend.quantized_gemm` — a
+dequant-free integer GEMM on backends that support it, a cached
+dequantized float32 matmul otherwise.  ``PlanStats.quantized`` counts
+the rewritten steps (exported as ``quantized_steps_total``).
+
 The default-on switch lives here too: :func:`optimization_enabled`
 honours :func:`set_optimization` overrides first, then the
 ``REPRO_NO_OPTIMIZE`` environment variable (the CLI's ``--no-optimize``
@@ -81,6 +97,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.nn.backend import KernelBackend, active_backend_name, get_backend
 from repro.nn.layers.activation import DropoutLayer, ReLULayer
 from repro.nn.layers.base import Layer
 from repro.nn.layers.batchnorm import BatchNormLayer, ScaleLayer
@@ -126,6 +143,7 @@ class PlanStats:
     fallbacks: int = 0  # steps that call the reference layer forward
     branches: int = 0  # composite branch sequences inlined into the DAG
     joins: int = 0  # concat/eltwise join steps
+    quantized: int = 0  # conv/fc steps rewritten to quantized kernels
     arena_slots: int = 0  # interval-colored arena buffers
     arena_bytes: int = 0  # bytes of preallocated arena slots
     reuse_bytes_per_forward: int = 0  # arena bytes written per forward
@@ -165,6 +183,8 @@ class PlanStep:
         #: arena slot index (interval coloring), None for non-arena steps
         self.slot: Optional[int] = None
         self._out_view: Optional[np.ndarray] = None
+        #: kernel backend, bound by the owning plan before any run()
+        self.backend: KernelBackend = get_backend("reference")
 
     @property
     def spine_index(self) -> int:
@@ -206,14 +226,17 @@ class ConvStep(PlanStep):
     ) -> np.ndarray:
         (x,) = inputs
         layer = self.layer
+        backend = self.backend
         filters, out_h, out_w = self.out_shape
         positions = out_h * out_w
         out2d = out.reshape(filters, positions)
         if layer.groups == 1:
             matrix, bias = self.operands[0]
             buffer = layer._cols_buffer(x.shape[0], out_h, out_w)
-            cols = im2col(x, layer.kernel, layer.stride, layer.pad, out=buffer)
-            np.matmul(matrix, cols, out=out2d)
+            cols = backend.im2col(
+                x, layer.kernel, layer.stride, layer.pad, out=buffer
+            )
+            backend.gemm(matrix, cols, out=out2d)
             out2d += bias
         else:
             per_in = x.shape[0] // layer.groups
@@ -221,41 +244,42 @@ class ConvStep(PlanStep):
             buffer = layer._cols_buffer(per_in, out_h, out_w)
             for group, (matrix, bias) in enumerate(self.operands):
                 x_slice = x[group * per_in : (group + 1) * per_in]
-                cols = im2col(
+                cols = backend.im2col(
                     x_slice, layer.kernel, layer.stride, layer.pad, out=buffer
                 )
                 target = out2d[group * per_out : (group + 1) * per_out]
-                np.matmul(matrix, cols, out=target)
+                backend.gemm(matrix, cols, out=target)
                 target += bias
         if self.relu:
-            np.maximum(out2d, 0.0, out=out2d)
+            backend.relu_inplace(out2d)
         return out
 
     def run_batch(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
         (xs,) = inputs
         layer = self.layer
+        backend = self.backend
         count = xs.shape[0]
         filters, out_h, out_w = self.out_shape
         positions = out_h * out_w
         if layer.groups == 1:
             matrix, bias = self.operands[0]
-            cols = im2col_batch(xs, layer.kernel, layer.stride, layer.pad)
-            out = np.matmul(matrix, cols)  # (N, F, P) via broadcast
+            cols = backend.im2col_batch(xs, layer.kernel, layer.stride, layer.pad)
+            out = backend.gemm(matrix, cols)  # (N, F, P) via broadcast
             out += bias
         else:
             per_in = xs.shape[1] // layer.groups
             per_out = filters // layer.groups
             out = np.empty((count, filters, positions), dtype=np.float32)
             for group, (matrix, bias) in enumerate(self.operands):
-                cols = im2col_batch(
+                cols = backend.im2col_batch(
                     xs[:, group * per_in : (group + 1) * per_in],
                     layer.kernel, layer.stride, layer.pad,
                 )
                 target = out[:, group * per_out : (group + 1) * per_out]
-                np.matmul(matrix, cols, out=target)
+                backend.gemm(matrix, cols, out=target)
                 target += bias
         if self.relu:
-            np.maximum(out, 0.0, out=out)
+            backend.relu_inplace(out)
         return out.reshape((count,) + self.out_shape)
 
 
@@ -279,18 +303,27 @@ class FCStep(PlanStep):
     def run(
         self, inputs: Sequence[np.ndarray], out: Optional[np.ndarray]
     ) -> np.ndarray:
-        result = self.layer.forward(inputs[0], out=out)
+        backend = self.backend
+        flat = inputs[0].reshape(-1)
+        if out is not None:
+            backend.gemm(self.layer.params["weight"], flat, out=out)
+            out += self.layer.params["bias"]
+            result = out
+        else:
+            result = backend.gemm(self.layer.params["weight"], flat)
+            result = result + self.layer.params["bias"]
         if self.relu:
-            np.maximum(result, 0.0, out=result)
+            backend.relu_inplace(result)
         return result
 
     def run_batch(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        backend = self.backend
         xs = inputs[0]
         flat = xs.reshape(xs.shape[0], -1)
-        out = flat @ self.layer.params["weight"].T
+        out = backend.gemm(flat, self.layer.params["weight"].T)
         out += self.layer.params["bias"]
         if self.relu:
-            np.maximum(out, 0.0, out=out)
+            backend.relu_inplace(out)
         return out
 
 
@@ -312,17 +345,19 @@ class PoolStep(PlanStep):
     def run(
         self, inputs: Sequence[np.ndarray], out: Optional[np.ndarray]
     ) -> np.ndarray:
-        return self.layer.forward(inputs[0], out=out)
+        return self.backend.pool(self.layer, inputs[0], out)
 
     def run_batch(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
         (xs,) = inputs
         layer = self.layer
-        count = xs.shape[0]
         if layer.mode == "max":
-            folded = xs.reshape((-1,) + xs.shape[2:])
-            pooled = max_pool_strided(folded, layer.kernel, layer.stride, layer.pad)
-            return pooled.reshape((count,) + self.out_shape)
-        return np.stack([layer.forward(xs[index]) for index in range(count)])
+            return self.backend.max_pool_batch(layer, xs)
+        return np.stack(
+            [
+                self.backend.pool(layer, xs[index], None)
+                for index in range(xs.shape[0])
+            ]
+        )
 
 
 class ReLUStep(PlanStep):
@@ -343,10 +378,12 @@ class ReLUStep(PlanStep):
     def run(
         self, inputs: Sequence[np.ndarray], out: Optional[np.ndarray]
     ) -> np.ndarray:
-        return self.layer.forward(inputs[0], out=out)
+        if out is not None:
+            return self.backend.relu(inputs[0], out.reshape(inputs[0].shape))
+        return self.backend.relu(inputs[0])
 
     def run_batch(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
-        return np.maximum(inputs[0], 0.0)
+        return self.backend.relu(inputs[0])
 
 
 class AffineStep(PlanStep):
@@ -405,33 +442,20 @@ class FallbackStep(PlanStep):
 
 
 class LRNStep(FallbackStep):
-    """LRN: reference forward per sample, vectorized across the batch.
+    """LRN through the backend's dedicated kernel.
 
     The batched math is the per-sample prefix-sum formulation applied
     along axis 1, so every sample sees the identical accumulation order —
-    bitwise equal to N reference forwards.
+    on the reference backend, bitwise equal to N reference forwards.
     """
 
+    def run(
+        self, inputs: Sequence[np.ndarray], out: Optional[np.ndarray]
+    ) -> np.ndarray:
+        return self.backend.lrn(self.layer, inputs[0])
+
     def run_batch(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
-        (xs,) = inputs
-        layer = self.layer
-        channels = xs.shape[1]
-        half = layer.local_size // 2
-        squared = xs.astype(np.float64) ** 2
-        prefix = np.concatenate(
-            [
-                np.zeros((xs.shape[0], 1) + xs.shape[2:]),
-                np.cumsum(squared, axis=1),
-            ],
-            axis=1,
-        )
-        lo = np.clip(np.arange(channels) - half, 0, channels)
-        hi = np.clip(np.arange(channels) + half + 1, 0, channels)
-        window_sums = prefix[:, hi] - prefix[:, lo]
-        scale = (
-            layer.k + (layer.alpha / layer.local_size) * window_sums
-        ) ** layer.beta
-        return (xs / scale).astype(np.float32)
+        return self.backend.lrn_batch(self.layer, inputs[0])
 
 
 class ConcatStep(PlanStep):
@@ -447,11 +471,10 @@ class ConcatStep(PlanStep):
     def run(
         self, inputs: Sequence[np.ndarray], out: Optional[np.ndarray]
     ) -> np.ndarray:
-        np.concatenate(list(inputs), axis=0, out=out)
-        return out
+        return self.backend.concat(inputs, 0, out)
 
     def run_batch(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
-        return np.concatenate(list(inputs), axis=1)
+        return self.backend.concat(inputs, 1)
 
 
 class EltwiseAddStep(PlanStep):
@@ -467,15 +490,190 @@ class EltwiseAddStep(PlanStep):
     def run(
         self, inputs: Sequence[np.ndarray], out: Optional[np.ndarray]
     ) -> np.ndarray:
-        np.add(inputs[0], inputs[1], out=out)
-        for extra in inputs[2:]:
-            out += extra
+        return self.backend.eltwise_sum(inputs, out)
+
+    def run_batch(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        return self.backend.eltwise_sum(inputs)
+
+
+class QuantizedMatrix:
+    """A per-layer affine-quantized weight matrix for quantized plan steps.
+
+    Wraps a :class:`~repro.nn.quantize.QuantizedTensor` of a 2-D matmul
+    operand and lazily caches the three derived forms backends need: the
+    dequantized float32 matrix (the fallback path), the int32 code matrix,
+    and its row sums (the rank-1 correction of the dequant-free integer
+    GEMM).  All three are computed at most once per plan.
+    """
+
+    def __init__(self, quantized) -> None:
+        self.quantized = quantized
+        self.codes = quantized.codes
+        self.scale = quantized.scale
+        self.zero_point = quantized.zero_point
+        self.bits = quantized.bits
+        self.shape = tuple(quantized.shape)
+        self._dequantized: Optional[np.ndarray] = None
+        self._codes_i32: Optional[np.ndarray] = None
+        self._row_sums: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_array(cls, matrix: np.ndarray, bits: int) -> "QuantizedMatrix":
+        from repro.nn.quantize import quantize_linear
+
+        return cls(quantize_linear(matrix, bits))
+
+    def dequantized(self) -> np.ndarray:
+        if self._dequantized is None:
+            self._dequantized = np.ascontiguousarray(
+                self.quantized.dequantize(), dtype=np.float32
+            )
+        return self._dequantized
+
+    def codes_i32(self) -> np.ndarray:
+        if self._codes_i32 is None:
+            self._codes_i32 = np.ascontiguousarray(
+                self.codes.astype(np.int32).reshape(self.shape)
+            )
+        return self._codes_i32
+
+    def row_sums(self) -> np.ndarray:
+        if self._row_sums is None:
+            self._row_sums = (
+                self.codes_i32().sum(axis=1, dtype=np.int64).astype(np.float32)
+            )
+        return self._row_sums
+
+
+class QuantizedConvStep(PlanStep):
+    """Conv with ``bits``-bit quantized weights through ``quantized_gemm``.
+
+    Operands are ``(QuantizedMatrix, float32 bias column)`` per group —
+    the bias (and the im2col, the activation, the layout) are exactly
+    :class:`ConvStep`'s; only the weight matmul is replaced.  Outputs are
+    within the affine reconstruction error of the float step, which the
+    eval-set agreement checks pin to unchanged top-1 labels at 8 bits.
+    """
+
+    kind = "qconv"
+    arena = True
+
+    def __init__(
+        self,
+        name: str,
+        layers: Sequence[Tuple[int, Layer, bool]],
+        layer: ConvLayer,
+        operands: Sequence[Tuple[QuantizedMatrix, np.ndarray]],
+        relu: bool,
+    ):
+        super().__init__(name, layers, layer.out_shape)
+        self.layer = layer
+        self.operands = list(operands)
+        self.relu = relu
+
+    def run(
+        self, inputs: Sequence[np.ndarray], out: Optional[np.ndarray]
+    ) -> np.ndarray:
+        (x,) = inputs
+        layer = self.layer
+        backend = self.backend
+        filters, out_h, out_w = self.out_shape
+        positions = out_h * out_w
+        out2d = out.reshape(filters, positions)
+        if layer.groups == 1:
+            qmatrix, bias = self.operands[0]
+            buffer = layer._cols_buffer(x.shape[0], out_h, out_w)
+            cols = backend.im2col(
+                x, layer.kernel, layer.stride, layer.pad, out=buffer
+            )
+            backend.quantized_gemm(qmatrix, cols, out=out2d)
+            out2d += bias
+        else:
+            per_in = x.shape[0] // layer.groups
+            per_out = filters // layer.groups
+            buffer = layer._cols_buffer(per_in, out_h, out_w)
+            for group, (qmatrix, bias) in enumerate(self.operands):
+                x_slice = x[group * per_in : (group + 1) * per_in]
+                cols = backend.im2col(
+                    x_slice, layer.kernel, layer.stride, layer.pad, out=buffer
+                )
+                target = out2d[group * per_out : (group + 1) * per_out]
+                backend.quantized_gemm(qmatrix, cols, out=target)
+                target += bias
+        if self.relu:
+            backend.relu_inplace(out2d)
         return out
 
     def run_batch(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
-        out = inputs[0] + inputs[1]
-        for extra in inputs[2:]:
-            out += extra
+        (xs,) = inputs
+        layer = self.layer
+        backend = self.backend
+        count = xs.shape[0]
+        filters, out_h, out_w = self.out_shape
+        positions = out_h * out_w
+        if layer.groups == 1:
+            qmatrix, bias = self.operands[0]
+            cols = backend.im2col_batch(xs, layer.kernel, layer.stride, layer.pad)
+            out = backend.quantized_gemm(qmatrix, cols)
+            out += bias
+        else:
+            per_in = xs.shape[1] // layer.groups
+            per_out = filters // layer.groups
+            out = np.empty((count, filters, positions), dtype=np.float32)
+            for group, (qmatrix, bias) in enumerate(self.operands):
+                cols = backend.im2col_batch(
+                    xs[:, group * per_in : (group + 1) * per_in],
+                    layer.kernel, layer.stride, layer.pad,
+                )
+                target = out[:, group * per_out : (group + 1) * per_out]
+                backend.quantized_gemm(qmatrix, cols, out=target)
+                target += bias
+        if self.relu:
+            backend.relu_inplace(out)
+        return out.reshape((count,) + self.out_shape)
+
+
+class QuantizedFCStep(PlanStep):
+    """Dense matmul with a ``bits``-bit quantized weight matrix."""
+
+    kind = "qfc"
+    arena = True
+
+    def __init__(
+        self,
+        name: str,
+        layers: Sequence[Tuple[int, Layer, bool]],
+        layer: FCLayer,
+        qmatrix: QuantizedMatrix,
+        relu: bool,
+    ):
+        super().__init__(name, layers, layer.out_shape)
+        self.layer = layer
+        self.qmatrix = qmatrix
+        self.relu = relu
+
+    def run(
+        self, inputs: Sequence[np.ndarray], out: Optional[np.ndarray]
+    ) -> np.ndarray:
+        backend = self.backend
+        flat = inputs[0].reshape(-1)
+        result = backend.quantized_gemm(self.qmatrix, flat, out=out)
+        if out is None:
+            result = result + self.layer.params["bias"]
+        else:
+            result += self.layer.params["bias"]
+        if self.relu:
+            backend.relu_inplace(result)
+        return result
+
+    def run_batch(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        backend = self.backend
+        xs = inputs[0]
+        flat = xs.reshape(xs.shape[0], -1)
+        out = backend.gemm(flat, self.qmatrix.dequantized().T)
+        out += self.layer.params["bias"]
+        if self.relu:
+            backend.relu_inplace(out)
         return out
 
 
@@ -498,6 +696,7 @@ class ExecutionPlan:
         output_shape: Tuple[int, ...],
         stats: PlanStats,
         witnesses: Sequence[Tuple[Layer, str, np.ndarray]],
+        backend: Optional[str] = None,
     ):
         self.name = name
         self.steps = _topological_schedule(steps)
@@ -509,8 +708,22 @@ class ExecutionPlan:
         self.batch_forwards = 0
         self.batch_sizes: List[int] = []
         self.arena_bytes_reused = 0
+        self._bind_backend(backend)
         self._analyze_liveness()
         self._finalize_arena()
+
+    def _bind_backend(self, backend: Optional[str]) -> None:
+        """Resolve and bind one kernel backend onto every step.
+
+        Bound once per plan (compile or restore), not looked up per call:
+        a plan must never mix backends mid-forward, and the plan caches
+        key on the backend name so a later ``set_backend`` compiles a new
+        plan instead of mutating this one.
+        """
+        self.backend_name = backend or active_backend_name()
+        instance = get_backend(self.backend_name)
+        for step in self.steps:
+            step.backend = instance
 
     # -- liveness ---------------------------------------------------------------
     def _analyze_liveness(self) -> None:
@@ -632,6 +845,7 @@ class ExecutionPlan:
         stats: PlanStats,
         witnesses: Sequence[Tuple[Layer, str, np.ndarray]],
         capacities: Sequence[int],
+        backend: Optional[str] = None,
     ) -> "ExecutionPlan":
         """Rebuild a plan from already-scheduled steps (the cache path).
 
@@ -644,6 +858,7 @@ class ExecutionPlan:
         plan = cls.__new__(cls)
         plan.name = name
         plan.steps = list(steps)
+        plan._bind_backend(backend)
         for position, step in enumerate(plan.steps):
             if step.output != position + 1:
                 raise PlanGraphError(
@@ -799,6 +1014,7 @@ class ExecutionPlan:
         stats = self.stats
         return {
             "plan": self.name,
+            "backend": self.backend_name,
             "steps": stats.steps,
             "layers_folded": stats.folded,
             "layers_elided": stats.elided,
@@ -806,6 +1022,7 @@ class ExecutionPlan:
             "fallback_steps": stats.fallbacks,
             "branches": stats.branches,
             "joins": stats.joins,
+            "quantized_steps": stats.quantized,
             "arena_slots": stats.arena_slots,
             "arena_bytes": stats.arena_bytes,
             "arena_bytes_reused_per_forward": stats.reuse_bytes_per_forward,
@@ -860,6 +1077,11 @@ class ExecutionPlan:
             help="concat/eltwise join steps in the compiled DAG",
             **labels,
         ).inc(stats.joins)
+        registry.counter(
+            "quantized_steps_total",
+            help="conv/fc steps compiled with quantized weights",
+            **labels,
+        ).inc(stats.quantized)
         registry.gauge(
             "plan_arena_slots",
             help="interval-colored arena buffers", **labels,
@@ -1211,6 +1433,43 @@ def _lower_composite(
     )
 
 
+def _quantize_steps(
+    steps: Sequence[PlanStep], bits: int, stats: PlanStats
+) -> List[PlanStep]:
+    """Rewrite conv/fc steps to their quantized forms, preserving ids.
+
+    Each replacement keeps the original step's name, covered layers,
+    inputs, and output shape, so the schedule, liveness, and arena
+    coloring that follow see an identical graph — only the weight matmul
+    kernel changes.
+    """
+    rewritten: List[PlanStep] = []
+    for step in steps:
+        if type(step) is ConvStep:
+            operands = [
+                (QuantizedMatrix.from_array(matrix, bits), bias)
+                for matrix, bias in step.operands
+            ]
+            replacement: PlanStep = QuantizedConvStep(
+                step.name, step.layers, step.layer, operands, step.relu
+            )
+        elif type(step) is FCStep:
+            replacement = QuantizedFCStep(
+                step.name,
+                step.layers,
+                step.layer,
+                QuantizedMatrix.from_array(step.layer.params["weight"], bits),
+                step.relu,
+            )
+        else:
+            rewritten.append(step)
+            continue
+        replacement.inputs = list(step.inputs)
+        stats.quantized += 1
+        rewritten.append(replacement)
+    return rewritten
+
+
 def compile_plan(
     network,
     start: int = 0,
@@ -1218,6 +1477,8 @@ def compile_plan(
     *,
     fold: bool = True,
     fuse: bool = True,
+    backend: Optional[str] = None,
+    quantize_bits: Optional[int] = None,
 ) -> ExecutionPlan:
     """Compile spine layers ``start..end`` (inclusive) of a built network.
 
@@ -1226,11 +1487,17 @@ def compile_plan(
     models); ``fuse=False`` disables ReLU fusion.  No rewrite considers
     layers outside the range, so front/rear plans of a split are compiled
     independently and fusion never crosses the offload point.
+
+    ``backend`` pins the kernel backend (default: the process-wide active
+    one); ``quantize_bits`` rewrites conv/fc steps to ``bits``-bit
+    quantized weights after lowering.
     """
     if not network.built:
         raise RuntimeError(
             f"network {network.name!r} must be built before compiling a plan"
         )
+    if quantize_bits is not None and not 1 <= quantize_bits <= 16:
+        raise ValueError(f"quantize_bits must be in [1, 16], got {quantize_bits}")
     last = len(network.layers) - 1
     if end is None:
         end = last
@@ -1249,7 +1516,10 @@ def compile_plan(
         graph, indexed, 0, fold=fold, fuse=fuse, stats=stats,
         witnesses=witnesses,
     )
-    stats.steps = len(graph.steps)
+    steps = graph.steps
+    if quantize_bits is not None:
+        steps = _quantize_steps(steps, quantize_bits, stats)
+    stats.steps = len(steps)
     input_shape = (
         network.input_shape if start == 0
         else network.layers[start - 1].out_shape
@@ -1257,11 +1527,12 @@ def compile_plan(
     output_shape = network.layers[end].out_shape
     return ExecutionPlan(
         f"{network.name}[{start}:{end}]",
-        graph.steps,
+        steps,
         input_shape,
         output_shape,
         stats,
         witnesses,
+        backend=backend,
     )
 
 
@@ -1357,15 +1628,25 @@ def network_params_digest(network) -> str:
 
 
 def plan_cache_key(
-    network, start: int, end: int, *, fold: bool = True, fuse: bool = True
+    network,
+    start: int,
+    end: int,
+    *,
+    fold: bool = True,
+    fuse: bool = True,
+    backend: Optional[str] = None,
+    quantize_bits: Optional[int] = None,
 ) -> str:
     """The content address of one compiled plan.
 
     Keyed like task outcomes: params digest (structure + weights) +
-    ``(start, end)`` range + compile options + repro version + source
-    fingerprint + plan-cache format version.  Edit any source line or
-    replace any parameter array and every entry misses; there is no mtime
-    or TTL logic.
+    ``(start, end)`` range + compile options (fold/fuse/backend/
+    quantize bits) + repro version + source fingerprint + plan-cache
+    format version.  Edit any source line or replace any parameter array
+    and every entry misses; there is no mtime or TTL logic.  Backends
+    produce equivalent-but-not-identical plans, so sharing an entry
+    across them would mask exactly the regressions the equivalence suite
+    exists to catch.
     """
     import repro
     from repro.exec.cache import PLAN_CACHE_FORMAT, source_fingerprint
@@ -1376,6 +1657,8 @@ def plan_cache_key(
         "range": [start, end],
         "fold": bool(fold),
         "fuse": bool(fuse),
+        "backend": backend or active_backend_name(),
+        "quantize": quantize_bits,
         "repro_version": repro.__version__,
         "source": source_fingerprint(),
         "format": PLAN_CACHE_FORMAT,
@@ -1397,7 +1680,21 @@ def _step_to_entry(step: PlanStep, ids: Dict[int, int]) -> Dict[str, Any]:
             for index, layer, counted in step.layers
         ],
     }
-    if isinstance(step, ConvStep):
+    if isinstance(step, QuantizedConvStep):
+        entry["layer"] = ids[id(step.layer)]
+        entry["relu"] = bool(step.relu)
+        # Quantized codes are the compile product worth persisting: half
+        # the bytes of the float operands, and re-quantizing on rehydrate
+        # would redo the work the cache exists to skip.
+        entry["operands"] = [
+            [_qmatrix_to_entry(qmatrix), np.ascontiguousarray(bias)]
+            for qmatrix, bias in step.operands
+        ]
+    elif isinstance(step, QuantizedFCStep):
+        entry["layer"] = ids[id(step.layer)]
+        entry["relu"] = bool(step.relu)
+        entry["qmatrix"] = _qmatrix_to_entry(step.qmatrix)
+    elif isinstance(step, ConvStep):
         entry["layer"] = ids[id(step.layer)]
         entry["relu"] = bool(step.relu)
         # Folded operands (BN/Scale baked into the weights) are the
@@ -1434,6 +1731,37 @@ def _step_to_entry(step: PlanStep, ids: Dict[int, int]) -> Dict[str, Any]:
     return entry
 
 
+def _qmatrix_to_entry(qmatrix: QuantizedMatrix) -> Dict[str, Any]:
+    return {
+        "codes": np.ascontiguousarray(qmatrix.codes),
+        "scale": float(qmatrix.scale),
+        "zero_point": float(qmatrix.zero_point),
+        "bits": int(qmatrix.bits),
+        "shape": [int(dim) for dim in qmatrix.shape],
+    }
+
+
+def _qmatrix_from_entry(entry: Dict[str, Any]) -> QuantizedMatrix:
+    from repro.nn.quantize import QuantizedTensor
+
+    shape = tuple(int(dim) for dim in entry["shape"])
+    codes = np.ascontiguousarray(entry["codes"], dtype=np.uint16)
+    count = 1
+    for dim in shape:
+        count *= dim
+    if codes.size != count:
+        raise PlanCacheError("quantized operand codes do not match its shape")
+    return QuantizedMatrix(
+        QuantizedTensor(
+            codes=codes,
+            scale=float(entry["scale"]),
+            zero_point=float(entry["zero_point"]),
+            bits=int(entry["bits"]),
+            shape=shape,
+        )
+    )
+
+
 def _step_from_entry(entry: Dict[str, Any], table: Sequence[Layer]) -> PlanStep:
     type_name = entry["type"]
     name = entry["name"]
@@ -1460,7 +1788,29 @@ def _step_from_entry(entry: Dict[str, Any], table: Sequence[Layer]) -> PlanStep:
             )
         return layer
 
-    if type_name == "ConvStep":
+    if type_name == "QuantizedConvStep":
+        layer = bound_layer(ConvLayer)
+        per_out = layer.num_filters // layer.groups
+        operands = []
+        for qmatrix_entry, bias in entry["operands"]:
+            qmatrix = _qmatrix_from_entry(qmatrix_entry)
+            if qmatrix.shape[0] != per_out or bias.shape != (per_out, 1):
+                raise PlanCacheError(
+                    f"step {name!r} has malformed quantized operands"
+                )
+            operands.append((qmatrix, bias))
+        step: PlanStep = QuantizedConvStep(
+            name, covered, layer, operands, bool(entry["relu"])
+        )
+    elif type_name == "QuantizedFCStep":
+        layer = bound_layer(FCLayer)
+        qmatrix = _qmatrix_from_entry(entry["qmatrix"])
+        if qmatrix.shape != (layer.out_features, layer.in_features):
+            raise PlanCacheError(
+                f"step {name!r} has a malformed quantized weight matrix"
+            )
+        step = QuantizedFCStep(name, covered, layer, qmatrix, bool(entry["relu"]))
+    elif type_name == "ConvStep":
         layer = bound_layer(ConvLayer)
         operands = entry["operands"]
         if operands is None:
@@ -1532,6 +1882,7 @@ def plan_to_descriptor(plan: ExecutionPlan, network) -> Dict[str, Any]:
     return {
         "format": PLAN_CACHE_FORMAT,
         "name": plan.name,
+        "backend": plan.backend_name,
         "input_shape": [int(dim) for dim in plan.input_shape],
         "output_shape": [int(dim) for dim in plan.output_shape],
         "stats": dataclasses.asdict(plan.stats),
@@ -1575,6 +1926,7 @@ def plan_from_descriptor(descriptor: Dict[str, Any], network) -> ExecutionPlan:
         stats,
         witnesses,
         descriptor["capacities"],
+        backend=descriptor.get("backend"),
     )
 
 
@@ -1585,6 +1937,8 @@ def load_or_compile_plan(
     *,
     fold: bool = True,
     fuse: bool = True,
+    backend: Optional[str] = None,
+    quantize_bits: Optional[int] = None,
 ) -> ExecutionPlan:
     """:func:`compile_plan`, fronted by the cross-process plan cache.
 
@@ -1599,11 +1953,17 @@ def load_or_compile_plan(
 
     plan_cache = exec_cache.active_plan_cache()
     if plan_cache is None:
-        return compile_plan(network, start, end, fold=fold, fuse=fuse)
+        return compile_plan(
+            network, start, end, fold=fold, fuse=fuse,
+            backend=backend, quantize_bits=quantize_bits,
+        )
     if end is None:
         end = len(network.layers) - 1
     stats = exec_cache.plan_cache_stats()
-    key = plan_cache_key(network, start, end, fold=fold, fuse=fuse)
+    key = plan_cache_key(
+        network, start, end, fold=fold, fuse=fuse,
+        backend=backend, quantize_bits=quantize_bits,
+    )
     descriptor = plan_cache.load(key)
     if descriptor is not None:
         try:
@@ -1614,7 +1974,10 @@ def load_or_compile_plan(
             stats.hits += 1
             return plan
     started = time.perf_counter()
-    plan = compile_plan(network, start, end, fold=fold, fuse=fuse)
+    plan = compile_plan(
+        network, start, end, fold=fold, fuse=fuse,
+        backend=backend, quantize_bits=quantize_bits,
+    )
     stats.compile_seconds += time.perf_counter() - started
     stats.misses += 1
     try:

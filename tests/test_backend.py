@@ -1,0 +1,338 @@
+"""Backend-equivalence suite: reference bitwise, tuned within tolerance.
+
+The contract the kernel-backend abstraction must keep:
+
+* the ``reference`` backend *is* the pre-backend numpy path — plans and
+  layer walks under it are bitwise identical to each other across the
+  zoo, whole-network and at every split;
+* the ``tuned`` backend (float32 end-to-end, threaded GEMM, integer
+  quantized GEMM) stays within 1e-4 of the reference and never flips a
+  top-1 label;
+* the selection plumbing behaves like ``--no-optimize``: the env var
+  reaches forked pool workers, and both the result-cache and plan-cache
+  keys change with the backend (equivalence is a tested claim — a shared
+  entry would mask a regression);
+* int8-quantized plans replace every conv/fc step, report the count in
+  their stats and metrics, and preserve top-1 labels.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exec import ExecutionEngine, Task, task_cache_key
+from repro.nn import backend as backend_module
+from repro.nn.backend import (
+    BACKEND_ENV,
+    BackendError,
+    KernelBackend,
+    TunedBackend,
+    active_backend_name,
+    backend_names,
+    blas_info,
+    effective_threads,
+    get_backend,
+    set_backend,
+)
+from repro.nn.plan import plan_cache_key, set_optimization
+from repro.nn.quantize import packed_feature_bytes
+from repro.nn.zoo import build_model
+from repro.obs import MetricsRegistry
+from repro.sim import SeededRng
+
+#: models whose reference-backend plans must match the walk bit for bit
+ZOO_MODELS = ["smallnet", "tinynet", "alexnet", "resnet-mini", "googlenet"]
+
+#: the tuned backend's pinned tolerance against the reference outputs
+TUNED_TOLERANCE = 1e-4
+
+
+@pytest.fixture(autouse=True)
+def restore_backend():
+    yield
+    set_backend(None)
+    set_optimization(None)
+    os.environ.pop(BACKEND_ENV, None)
+
+
+def model_input(model, seed=7):
+    return SeededRng(seed, f"backend/{model.name}").uniform_array(
+        tuple(model.network.input_shape), 0, 255
+    )
+
+
+class TestSelection:
+    def test_registered_names(self):
+        assert backend_names() == ("reference", "tuned")
+
+    def test_default_is_reference(self):
+        assert active_backend_name() == "reference"
+        assert isinstance(get_backend("reference"), KernelBackend)
+        assert isinstance(get_backend("tuned"), TunedBackend)
+
+    def test_override_wins_over_env(self):
+        os.environ[BACKEND_ENV] = "reference"
+        set_backend("tuned")
+        assert active_backend_name() == "tuned"
+        set_backend(None)
+        assert active_backend_name() == "reference"
+
+    def test_env_selects_backend(self):
+        os.environ[BACKEND_ENV] = "tuned"
+        assert active_backend_name() == "tuned"
+
+    def test_unknown_env_backend_raises(self):
+        os.environ[BACKEND_ENV] = "cuda"
+        with pytest.raises(BackendError):
+            active_backend_name()
+
+    def test_unknown_set_backend_raises(self):
+        with pytest.raises(BackendError):
+            set_backend("cuda")
+
+    def test_instances_memoized(self):
+        assert get_backend("tuned") is get_backend("tuned")
+
+    def test_effective_threads_env_override(self, monkeypatch):
+        monkeypatch.setenv(backend_module.BACKEND_THREADS_ENV, "3")
+        assert effective_threads() == 3
+        monkeypatch.setenv(backend_module.BACKEND_THREADS_ENV, "garbage")
+        assert effective_threads() == (os.cpu_count() or 1)
+
+    def test_blas_info_names_numpy(self):
+        info = blas_info()
+        assert info["numpy"] == np.__version__
+
+
+class TestReferenceBitwise:
+    """``reference`` plans equal the raw layer walk, bit for bit."""
+
+    @pytest.mark.parametrize("name", ZOO_MODELS)
+    def test_whole_network(self, name):
+        set_backend("reference")
+        model = build_model(name)
+        x = model_input(model)
+        walk = model.network.forward(x, optimize=False)
+        plan = model.network.forward(x, optimize=True)
+        assert walk.dtype == np.float32
+        assert np.array_equal(walk, plan)
+
+    @pytest.mark.parametrize("name", ["alexnet", "googlenet"])
+    def test_split_ranges(self, name):
+        set_backend("reference")
+        model = build_model(name)
+        x = model_input(model)
+        points = model.network.offload_points()
+        for point in points[:: max(1, len(points) // 4)]:
+            front, rear = model.split(point.index)
+            split_out = rear.inference(front.inference(x))
+            assert np.array_equal(split_out, model.inference(x))
+
+
+class TestTunedTolerance:
+    """``tuned`` stays within the pinned tolerance and keeps every label."""
+
+    @pytest.mark.parametrize("name", ZOO_MODELS)
+    def test_forward_within_tolerance(self, name):
+        set_backend("reference")
+        model = build_model(name)
+        x = model_input(model)
+        reference = model.network.forward(x, optimize=False)
+        set_backend("tuned")
+        tuned_model = build_model(name)
+        for optimize in (False, True):
+            tuned = tuned_model.network.forward(x, optimize=optimize)
+            assert tuned.dtype == np.float32
+            assert np.abs(tuned - reference).max() <= TUNED_TOLERANCE
+            assert int(np.argmax(tuned)) == int(np.argmax(reference))
+
+    def test_threaded_gemm_matches_blas(self):
+        tuned = TunedBackend.__new__(TunedBackend)
+        KernelBackend.__init__(tuned)
+        tuned.threads = 4
+        tuned._pool = None
+        tuned._scratch = {}
+        rng = SeededRng(3, "backend/gemm")
+        a = rng.normal_array((256, 96))
+        b = rng.normal_array((96, 300))
+        got = tuned._threaded_gemm(a, b, None)
+        assert np.abs(got - a @ b).max() <= TUNED_TOLERANCE
+
+    def test_threaded_gemm_results_outlive_next_call(self):
+        tuned = TunedBackend.__new__(TunedBackend)
+        KernelBackend.__init__(tuned)
+        tuned.threads = 2
+        tuned._pool = None
+        tuned._scratch = {}
+        rng = SeededRng(4, "backend/gemm")
+        a = rng.normal_array((256, 64))
+        b = rng.normal_array((64, 256))
+        first = tuned._threaded_gemm(a, b, None)
+        snapshot = first.copy()
+        tuned._threaded_gemm(rng.normal_array((256, 64)), b, None)
+        assert np.array_equal(first, snapshot)
+
+    def test_kernel_calls_counted(self):
+        set_backend("tuned")
+        tuned = get_backend("tuned")
+        before = dict(tuned.calls)
+        model = build_model("smallnet")
+        model.network.forward(model_input(model), optimize=True)
+        assert tuned.calls.get("gemm", 0) > before.get("gemm", 0)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    name=st.sampled_from(["smallnet", "tinynet", "resnet-mini"]),
+    seed=st.integers(0, 2**16),
+    split_fraction=st.floats(0.0, 1.0),
+)
+def test_backend_equivalence_fuzz(name, seed, split_fraction):
+    """Random zoo model + input + split: reference bitwise, tuned close.
+
+    The property the whole PR rests on, sampled instead of enumerated:
+    for any model, any input, and any offload split, the reference
+    backend's split inference equals the unsplit walk bitwise, and the
+    tuned backend agrees within tolerance with an identical top-1 label.
+    """
+    set_backend("reference")
+    try:
+        model = build_model(name)
+        x = model_input(model, seed=seed)
+        reference = model.inference(x)
+        points = model.network.offload_points()
+        point = points[int(split_fraction * (len(points) - 1))]
+        front, rear = model.split(point.index)
+        assert np.array_equal(rear.inference(front.inference(x)), reference)
+
+        set_backend("tuned")
+        tuned_model = build_model(name)
+        tuned_front, tuned_rear = tuned_model.split(point.index)
+        tuned = tuned_rear.inference(tuned_front.inference(x))
+        assert np.abs(tuned - reference).max() <= TUNED_TOLERANCE
+        assert int(np.argmax(tuned)) == int(np.argmax(reference))
+    finally:
+        set_backend(None)
+
+
+class TestWorkerAndCachePlumbing:
+    """REPRO_BACKEND must reach pool workers and every cache key."""
+
+    def test_env_reaches_pool_workers(self):
+        os.environ[BACKEND_ENV] = "tuned"
+        outcomes = ExecutionEngine(jobs=2).run(
+            [
+                Task.make("a", "repro.nn.backend.active_backend_name", {}),
+                Task.make("b", "repro.nn.backend.active_backend_name", {}),
+            ]
+        )
+        assert [o.payload for o in outcomes] == ["tuned", "tuned"]
+
+    def test_task_cache_key_depends_on_backend(self):
+        task = Task.make("k", "repro.nn.backend.active_backend_name", {})
+        set_backend("reference")
+        reference_key = task_cache_key(task)
+        set_backend("tuned")
+        assert task_cache_key(task) != reference_key
+
+    def test_plan_cache_key_depends_on_backend_and_bits(self):
+        network = build_model("smallnet").network
+        end = len(network.layers) - 1
+        keys = {
+            plan_cache_key(network, 0, end, backend="reference"),
+            plan_cache_key(network, 0, end, backend="tuned"),
+            plan_cache_key(network, 0, end, backend="reference", quantize_bits=8),
+            plan_cache_key(network, 0, end, backend="reference", quantize_bits=4),
+        }
+        assert len(keys) == 4
+
+    def test_plan_memo_keyed_by_backend(self):
+        network = build_model("smallnet").network
+        set_backend("reference")
+        reference_plan = network.plan_for()
+        set_backend("tuned")
+        tuned_plan = network.plan_for()
+        assert reference_plan is not tuned_plan
+        assert reference_plan.backend_name == "reference"
+        assert tuned_plan.backend_name == "tuned"
+
+
+class TestQuantizedPlans:
+    @pytest.mark.parametrize("backend", ["reference", "tuned"])
+    @pytest.mark.parametrize("name", ["smallnet", "googlenet"])
+    def test_quantized_plan_preserves_top1(self, backend, name):
+        set_backend(backend)
+        model = build_model(name)
+        x = model_input(model)
+        reference = model.network.forward(x, optimize=False)
+        qplan = model.network.plan_for(quantize_bits=8)
+        assert qplan.stats.quantized > 0
+        quantized = qplan.forward(x)
+        assert int(np.argmax(quantized)) == int(np.argmax(reference))
+
+    def test_tuned_takes_integer_gemm_path(self):
+        set_backend("tuned")
+        tuned = get_backend("tuned")
+        before = tuned.calls.get("quantized_gemm_int", 0)
+        model = build_model("smallnet")
+        model.network.plan_for(quantize_bits=8).forward(model_input(model))
+        assert tuned.calls.get("quantized_gemm_int", 0) > before
+
+    def test_quantized_steps_metric(self):
+        model = build_model("smallnet")
+        qplan = model.network.plan_for(quantize_bits=8)
+        registry = MetricsRegistry()
+        qplan.record_metrics(registry)
+        counter = registry.counter(
+            "quantized_steps_total",
+            help="conv/fc steps compiled with quantized weights",
+            plan=qplan.name,
+        )
+        assert counter.value == qplan.stats.quantized > 0
+
+    def test_quantized_plan_summary(self):
+        model = build_model("smallnet")
+        summary = model.network.plan_for(quantize_bits=8).summary()
+        assert summary["quantized_steps"] > 0
+        assert summary["backend"] == "reference"
+
+    def test_invalid_bits_rejected(self):
+        network = build_model("smallnet").network
+        with pytest.raises(ValueError):
+            network.plan_for(quantize_bits=0)
+
+    def test_partition_optimizer_prices_packed_bytes(self):
+        from repro.eval.fig8 import make_optimizer
+
+        optimizer = make_optimizer("googlenet", quantize_bits=8)
+        assert optimizer.quantize_bits == 8
+        assert optimizer._feature_bytes((4, 5)) == packed_feature_bytes(20, 8)
+
+
+class TestBackendMetrics:
+    def test_record_backend_metrics(self):
+        set_backend("tuned")
+        model = build_model("smallnet")
+        model.network.forward(model_input(model), optimize=True)
+        registry = MetricsRegistry()
+        backend_module.record_backend_metrics(registry)
+        gauge = registry.gauge(
+            "backend_threads",
+            help="GEMM thread budget of the tuned backend on this host",
+        )
+        assert gauge.value == effective_threads()
+        counter = registry.counter(
+            "backend_kernel_calls_total",
+            help="kernel invocations through the backend interface",
+            backend="tuned",
+            op="gemm",
+        )
+        assert counter.value > 0

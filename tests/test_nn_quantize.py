@@ -7,9 +7,13 @@ from hypothesis import strategies as st
 
 from repro.nn.quantize import (
     QUANT_HEADER_BYTES,
+    QuantizedTensor,
     measure_quantization_impact,
+    pack_codes,
+    packed_feature_bytes,
     quantization_error,
     quantize_linear,
+    unpack_codes,
 )
 from repro.nn.zoo import smallnet
 from repro.sim import SeededRng
@@ -67,6 +71,62 @@ class TestQuantizeLinear:
         assert np.abs(restored - array).max() <= quantized.scale * (
             1.0 + 1e-3
         ) + 1e-6
+
+
+class TestPackCodes:
+    """size_bytes honesty: the packed wire form really is that small."""
+
+    @pytest.mark.parametrize("bits", list(range(1, 17)))
+    def test_roundtrip_every_width(self, bits):
+        rng = np.random.default_rng(bits)
+        codes = rng.integers(0, 1 << bits, size=101, dtype=np.uint16)
+        packed = pack_codes(codes, bits)
+        assert packed.dtype == np.uint8
+        assert packed.size == (codes.size * bits + 7) // 8
+        assert np.array_equal(unpack_codes(packed, bits, codes.size), codes)
+
+    def test_size_bytes_matches_packed_length(self):
+        for bits in (1, 3, 5, 7, 8, 11, 13, 16):
+            tensor = quantize_linear(
+                SeededRng(bits, "q").normal_array((7, 9)), bits
+            )
+            assert tensor.size_bytes == len(tensor.pack()) + QUANT_HEADER_BYTES
+
+    def test_from_packed_restores_tensor(self):
+        array = SeededRng(5, "q").normal_array((3, 4, 5), 2.0)
+        tensor = quantize_linear(array, 5)
+        restored = QuantizedTensor.from_packed(
+            tensor.pack(), tensor.scale, tensor.zero_point, 5, tensor.shape
+        )
+        assert np.array_equal(restored.codes, tensor.codes)
+        assert np.array_equal(restored.dequantize(), tensor.dequantize())
+
+    def test_codes_exceeding_width_rejected(self):
+        with pytest.raises(ValueError):
+            pack_codes(np.array([8], dtype=np.uint16), 3)
+
+    def test_empty_codes(self):
+        packed = pack_codes(np.array([], dtype=np.uint16), 7)
+        assert packed.size == 0
+        assert unpack_codes(packed, 7, 0).size == 0
+
+    def test_packed_feature_bytes_accounting(self):
+        assert packed_feature_bytes(1000, 8) == 1000 + QUANT_HEADER_BYTES
+        assert packed_feature_bytes((10, 10, 10), 3) == 375 + QUANT_HEADER_BYTES
+        assert packed_feature_bytes(3, 3) == 2 + QUANT_HEADER_BYTES
+
+    @given(
+        count=st.integers(0, 64),
+        bits=st.integers(1, 16),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_roundtrip(self, count, bits, seed):
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 1 << bits, size=count, dtype=np.uint16)
+        assert np.array_equal(
+            unpack_codes(pack_codes(codes, bits), bits, count), codes
+        )
 
 
 class TestImpactMeasurement:
