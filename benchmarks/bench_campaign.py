@@ -529,6 +529,115 @@ def _bench_serving(sessions=32, requests=2, seed=7):
     }
 
 
+def _bench_modelstore(seed=5):
+    """Upload-byte economics of the multi-tenant edge model store.
+
+    Virtual-time and fully deterministic.  Three questions:
+
+    (a) does a pre-warmed fleet (stores primed before t=0) serve the same
+        workload with strictly fewer upload bytes than a cold fleet?
+    (b) under a memory budget that fits one tenant's rear half but not
+        two, does LRU eviction keep every edge's resident bytes under the
+        budget while every result stays correct?
+    (c) after a cold edge kill + revival, does the v2 segment-level
+        handshake shrink the failover re-upload versus the PR 6
+        whole-model-or-nothing handshake on the same schedule?
+    """
+    from repro.fleet import FleetScenario, default_fleet
+
+    print("-- modelstore (cold vs warm fleet, eviction, v1 vs v2 "
+          "handshake) ...", flush=True)
+
+    def fleet_run(prewarm):
+        scenario = FleetScenario(
+            sessions=12,
+            requests_per_session=2,
+            seed=seed,
+            edges=default_fleet(3),
+            prewarm=prewarm,
+        )
+        return scenario.run()
+
+    cold = fleet_run(False)
+    warm = fleet_run(True)
+    print(
+        f"   cold fleet uploads {cold.upload_bytes} B, warm fleet "
+        f"{warm.upload_bytes} B",
+        flush=True,
+    )
+
+    # the two tenants are the same net split at adjacent layers: either
+    # rear half (138 903 B) fits the budget, their union (140 075 B) does
+    # not, and ~137 KB of parameter blobs are shared between them
+    budget = 139_500
+    eviction = FleetScenario(
+        sessions=10,
+        requests_per_session=2,
+        seed=seed,
+        edges=default_fleet(2, memory_budget_bytes=budget),
+        tenants=["smallnet:2", "smallnet:3"],
+        mode="offload-partial",
+    ).run()
+    evictions = sum(row.store_evictions for row in eviction.edges)
+    max_resident = max(row.store_resident_bytes for row in eviction.edges)
+    print(
+        f"   eviction: {evictions} demotions, max resident "
+        f"{max_resident} B (budget {budget} B), "
+        f"{eviction.presend['bytes_deduped']} B deduped",
+        flush=True,
+    )
+
+    def kill_run(segment_dedup):
+        scenario = FleetScenario(
+            sessions=10,
+            requests_per_session=2,
+            seed=seed,
+            edges=default_fleet(2),
+            tenants=["smallnet:2", "smallnet:3"],
+            mode="offload-partial",
+            segment_dedup=segment_dedup,
+            reply_timeout=2.0,
+        )
+        scenario.inject_kill("edge-0", 0.5, revive_at_seconds=1.5, cold=True)
+        return scenario.run()
+
+    v2 = kill_run(True)
+    v1 = kill_run(False)
+    print(
+        f"   failover re-upload: v2 segment handshake {v2.upload_bytes} B "
+        f"vs v1 whole-model {v1.upload_bytes} B "
+        f"({1 - v2.upload_bytes / v1.upload_bytes:.1%} less)",
+        flush=True,
+    )
+    return {
+        "seed": seed,
+        "cold_fleet": {
+            "upload_bytes": cold.upload_bytes,
+            "presend": cold.presend,
+            "all_correct": cold.all_correct,
+        },
+        "warm_fleet": {
+            "upload_bytes": warm.upload_bytes,
+            "presend": warm.presend,
+            "all_correct": warm.all_correct,
+        },
+        "eviction": {
+            "memory_budget_bytes": budget,
+            "tenants": ["smallnet:2", "smallnet:3"],
+            "evictions": evictions,
+            "max_resident_bytes": max_resident,
+            "bytes_deduped": eviction.presend["bytes_deduped"],
+            "all_correct": eviction.all_correct,
+        },
+        "failover_reupload": {
+            "v2_upload_bytes": v2.upload_bytes,
+            "v1_upload_bytes": v1.upload_bytes,
+            "bytes_deduped": v2.presend["bytes_deduped"],
+            "all_correct": v2.all_correct and v1.all_correct,
+        },
+    }
+
+
 def _bench_backend(zoo_models=("smallnet", "alexnet", "resnet-mini", "googlenet")):
     """Tuned vs reference kernels, and the int8 split-point shift.
 
@@ -703,6 +812,7 @@ def main(argv=None) -> int:
     fleet = _bench_fleet()
     serving = _bench_serving()
     backend = _bench_backend()
+    modelstore = _bench_modelstore()
 
     reports = {
         "serial": serial.report_markdown,
@@ -885,6 +995,48 @@ def main(argv=None) -> int:
             ),
             "agreement_at_low_split": backend["int8_agreement_at_low_split"],
         },
+        # A pre-warmed fleet runs the same seeded workload without paying
+        # for any model upload; the cold fleet pays for every edge.
+        "warm_fleet_presend_bytes_below_cold": {
+            "held": modelstore["warm_fleet"]["upload_bytes"]
+            < modelstore["cold_fleet"]["upload_bytes"]
+            and modelstore["cold_fleet"]["all_correct"]
+            and modelstore["warm_fleet"]["all_correct"],
+            "skipped": False,
+            "cold_upload_bytes": modelstore["cold_fleet"]["upload_bytes"],
+            "warm_upload_bytes": modelstore["warm_fleet"]["upload_bytes"],
+        },
+        # Two tenants whose rear halves cannot coexist under the budget
+        # must thrash (evictions observed), yet every edge ends the run
+        # within budget and every inference result stays correct.
+        "eviction_keeps_resident_under_budget": {
+            "held": modelstore["eviction"]["evictions"] > 0
+            and modelstore["eviction"]["max_resident_bytes"]
+            <= modelstore["eviction"]["memory_budget_bytes"]
+            and modelstore["eviction"]["all_correct"],
+            "skipped": False,
+            "evictions": modelstore["eviction"]["evictions"],
+            "max_resident_bytes": modelstore["eviction"]["max_resident_bytes"],
+            "memory_budget_bytes": (
+                modelstore["eviction"]["memory_budget_bytes"]
+            ),
+        },
+        # After a cold edge kill + revival, the v2 segment handshake must
+        # re-upload strictly fewer bytes than the PR 6 whole-model
+        # handshake on the identical seeded schedule.
+        "segment_dedup_shrinks_failover_reupload": {
+            "held": modelstore["failover_reupload"]["v2_upload_bytes"]
+            < modelstore["failover_reupload"]["v1_upload_bytes"]
+            and modelstore["failover_reupload"]["bytes_deduped"] > 0
+            and modelstore["failover_reupload"]["all_correct"],
+            "skipped": False,
+            "v2_upload_bytes": (
+                modelstore["failover_reupload"]["v2_upload_bytes"]
+            ),
+            "v1_upload_bytes": (
+                modelstore["failover_reupload"]["v1_upload_bytes"]
+            ),
+        },
     }
     claims_hold = all(
         claim["held"] for claim in claims.values() if not claim["skipped"]
@@ -921,6 +1073,7 @@ def main(argv=None) -> int:
             "fleet": fleet,
             "serving": serving,
             "backend": backend,
+            "modelstore": modelstore,
         },
         "speedup": {
             "parallel_vs_serial": round(serial_wall / parallel_wall, 3),

@@ -307,16 +307,29 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     """Run a multi-edge fleet scenario and print its report."""
     from repro.fleet import FleetScenario, default_fleet
 
+    tenants = list(args.tenants) if args.tenants else None
+    mode = "offload"
+    split_index = None
+    if tenants and any(":" in spec for spec in tenants):
+        mode = "offload-partial"
     scenario = FleetScenario(
         model_name=args.model,
-        edges=default_fleet(args.edges, skew=args.skew),
+        edges=default_fleet(
+            args.edges,
+            skew=args.skew,
+            memory_budget_bytes=args.edge_memory_budget,
+        ),
         policy=args.policy,
         sessions=args.sessions,
         requests_per_session=args.requests,
         arrivals=args.arrivals,
         arrival_rate_per_s=args.rate,
+        mode=mode,
+        split_index=split_index,
         seed=args.seed,
         reply_timeout=args.reply_timeout,
+        tenants=tenants,
+        prewarm=args.prewarm,
     )
     for spec in args.kill or []:
         parts = spec.split("@")
@@ -364,7 +377,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     scenario = FleetScenario(
         model_name=args.model,
-        edges=default_fleet(args.edges, skew=args.skew),
+        edges=default_fleet(
+            args.edges,
+            skew=args.skew,
+            memory_budget_bytes=args.edge_memory_budget,
+        ),
         policy=args.policy,
         sessions=args.sessions,
         requests_per_session=args.requests,
@@ -569,6 +586,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds before a missing reply marks the edge dead",
     )
     p.add_argument(
+        "--edge-memory-budget", type=int, default=None, metavar="BYTES",
+        help="per-edge model-store budget; LRU-evicts rear halves above it "
+        "(default: unlimited)",
+    )
+    p.add_argument(
+        "--tenants", nargs="+", default=None, metavar="MODEL[:SPLIT]",
+        help="round-robin sessions over several models, e.g. "
+        "'smallnet:2 smallnet:3' (a :SPLIT switches the run to "
+        "offload-partial and uploads rear halves)",
+    )
+    p.add_argument(
+        "--prewarm", action="store_true",
+        help="prime every edge's store with all tenant models before t=0 "
+        "(warm-fleet baseline)",
+    )
+    p.add_argument(
         "--kill", action="append", metavar="EDGE@SECONDS[:REVIVE]",
         help="inject an edge death (repeatable), e.g. edge-0@1.5 or "
         "edge-0@1.5:4.0 to revive at t=4",
@@ -629,6 +662,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--reply-timeout", type=float, default=60.0,
         help="seconds before a missing reply marks the edge dead",
+    )
+    p.add_argument(
+        "--edge-memory-budget", type=int, default=None, metavar="BYTES",
+        help="per-edge model-store budget; LRU-evicts rear halves above it "
+        "(default: unlimited)",
     )
     p.add_argument(
         "--max-batch", type=int, default=8,

@@ -11,11 +11,18 @@ tracks the ACK per model.  The upload can be *cancelled between files* when
 the user triggers offloading early: whatever has not been transmitted yet
 rides along with the snapshot instead (see
 :class:`repro.core.protocol.ModelDelivery`), so bytes are never sent twice.
+
+``skip_files`` feeds the segment-level handshake answer back in: files the
+server reported as already resident (content-addressed — possibly uploaded
+under a *different* model) are marked sent up front, so only the missing
+segments ever touch the wire.  The skipped byte volume is accounted in the
+``presend_files_skipped_total`` / ``presend_bytes_deduped_total`` counters,
+and actually-transmitted file bytes in ``presend_bytes_sent_total``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.core import protocol
 from repro.netsim.channel import ChannelEnd
@@ -26,11 +33,42 @@ from repro.sim import Interrupt, Process, SimEvent, Simulator
 class PresendManager:
     """Client-side model upload state machine."""
 
-    def __init__(self, sim: Simulator, endpoint: ChannelEnd, models: List[Model]):
+    def __init__(
+        self,
+        sim: Simulator,
+        endpoint: ChannelEnd,
+        models: List[Model],
+        *,
+        skip_files: Optional[Dict[str, Set[str]]] = None,
+    ):
         self.sim = sim
         self.endpoint = endpoint
         self.models = list(models)
         self._sent_files: Dict[str, set] = {model.model_id: set() for model in models}
+        self._skipped_counter = sim.metrics.counter(
+            "presend_files_skipped_total",
+            help="model files skipped because the server already held their "
+            "bytes (segment-level handshake)",
+        )
+        self._deduped_counter = sim.metrics.counter(
+            "presend_bytes_deduped_total",
+            help="file bytes never sent thanks to content-addressed dedup",
+        )
+        self._sent_counter = sim.metrics.counter(
+            "presend_bytes_sent_total",
+            help="model file bytes transmitted by pre-send uploads",
+        )
+        if skip_files:
+            for model in self.models:
+                known = skip_files.get(model.model_id)
+                if not known:
+                    continue
+                sizes = {file.name: file.size_bytes for file in model.files()}
+                for name in sorted(known):
+                    if name in sizes and name not in self._sent_files[model.model_id]:
+                        self._sent_files[model.model_id].add(name)
+                        self._skipped_counter.inc()
+                        self._deduped_counter.inc(sizes[name])
         self._acked: Dict[str, bool] = {model.model_id: False for model in models}
         self._ack_events: Dict[str, SimEvent] = {
             model.model_id: sim.event(label=f"ack:{model.model_id}")
@@ -109,6 +147,7 @@ class PresendManager:
                     # are committed to the FIFO wire and will arrive before
                     # any later snapshot, so they must not ride along too.
                     self._sent_files[model.model_id].add(file.name)
+                    self._sent_counter.inc(file.size_bytes)
                     yield self.endpoint.send(protocol.MODEL_FILE, payload)
                 yield self.endpoint.send(
                     protocol.MODEL_OBJECT,

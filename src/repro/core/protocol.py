@@ -93,27 +93,50 @@ class ModelQueryPayload:
     to a new edge (or after failing over to one), the client asks whether
     the server already holds a model whose parameter fingerprint matches.
     A hit skips the whole upload — another client already paid for it.
+
+    With ``files`` attached (the v2, segment-level handshake) the query
+    also carries the model's manifest — name, checksum and size per file —
+    so the server can answer which files it is *missing* at content-address
+    granularity.  A miss then costs only the missing segments instead of
+    the whole model, and files shared with any other stored model (two
+    rear halves split at different layers, say) are never re-sent.
     """
 
     model_id: str
     fingerprint: str
+    #: manifest for the segment-level answer; None keeps the v1 handshake
+    files: Optional[List[ModelFile]] = None
 
     @property
     def size_bytes(self) -> int:
-        return CONTROL_BYTES + len(self.fingerprint.encode("ascii"))
+        manifest_bytes = 96 * len(self.files) if self.files else 0
+        return CONTROL_BYTES + len(self.fingerprint.encode("ascii")) + manifest_bytes
 
 
 @dataclass
 class ModelStatusPayload:
-    """MODEL_STATUS body: whether the queried model is present and matching."""
+    """MODEL_STATUS body: whether the queried model is present and matching.
+
+    ``missing_files`` is the segment-level answer to a query that carried a
+    manifest: exactly the file names whose bytes the server does not hold
+    (empty when every segment is resident — the model may still need its
+    runnable handle re-attached).  ``None`` means the query was v1 and the
+    answer is whole-model only.
+    """
 
     model_id: str
     present: bool
     server_name: str = ""
+    missing_files: Optional[List[str]] = None
 
     @property
     def size_bytes(self) -> int:
-        return CONTROL_BYTES
+        name_bytes = (
+            sum(len(name.encode("utf-8")) + 2 for name in self.missing_files)
+            if self.missing_files
+            else 0
+        )
+        return CONTROL_BYTES + name_bytes
 
 
 @dataclass

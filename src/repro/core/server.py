@@ -82,6 +82,7 @@ class EdgeServer:
         session_cache: bool = True,
         session_cache_capacity: int = 32,
         serving: Optional[ServingConfig] = None,
+        memory_budget_bytes: Optional[int] = None,
     ):
         self.sim = sim
         self.device = device
@@ -94,7 +95,9 @@ class EdgeServer:
             if serving is not None
             else None
         )
-        self.store = ModelStore()
+        #: model-cache budget; None = unbounded (the seed behaviour)
+        self.memory_budget_bytes = memory_budget_bytes
+        self.store = self.fresh_store()
         self.served_requests = 0
         self.errors: List[str] = []
         #: the most recent browser runtime, for inspection in tests
@@ -161,6 +164,16 @@ class EdgeServer:
     def executions(self) -> int:
         """How many requests this server actually executed (not cached)."""
         return int(self._executions_counter.value)
+
+    def fresh_store(self) -> ModelStore:
+        """A new, empty model store with this server's budget and metrics.
+
+        Used at construction and by cold-replacement fault injection (a
+        swapped-in box with an empty disk keeps the same configuration).
+        """
+        return ModelStore(
+            self.memory_budget_bytes, metrics=self.sim.metrics, server=self.name
+        )
 
     def restart(self) -> None:
         """Simulate an offloading-server process restart.
@@ -231,7 +244,10 @@ class EdgeServer:
         if not self._require_installed(endpoint, "model upload"):
             return
         manifest: protocol.ManifestPayload = message.payload
-        self.store.begin_upload(manifest.model_id, manifest.files)
+        try:
+            self.store.begin_upload(manifest.model_id, manifest.files)
+        except ModelStoreError as exc:
+            self._error(endpoint, str(exc))
 
     def _on_model_file(self, endpoint: ChannelEnd, message: Message) -> None:
         if not self._require_installed(endpoint, "model upload"):
@@ -267,6 +283,17 @@ class EdgeServer:
         present = self.installed and self.store.matches_fingerprint(
             payload.model_id, payload.fingerprint
         )
+        missing = None
+        if payload.files is not None:
+            # Segment-level (v2) answer: exactly the files whose bytes this
+            # store lacks, content-addressed — a file another model already
+            # uploaded under a different name is *not* missing.
+            if not self.installed:
+                missing = [file.name for file in payload.files]
+            elif present:
+                missing = []
+            else:
+                missing = self.store.missing_from_manifest(payload.files)
         self.sim.metrics.counter(
             "server_model_queries_total",
             help="digest-handshake queries answered",
@@ -279,6 +306,7 @@ class EdgeServer:
                 model_id=payload.model_id,
                 present=present,
                 server_name=self.name,
+                missing_files=missing,
             ),
         )
 
@@ -317,16 +345,16 @@ class EdgeServer:
         # completing uploads the pre-send did not finish.
         for delivery in payload.deliveries:
             model = delivery.model
-            self.store.begin_upload(model.model_id, model.files())
-            for file in delivery.files:
-                try:
+            try:
+                self.store.begin_upload(model.model_id, model.files())
+                for file in delivery.files:
                     self.store.receive_file(model.model_id, file)
-                except ModelStoreError as exc:
-                    self._error(endpoint, str(exc), payload.request_id)
-                    return
-            entry = self.store.begin_upload(model.model_id, model.files())
-            if entry.complete and entry.model is None:
-                self.store.attach_model(model.model_id, model)
+                entry = self.store.begin_upload(model.model_id, model.files())
+                if entry.complete and entry.model is None:
+                    self.store.attach_model(model.model_id, model)
+            except ModelStoreError as exc:
+                self._error(endpoint, str(exc), payload.request_id)
+                return
 
         # Resolve the executing browser: a cached session for delta
         # snapshots, a fresh runtime for full snapshots.

@@ -13,7 +13,16 @@ What makes it a *fleet* rather than N copies of the paper's testbed:
 * **digest handshake** — before uploading a model to an edge, the client
   sends ``MODEL_QUERY`` with the model's params fingerprint; a hit (some
   earlier client already uploaded it, or the store survived a server
-  restart) skips pre-send entirely.
+  restart) skips pre-send entirely.  The query also carries the model's
+  manifest, so a *miss* is answered at segment granularity: the client
+  uploads only the files whose bytes the edge lacks, and files shared
+  with any other stored model (multi-tenant fleets, two splits of one
+  network) are deduplicated by checksum instead of re-sent.
+* **multi-tenant workloads** — ``tenants`` runs several models (or
+  several splits of one model) through the same fleet; with a per-edge
+  ``memory_budget_bytes`` the stores evict LRU under pressure, and
+  ``prewarm`` starts every edge warm (models resident and attached)
+  instead of cold.
 * **admission control** — per-edge in-flight caps bound server queues;
   requests beyond the cap back off instead of stacking up.
 * **failover** — :meth:`FleetScenario.inject_kill` makes an edge die
@@ -46,7 +55,7 @@ from repro.fleet.scheduler import FleetScheduler, NoEdgeAvailable
 from repro.netsim import EdgeDown, NetemProfile, ReceiveTimeout, Topology
 from repro.netsim.link import LinkDown
 from repro.nn.cost import costs_for_range, network_costs
-from repro.nn.modelstore import ModelStore
+from repro.nn.model import Model
 from repro.nn.zoo import build_model
 from repro.serve import ServingConfig
 from repro.sim import SeededRng, Simulator
@@ -65,9 +74,15 @@ class EdgeSpec:
     profile: NetemProfile = field(default_factory=NetemProfile.wifi_30mbps)
     installed: bool = True
     session_cache_capacity: int = 256
+    #: model-store budget; LRU eviction above it (None = unbounded)
+    memory_budget_bytes: Optional[int] = None
 
 
-def default_fleet(count: int = 3, skew: float = 2.0) -> List[EdgeSpec]:
+def default_fleet(
+    count: int = 3,
+    skew: float = 2.0,
+    memory_budget_bytes: Optional[int] = None,
+) -> List[EdgeSpec]:
     """A heterogeneous fleet: server speeds spread by ``skew``.
 
     Edge 0 is the fastest; each subsequent edge is slower by an even step
@@ -80,7 +95,13 @@ def default_fleet(count: int = 3, skew: float = 2.0) -> List[EdgeSpec]:
     for index in range(count):
         fraction = index / max(1, count - 1)
         speedup = 1.0 / (1.0 + (skew - 1.0) * fraction)
-        specs.append(EdgeSpec(name=f"edge-{index}", server_speedup=speedup))
+        specs.append(
+            EdgeSpec(
+                name=f"edge-{index}",
+                server_speedup=speedup,
+                memory_budget_bytes=memory_budget_bytes,
+            )
+        )
     return specs
 
 
@@ -128,6 +149,10 @@ class EdgeReportRow:
     busy_seconds: float
     utilization: float
     mean_latency: float
+    #: model-store state at report time (cold replacements reset to 0)
+    store_resident_bytes: int = 0
+    #: budget evictions over the run (metrics-backed: survives cold swaps)
+    store_evictions: int = 0
 
 
 class FleetReport:
@@ -147,6 +172,7 @@ class FleetReport:
         handshake_misses: int,
         kills: List[Tuple[float, str]],
         serving: Optional[Dict] = None,
+        presend: Optional[Dict] = None,
     ):
         self.policy = policy
         self.records = records
@@ -160,6 +186,19 @@ class FleetReport:
         self.kills = kills
         #: aggregated serving-loop stats (None when serving is disabled)
         self.serving = serving
+        #: model-upload accounting: files skipped / bytes deduped by the
+        #: segment handshake, bytes sent by pre-send, delivery ride-alongs
+        self.presend = presend or {
+            "files_skipped": 0,
+            "bytes_deduped": 0,
+            "bytes_sent": 0,
+            "delivery_bytes": 0,
+        }
+
+    @property
+    def upload_bytes(self) -> int:
+        """Total model bytes that crossed the wire (pre-send + deliveries)."""
+        return self.presend["bytes_sent"] + self.presend["delivery_bytes"]
 
     @property
     def count(self) -> int:
@@ -215,6 +254,13 @@ class FleetReport:
             },
             "kills": [[round(at, 6), name] for at, name in self.kills],
             "serving": self.serving,
+            "presend": {
+                "files_skipped": self.presend["files_skipped"],
+                "bytes_deduped": self.presend["bytes_deduped"],
+                "bytes_sent": self.presend["bytes_sent"],
+                "delivery_bytes": self.presend["delivery_bytes"],
+                "upload_bytes": self.upload_bytes,
+            },
             "edges": [
                 {
                     "name": row.name,
@@ -223,6 +269,8 @@ class FleetReport:
                     "busy_seconds": round(row.busy_seconds, 6),
                     "utilization": round(row.utilization, 6),
                     "mean_latency": round(row.mean_latency, 6),
+                    "store_resident_bytes": row.store_resident_bytes,
+                    "store_evictions": row.store_evictions,
                 }
                 for row in self.edges
             ],
@@ -248,6 +296,13 @@ class FleetReport:
             f"failovers {self.failovers}, admission waits "
             f"{self.admission_waits}, handshake {self.handshake_hits} hits / "
             f"{self.handshake_misses} misses"
+        )
+        stats = self.presend
+        lines.append(
+            f"model upload: {self.upload_bytes} B on the wire "
+            f"({stats['bytes_sent']} B pre-sent, {stats['delivery_bytes']} B "
+            f"with snapshots), {stats['files_skipped']} files / "
+            f"{stats['bytes_deduped']} B deduped by the segment handshake"
         )
         if self.kills:
             killed = ", ".join(
@@ -276,7 +331,10 @@ class FleetReport:
         lines.append("")
         lines.append(
             format_table(
-                ["edge", "served", "failures", "busy_s", "util_%", "mean_lat_s"],
+                [
+                    "edge", "served", "failures", "busy_s", "util_%",
+                    "mean_lat_s", "resident_B", "evictions",
+                ],
                 [
                     [
                         row.name,
@@ -285,6 +343,8 @@ class FleetReport:
                         f"{row.busy_seconds:.3f}",
                         f"{100.0 * row.utilization:.1f}",
                         f"{row.mean_latency:.4f}",
+                        row.store_resident_bytes,
+                        row.store_evictions,
                     ]
                     for row in self.edges
                 ],
@@ -295,11 +355,36 @@ class FleetReport:
         return "\n".join(lines)
 
 
+@dataclass
+class _Tenant:
+    """One model workload sharing the fleet: app, split, cost tables."""
+
+    spec: str  # "smallnet" or "smallnet:3" (model:split, partial mode only)
+    model: Model
+    app: object  # repro.web.app.WebApp
+    full_costs: object
+    split_index: Optional[int] = None
+    front_model: Optional[Model] = None
+    rear_model: Optional[Model] = None
+    front_costs: object = None
+    rear_costs: object = None
+    batch_hint: Optional[Dict] = None
+
+    @property
+    def presend_model(self) -> Model:
+        return self.rear_model if self.rear_model is not None else self.model
+
+    @property
+    def server_costs(self):
+        return self.rear_costs if self.rear_model is not None else self.full_costs
+
+
 class _FleetClient:
     """Per-session client state: agent, attachment, per-edge handshakes."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, tenant: _Tenant):
         self.name = name
+        self.tenant = tenant
         self.agent: Optional[ClientAgent] = None
         self.attached_edge: Optional[str] = None
         #: edge -> (channel end identity, presend manager or None); a new
@@ -334,6 +419,9 @@ class FleetScenario:
         retries: int = 0,
         backoff_seconds: float = 0.05,
         serving: Optional[ServingConfig] = None,
+        tenants: Optional[List[str]] = None,
+        prewarm: bool = False,
+        segment_dedup: bool = True,
     ):
         if sessions <= 0 or requests_per_session <= 0:
             raise ValueError("sessions and requests_per_session must be positive")
@@ -357,6 +445,10 @@ class FleetScenario:
         self.backoff_seconds = backoff_seconds
         #: per-edge continuous-batching config (None = sequential serving)
         self.serving_config = serving
+        self.prewarm = prewarm
+        #: False replays the PR 6 whole-model handshake (misses re-upload
+        #: everything) — kept for A/B measurement of the segment dedup
+        self.segment_dedup = segment_dedup
 
         self.sim = Simulator(max_events=20_000_000)
         self.rng = SeededRng(seed, f"fleet/{model_name}/{policy}")
@@ -371,6 +463,7 @@ class FleetScenario:
                 installed=spec.installed,
                 session_cache_capacity=spec.session_cache_capacity,
                 serving=serving,
+                memory_budget_bytes=spec.memory_budget_bytes,
             )
         self.policy: Policy = make_policy(policy, self.rng.child("policy"))
         self.scheduler = FleetScheduler(
@@ -381,36 +474,29 @@ class FleetScenario:
             max_outstanding_per_edge=max_outstanding_per_edge,
         )
 
-        # The model and its cost tables are shared by every session (they
+        # The models and their cost tables are shared by every session (they
         # never mutate parameters), exactly like the multi-client workloads.
-        self.model = build_model(model_name)
-        network = self.model.network
-        self.full_costs = network_costs(network)
-        if mode == "offload-partial":
-            last = len(network.layers) - 1
-            split = split_index if split_index is not None else last // 2
-            self.split_index = split
-            self.front_model, self.rear_model = self.model.split(split)
-            self.front_costs = costs_for_range(network, 0, split)
-            self.rear_costs = costs_for_range(network, split + 1, last)
-            self.app = make_partial_inference_app(
-                self.front_model,
-                self.rear_model,
-                name=f"{model_name}-fleet-partial",
-            )
-            #: tells a batching server which stored model / restored global
-            #: carry the rear-half inference, so concurrent same-model
-            #: requests can share one batched forward
-            self.batch_hint = {
-                "model_id": self.rear_model.model_id,
-                "feature_global": "feature",
-            }
-        else:
-            self.split_index = None
-            self.app = make_inference_app(self.model, name=f"{model_name}-fleet")
-            self.batch_hint = None
+        # A tenant spec is "model" or "model:split" (partial mode only);
+        # sessions are assigned round-robin over the tenant list.
+        specs_list = list(tenants) if tenants else [model_name]
+        self.tenants: List[_Tenant] = [
+            self._build_tenant(spec, split_index) for spec in specs_list
+        ]
+        # Single-tenant aliases, kept for every pre-multi-tenant caller.
+        first = self.tenants[0]
+        self.model = first.model
+        self.app = first.app
+        self.full_costs = first.full_costs
+        self.split_index = first.split_index
+        self.front_model = first.front_model
+        self.rear_model = first.rear_model
+        self.front_costs = first.front_costs
+        self.rear_costs = first.rear_costs
+        self.batch_hint = first.batch_hint
 
         self.records: List[FleetRequestRecord] = []
+        #: model bytes that rode along with snapshots (unfinished pre-sends)
+        self._delivery_bytes = 0
         self.kill_log: List[Tuple[float, str]] = []
         self._kills: List[Tuple[float, str, bool]] = []
         self._revivals: List[Tuple[float, str]] = []
@@ -439,6 +525,76 @@ class FleetScenario:
         self._sessions_counter = metrics.counter(
             "fleet_sessions_total", help="user sessions completed", **labels
         )
+        if prewarm:
+            self._prewarm_stores()
+
+    # -- tenants -----------------------------------------------------------------
+    def _build_tenant(self, spec: str, default_split: Optional[int]) -> _Tenant:
+        """Build one tenant's model, app and cost tables from its spec."""
+        name, _, split_text = spec.partition(":")
+        split: Optional[int] = default_split
+        if split_text:
+            if self.mode != "offload-partial":
+                raise ValueError(
+                    f"tenant {spec!r} names a split point but mode is "
+                    f"{self.mode!r} (splits need offload-partial)"
+                )
+            split = int(split_text)
+        model = build_model(name)
+        network = model.network
+        full_costs = network_costs(network)
+        app_name = spec.replace(":", "@")
+        if self.mode != "offload-partial":
+            return _Tenant(
+                spec=spec,
+                model=model,
+                app=make_inference_app(model, name=f"{app_name}-fleet"),
+                full_costs=full_costs,
+            )
+        last = len(network.layers) - 1
+        if split is None:
+            split = last // 2
+        front_model, rear_model = model.split(split)
+        return _Tenant(
+            spec=spec,
+            model=model,
+            app=make_partial_inference_app(
+                front_model, rear_model, name=f"{app_name}-fleet-partial"
+            ),
+            full_costs=full_costs,
+            split_index=split,
+            front_model=front_model,
+            rear_model=rear_model,
+            front_costs=costs_for_range(network, 0, split),
+            rear_costs=costs_for_range(network, split + 1, last),
+            #: tells a batching server which stored model / restored global
+            #: carry the rear-half inference, so concurrent same-model
+            #: requests can share one batched forward
+            batch_hint={
+                "model_id": rear_model.model_id,
+                "feature_global": "feature",
+            },
+        )
+
+    def _prewarm_stores(self) -> None:
+        """Start every installed edge warm: tenant models resident + attached.
+
+        Models are pushed straight into the stores (no wire cost, as if an
+        operator had staged the fleet before opening it to traffic); with a
+        memory budget smaller than the tenant mix, later models evict
+        earlier ones LRU — a deliberately *partially* warm fleet.
+        """
+        for spec in self.specs:
+            server = self.servers[spec.name]
+            if not server.installed:
+                continue
+            for tenant in self.tenants:
+                model = tenant.presend_model
+                server.store.begin_upload(model.model_id, model.files())
+                for file in model.files():
+                    server.store.receive_file(model.model_id, file)
+                if server.store.has_complete(model.model_id):
+                    server.store.attach_model(model.model_id, model)
 
     # -- fault injection ---------------------------------------------------------
     def inject_kill(
@@ -471,7 +627,7 @@ class FleetScenario:
         server = self.servers[edge_name]
         server.restart()
         if cold:
-            server.store = ModelStore()
+            server.store = server.fresh_store()
         self.kill_log.append((self.sim.now, edge_name))
         self.sim.metrics.counter(
             "fleet_edge_kills_total", help="injected edge deaths",
@@ -499,7 +655,7 @@ class FleetScenario:
                 client_end,
                 capture_options=CaptureOptions(include_canvas_pixels=True),
             )
-            agent.start_app(self.app, presend=False)
+            agent.start_app(client.tenant.app, presend=False)
             if self.mode == "offload-partial":
                 agent.mark_offload_point("front_complete")
             else:
@@ -520,14 +676,14 @@ class FleetScenario:
         if known is not None and known[0] is client_end:
             agent.presend = known[1]
             return
-        presend_model = (
-            self.rear_model if self.mode == "offload-partial" else self.model
-        )
+        presend_model = client.tenant.presend_model
+        manifest = presend_model.files() if self.segment_dedup else None
         client_end.send(
             protocol.MODEL_QUERY,
             protocol.ModelQueryPayload(
                 model_id=presend_model.model_id,
                 fingerprint=presend_model.fingerprint(),
+                files=manifest,
             ),
         )
         reply = yield client_end.recv_kind(
@@ -540,7 +696,18 @@ class FleetScenario:
             self._handshake_miss_counter.inc()
             from repro.core.presend import PresendManager
 
-            manager = PresendManager(self.sim, client_end, [presend_model])
+            # Segment-level miss: the reply names exactly the missing files;
+            # everything else is already resident (possibly under another
+            # model id — content-addressed dedup) and is skipped up front.
+            skip = None
+            missing = reply.payload.missing_files
+            if missing is not None and manifest is not None:
+                resident = {f.name for f in manifest} - set(missing)
+                if resident:
+                    skip = {presend_model.model_id: resident}
+            manager = PresendManager(
+                self.sim, client_end, [presend_model], skip_files=skip
+            )
             manager.start()
         agent.presend = manager
         client.presends[edge_name] = (client_end, manager)
@@ -581,16 +748,33 @@ class FleetScenario:
                     server_costs=server_costs,
                     reply_timeout=self.reply_timeout,
                     retries=self.retries,
-                    batch_hint=self.batch_hint,
+                    batch_hint=client.tenant.batch_hint,
                 )
-            except (OffloadError, ReceiveTimeout, LinkDown, EdgeDown):
-                # The reply never came (or the edge refused): the scheduler
-                # *detects* the failure here and re-routes.
+            except OffloadError:
+                # An explicit ERROR reply: the edge is alive but refused —
+                # almost always a stale handshake (the store evicted the
+                # model behind our back).  Invalidate the handshake so the
+                # retry re-asks at segment granularity and re-uploads only
+                # what is actually gone; the edge stays schedulable.
+                client.presends.pop(edge_name, None)
+                self.scheduler.refuse(edge_name)
+                self._failover_counter.inc()
+                failovers += 1
+                excluded.add(edge_name)
+                continue
+            except (ReceiveTimeout, LinkDown, EdgeDown):
+                # The reply never came: the scheduler *detects* the edge
+                # death here and re-routes.  The handshake state for this
+                # edge is invalidated too — the replacement process comes
+                # up with whatever store survived (or a cold one), so a
+                # later retry must re-ask.
+                client.presends.pop(edge_name, None)
                 self.scheduler.fail(edge_name)
                 self._failover_counter.inc()
                 failovers += 1
                 excluded.add(edge_name)
                 continue
+            self._delivery_bytes += outcome.delivery_bytes
             self.scheduler.complete(edge_name, self.sim.now - issued_at)
             self.scheduler.observe_server_queue(
                 edge_name, outcome.server_queue_depth
@@ -623,12 +807,11 @@ class FleetScenario:
     def _session_proc(self, index: int, start_at: float):
         session_name = f"user-{index:04d}"
         yield self.sim.timeout(start_at)
-        client = _FleetClient(session_name)
+        tenant = self.tenants[index % len(self.tenants)]
+        client = _FleetClient(session_name, tenant)
         image_rng = self.rng.child(f"images/{session_name}")
-        shape = tuple(self.model.network.input_shape)
-        server_costs = (
-            self.rear_costs if self.mode == "offload-partial" else self.full_costs
-        )
+        shape = tuple(tenant.model.network.input_shape)
+        server_costs = tenant.server_costs
         interactions = self._interactions_for(session_name)
         started = self.sim.now
         request_index = 0
@@ -639,7 +822,7 @@ class FleetScenario:
             if interaction.action == "new_image":
                 pixels = TypedArray(image_rng.uniform_array(shape, 0, 255))
                 client.expected_label = int(
-                    np.argmax(self.model.inference(pixels.data))
+                    np.argmax(tenant.model.inference(pixels.data))
                 )
                 if client.agent is not None:
                     client.agent.runtime.globals["pending_pixels"] = pixels
@@ -659,7 +842,7 @@ class FleetScenario:
             issued_at = self.sim.now
             if self.mode == "offload-partial":
                 front_seconds = client.agent.device.forward_seconds(
-                    self.front_costs
+                    tenant.front_costs
                 )
                 yield client.agent.device.execute(
                     front_seconds, label="front-dnn"
@@ -779,9 +962,21 @@ class FleetScenario:
                     mean_latency=(
                         sum(latencies) / len(latencies) if latencies else 0.0
                     ),
+                    store_resident_bytes=self.servers[spec.name].store.resident_bytes,
+                    store_evictions=int(
+                        self.sim.metrics.value(
+                            "store_evictions_total", server=spec.name
+                        )
+                    ),
                 )
             )
         registry = self.sim.metrics
+        presend_stats = {
+            "files_skipped": int(registry.value("presend_files_skipped_total")),
+            "bytes_deduped": int(registry.value("presend_bytes_deduped_total")),
+            "bytes_sent": int(registry.value("presend_bytes_sent_total")),
+            "delivery_bytes": self._delivery_bytes,
+        }
         serving_stats = None
         if self.serving_config is not None:
             serving_stats = {
@@ -818,6 +1013,7 @@ class FleetScenario:
             handshake_misses=int(self._handshake_miss_counter.value),
             kills=list(self.kill_log),
             serving=serving_stats,
+            presend=presend_stats,
         )
 
 

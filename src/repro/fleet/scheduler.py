@@ -226,6 +226,19 @@ class FleetScheduler:
             state.alive = False
             self._dead_counters[name].inc()
 
+    def refuse(self, name: str) -> None:
+        """A dispatched request was *refused* (explicit ERROR reply).
+
+        The edge answered, so it is alive — a refusal is a state problem
+        (stale handshake, evicted model, bad manifest), not a death.  The
+        slot is released and the failure counted, but the edge stays
+        schedulable: the client re-handshakes and retries.
+        """
+        state = self._edges[name]
+        state.outstanding = max(0, state.outstanding - 1)
+        state.failures += 1
+        self._outstanding_gauges[name].set(state.outstanding)
+
     def mark_dead(self, name: str) -> None:
         state = self._edges[name]
         if state.alive:

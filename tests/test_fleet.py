@@ -215,6 +215,58 @@ class TestDigestHandshake:
         stale = self._query(server, topo, "c2", "0" * 64, model.model_id)
         assert stale.present is False  # same id, different params digest
 
+    def _query_v2(self, server, topo, client, model):
+        """Segment-level query: the manifest rides along."""
+        client_end, edge_end = topo.connect(client, "e0")
+        server.serve(edge_end)
+        client_end.send(
+            protocol.MODEL_QUERY,
+            protocol.ModelQueryPayload(
+                model_id=model.model_id,
+                fingerprint=model.fingerprint(),
+                files=model.files(),
+            ),
+        )
+        wait = client_end.recv_kind(protocol.MODEL_STATUS, timeout=5.0)
+        topo.sim.run_until(lambda: wait.triggered)
+        return wait.value.payload
+
+    def test_segment_status_names_exactly_the_missing_files(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        topo.add_edge_host("e0")
+        server = EdgeServer(sim, Device(sim, edge_server_x86()), name="e0")
+        smallnet = build_model("smallnet")
+        _, rear2 = smallnet.split(2)
+        _, rear3 = smallnet.split(3)
+
+        # cold store: every file of the manifest is missing
+        cold = self._query_v2(server, topo, "c0", rear2)
+        assert cold.present is False
+        assert cold.missing_files == [f.name for f in rear2.files()]
+
+        # install rear@2; its sibling split shares the parameter blobs,
+        # so the v2 answer asks only for the one file actually absent
+        server.store.begin_upload(rear2.model_id, rear2.files())
+        for file in rear2.files():
+            server.store.receive_file(rear2.model_id, file)
+        server.store.attach_model(rear2.model_id, rear2)
+        sibling = self._query_v2(server, topo, "c1", rear3)
+        assert sibling.present is False
+        assert sibling.missing_files == [f"{rear3.name}.json"]
+
+        # the installed model itself: present, nothing missing
+        warm = self._query_v2(server, topo, "c2", rear2)
+        assert warm.present is True
+        assert warm.missing_files == []
+
+        # a v1 query (no manifest) still answers whole-model only
+        v1 = self._query(
+            server, topo, "c3", rear3.fingerprint(), rear3.model_id
+        )
+        assert v1.present is False
+        assert v1.missing_files is None
+
 
 class TestFleetScenario:
     def test_default_fleet_is_skewed(self):

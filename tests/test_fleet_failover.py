@@ -203,6 +203,99 @@ class TestKillMidReply:
         assert result_fingerprint(report) == result_fingerprint(healthy)
 
 
+class TestKillUnderEvictionPressure:
+    """Cold kills landing on an edge whose cache is thrashing.
+
+    Two tenants (the same net split at layers 2 and 3) share ~137 KB of
+    parameter blobs; the budget fits either rear half alone but not both,
+    so each edge's store evicts continuously.  A cold kill then lands on
+    an edge that has *just* demoted a tenant: the revived store is empty,
+    the client's handshake state is stale, and every recovery path —
+    refusal retry, segment-level re-upload, cross-tenant dedup — runs in
+    one scenario.  Results must still be bitwise identical to the healthy
+    run, and the re-upload must send only the missing segments.
+    """
+
+    #: fits one rear half (138 903 B) but not the union (140 075 B)
+    BUDGET = 139_500
+
+    def make(self, **overrides):
+        kwargs = dict(
+            edges=[
+                EdgeSpec(
+                    "edge-0", profile=SLOW, memory_budget_bytes=self.BUDGET
+                ),
+                EdgeSpec(
+                    "edge-1", profile=SLOW, memory_budget_bytes=self.BUDGET
+                ),
+            ],
+            sessions=6,
+            requests_per_session=2,
+            mode="offload-partial",
+            tenants=["smallnet:2", "smallnet:3"],
+            seed=23,
+            reply_timeout=2.0,
+        )
+        kwargs.update(overrides)
+        return FleetScenario(**kwargs)
+
+    def attacked_run(self, kill_at, **overrides):
+        scenario = self.make(**overrides)
+        scenario.inject_kill(
+            "edge-0", kill_at, revive_at_seconds=kill_at + 1.0, cold=True
+        )
+        return scenario.run()
+
+    def test_cold_kill_on_thrashing_edge_keeps_results_identical(self):
+        healthy = self.make().run()
+        assert healthy.all_correct
+        # the budget really thrashes: both edges evicted during the run
+        assert all(row.store_evictions > 0 for row in healthy.edges)
+        assert healthy.presend["bytes_deduped"] > 0
+        # aim the kill mid-upload of a late edge-0 request — by then the
+        # edge has served both tenants and evicted at least once
+        victim = [r for r in healthy.records if r.edge == "edge-0"][2]
+        kill_at = victim.issued_at + victim.transfer_to_server_seconds / 2
+
+        report = self.attacked_run(kill_at)
+        assert_conservation(report, 12)
+        assert report.failovers >= 1
+        assert all(row.store_evictions > 0 for row in report.edges)
+        # every edge's resident set stayed under the budget at run end
+        assert all(
+            row.store_resident_bytes <= self.BUDGET for row in report.edges
+        )
+        assert result_fingerprint(report) == result_fingerprint(healthy)
+
+    def test_reupload_sends_only_missing_segments(self):
+        healthy = self.make().run()
+        victim = [r for r in healthy.records if r.edge == "edge-0"][2]
+        kill_at = victim.issued_at + victim.transfer_to_server_seconds / 2
+
+        v2 = self.attacked_run(kill_at)
+        v1 = self.attacked_run(kill_at, segment_dedup=False)
+        assert result_fingerprint(v2) == result_fingerprint(v1)
+        # the v1 handshake is whole-model-or-nothing: every post-eviction
+        # and post-kill recovery pays the full rear half again.  The v2
+        # segment handshake ships only what the store actually lacks.
+        assert v2.presend["bytes_deduped"] > 0
+        assert v1.presend["bytes_deduped"] == 0
+        assert v2.upload_bytes < v1.upload_bytes
+
+    def test_attacked_run_replays_bitwise(self):
+        healthy = self.make().run()
+        victim = [r for r in healthy.records if r.edge == "edge-0"][2]
+        kill_at = victim.issued_at + victim.transfer_to_server_seconds / 2
+        first = self.attacked_run(kill_at)
+        second = self.attacked_run(kill_at)
+        import json
+
+        assert json.dumps(first.as_dict(), sort_keys=True) == json.dumps(
+            second.as_dict(), sort_keys=True
+        )
+        assert first.render_markdown() == second.render_markdown()
+
+
 class TestKillWholeFleetEventually:
     def test_every_edge_dead_raises_loudly(self):
         scenario = make_scenario()

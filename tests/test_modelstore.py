@@ -1,0 +1,228 @@
+"""Multi-tenant model store: segment dedup, LRU eviction, manifest safety.
+
+The battery behind PR 9's artifact store:
+
+* ``begin_upload`` is idempotent only for *identical* manifests — a
+  re-registration with a different file list raises instead of silently
+  serving stale files (the S1 regression);
+* content-addressed segments are shared across models (two rear halves of
+  one network pay their common parameter blobs once) and
+  ``missing_from_manifest`` answers the segment-level handshake;
+* LRU eviction under ``memory_budget_bytes`` demotes entries to
+  "files known, model cold", frees only unshared segments, never touches
+  an in-flight upload, and admits a single oversized model.
+"""
+
+import pytest
+
+from repro.nn.model import ModelFile
+from repro.nn.modelstore import ModelStore, ModelStoreError
+from repro.nn.zoo import smallnet, tinynet
+from repro.obs.metrics import MetricsRegistry
+
+
+def upload(store, model):
+    """Drive a full upload + attach for one model."""
+    store.begin_upload(model.model_id, model.files())
+    for file in model.files():
+        store.receive_file(model.model_id, file)
+    store.attach_model(model.model_id, model)
+
+
+@pytest.fixture
+def model():
+    return smallnet()
+
+
+@pytest.fixture
+def rears(model):
+    """Two rear halves of the same net: near-total segment overlap."""
+    _, rear2 = model.split(2)
+    _, rear3 = model.split(3)
+    return rear2, rear3
+
+
+class TestManifestSafety:
+    def test_identical_reregistration_is_idempotent(self, model):
+        store = ModelStore()
+        first = store.begin_upload(model.model_id, model.files())
+        second = store.begin_upload(model.model_id, model.files())
+        assert first is second
+
+    def test_reordered_manifest_raises(self, model):
+        store = ModelStore()
+        store.begin_upload(model.model_id, model.files())
+        with pytest.raises(ModelStoreError, match="manifest mismatch"):
+            store.begin_upload(model.model_id, list(reversed(model.files())))
+
+    def test_truncated_manifest_raises(self, model):
+        store = ModelStore()
+        store.begin_upload(model.model_id, model.files())
+        with pytest.raises(ModelStoreError, match="manifest mismatch"):
+            store.begin_upload(model.model_id, model.files()[:-1])
+
+    def test_changed_checksum_raises(self, model):
+        store = ModelStore()
+        files = model.files()
+        store.begin_upload(model.model_id, files)
+        stale = [
+            ModelFile(f.name, f.kind, f.size_bytes, checksum="f" * 16)
+            if f.kind == "parameters" else f
+            for f in files
+        ]
+        with pytest.raises(ModelStoreError, match="manifest mismatch"):
+            store.begin_upload(model.model_id, stale)
+
+    def test_mismatch_leaves_existing_entry_untouched(self, model):
+        store = ModelStore()
+        upload(store, model)
+        with pytest.raises(ModelStoreError):
+            store.begin_upload(model.model_id, model.files()[:1])
+        assert store.has_complete(model.model_id)
+        assert store.get_model(model.model_id) is model
+
+
+class TestSegmentDedup:
+    def test_shared_blobs_are_resident_once(self, rears):
+        rear2, rear3 = rears
+        store = ModelStore()
+        upload(store, rear2)
+        upload(store, rear3)
+        union = {f.checksum: f.size_bytes for f in rear2.files()}
+        union.update({f.checksum: f.size_bytes for f in rear3.files()})
+        assert store.resident_bytes == sum(union.values())
+        assert store.resident_bytes < rear2.total_bytes + rear3.total_bytes
+
+    def test_begin_upload_claims_resident_segments(self, rears):
+        rear2, rear3 = rears
+        store = ModelStore()
+        upload(store, rear2)
+        entry = store.begin_upload(rear3.model_id, rear3.files())
+        # the three parameter blobs are shared; only the description is new
+        assert entry.missing == [f"{rear3.name}.json"]
+
+    def test_missing_from_manifest_is_exactly_the_gap(self, rears):
+        rear2, rear3 = rears
+        store = ModelStore()
+        assert store.missing_from_manifest(rear3.files()) == [
+            f.name for f in rear3.files()
+        ]
+        upload(store, rear2)
+        assert store.missing_from_manifest(rear3.files()) == [
+            f"{rear3.name}.json"
+        ]
+
+    def test_dedup_completed_upload_attaches(self, rears):
+        rear2, rear3 = rears
+        store = ModelStore()
+        upload(store, rear2)
+        store.begin_upload(rear3.model_id, rear3.files())
+        json_file = next(f for f in rear3.files() if f.kind == "description")
+        store.receive_file(rear3.model_id, json_file)
+        store.attach_model(rear3.model_id, rear3)
+        assert store.get_model(rear3.model_id) is rear3
+
+
+class TestLruEviction:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ModelStore(0)
+        with pytest.raises(ValueError):
+            ModelStore(-1)
+
+    def test_eviction_demotes_to_files_known_model_cold(self, model):
+        tiny = tinynet()
+        store = ModelStore(model.total_bytes + 100)
+        upload(store, tiny)
+        upload(store, model)  # overflows: tinynet is the LRU victim
+        assert store.evictions == 1
+        assert store.resident_bytes <= model.total_bytes + 100
+        entry = store.entry(tiny.model_id)
+        assert entry is not None  # manifest survives
+        assert entry.model is None and not entry.received
+        assert [f.name for f in entry.manifest] == [
+            f.name for f in tiny.files()
+        ]
+        assert not store.has_complete(tiny.model_id)
+        assert not store.matches_fingerprint(
+            tiny.model_id, tiny.fingerprint()
+        )
+
+    def test_demoted_model_reuploads_only_freed_segments(self, rears):
+        rear2, rear3 = rears
+        budget = max(rear2.total_bytes, rear3.total_bytes) + 700
+        store = ModelStore(budget)
+        upload(store, rear2)
+        upload(store, rear3)  # union exceeds the budget: rear2 demoted
+        assert store.evictions == 1
+        assert store.resident_bytes <= budget
+        # the shared parameter blobs survived via rear3's refs; only
+        # rear2's description was actually freed
+        assert store.missing_from_manifest(rear2.files()) == [
+            f"{rear2.name}.json"
+        ]
+
+    def test_lru_order_respects_recent_touches(self):
+        models = [tinynet(seed=k) for k in (1, 2, 3)]
+        budget = sum(m.total_bytes for m in models[:2]) + 100
+        store = ModelStore(budget)
+        upload(store, models[0])
+        upload(store, models[1])
+        store.get_model(models[0].model_id)  # models[1] is now LRU
+        upload(store, models[2])
+        assert store.entry(models[1].model_id).model is None
+        assert store.get_model(models[0].model_id) is models[0]
+
+    def test_incomplete_upload_is_never_a_victim(self, model):
+        tiny = tinynet()
+        store = ModelStore(1000)
+        store.begin_upload(model.model_id, model.files())
+        store.receive_file(model.model_id, model.files()[0])
+        upload(store, tiny)  # pressure, but model's upload is in flight
+        entry = store.entry(model.model_id)
+        assert entry.received  # the partial upload kept its bytes
+        for file in model.files()[1:]:
+            store.receive_file(model.model_id, file)
+        store.attach_model(model.model_id, model)
+        assert store.get_model(model.model_id) is model
+
+    def test_oversized_single_model_is_admitted(self, model):
+        store = ModelStore(1000)
+        upload(store, model)
+        assert store.get_model(model.model_id) is model
+        assert store.resident_bytes > 1000  # documented overrun
+
+    def test_explicit_evict_forgets_manifest_too(self, model):
+        store = ModelStore()
+        upload(store, model)
+        store.evict(model.model_id)
+        assert store.entry(model.model_id) is None
+        assert store.resident_bytes == 0
+        assert store.stored_ids() == []
+
+    def test_unbudgeted_store_never_evicts(self, model):
+        tiny = tinynet()
+        store = ModelStore()
+        upload(store, model)
+        upload(store, tiny)
+        assert store.evictions == 0
+        assert store.has_complete(model.model_id)
+        assert store.has_complete(tiny.model_id)
+
+
+class TestStoreMetrics:
+    def test_gauge_and_counter_track_the_store(self, model):
+        tiny = tinynet()
+        registry = MetricsRegistry(clock=lambda: 0.0)
+        store = ModelStore(
+            model.total_bytes + 100, metrics=registry, server="edge-0"
+        )
+        upload(store, tiny)
+        assert registry.value(
+            "store_bytes_resident", server="edge-0"
+        ) == float(tiny.total_bytes)
+        upload(store, model)
+        assert registry.value("store_evictions_total", server="edge-0") == 1.0
+        assert registry.value(
+            "store_bytes_resident", server="edge-0"
+        ) == float(store.resident_bytes)
