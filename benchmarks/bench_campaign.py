@@ -766,6 +766,79 @@ def _bench_backend(zoo_models=("smallnet", "alexnet", "resnet-mini", "googlenet"
     return result
 
 
+def _bench_exits(model_name="smallnet_exits", bandwidth_mbps=100.0):
+    """Deadline-aware (split, exit) selection: accuracy scales with SLO.
+
+    Sweeps a data-driven deadline grid at one bandwidth and records the
+    joint (split, exit) pair ``choose_under_deadline`` picks per
+    deadline.  Two claims: tightening the deadline never moves the
+    chosen exit *later* (accuracy only ever degrades as the SLO
+    tightens), and a generous enough deadline always picks the full
+    network — the final exit at the model's full accuracy.  The default
+    bandwidth is compute-dominated on purpose: early exits sit low in
+    the spine, so their candidate splits ship big feature tensors, and
+    on a slow link the full network's late split beats every early exit
+    outright (no transition to see).  Everything is analytic over
+    deterministically seeded predictor fits, so the sweep is
+    reproducible across runs.
+    """
+    from repro.eval.fig8 import make_optimizer
+    from repro.eval.fig_accuracy import deadline_grid_ms
+    from repro.eval.scenarios import Testbed, build_paper_model
+
+    print("-- exits (deadline-aware accuracy scaling) ...", flush=True)
+    model = build_paper_model(model_name)
+    network = model.network
+    optimizer = make_optimizer(model_name)
+    link = Testbed(bandwidth_bps=bandwidth_mbps * 1e6).profile
+    # The probe choice's estimate sweep drives the deadline grid, so the
+    # sweep hits every exit's feasibility threshold whatever the scale.
+    probe = optimizer.choose_under_deadline(network, link, 3600.0)
+    started = time.perf_counter()
+    sweep = []
+    for deadline_ms in deadline_grid_ms([probe]):
+        choice = optimizer.choose_under_deadline(
+            network, link, deadline_ms / 1e3
+        )
+        sweep.append(
+            {
+                "deadline_ms": deadline_ms,
+                "split_index": choice.point.index,
+                "split_label": choice.point.label,
+                "exit_index": choice.exit.index,
+                "exit_name": choice.exit.name,
+                "accuracy": choice.accuracy,
+                "predicted_s": round(choice.best.total_seconds, 6),
+                "feasible": choice.feasible,
+            }
+        )
+        print(
+            f"   {deadline_ms:9.3f} ms -> split @{choice.point.index} "
+            f"({choice.point.label}), exit {choice.exit.name} "
+            f"(acc {choice.accuracy:.3f}, "
+            f"{'feasible' if choice.feasible else 'infeasible'})",
+            flush=True,
+        )
+    sweep_seconds = time.perf_counter() - started
+    exit_indices = [row["exit_index"] for row in sweep]
+    last = sweep[-1]
+    return {
+        "model": model_name,
+        "bandwidth_mbps": bandwidth_mbps,
+        "sweep": sweep,
+        "sweep_ms": round(sweep_seconds * 1000, 3),
+        "exit_indices": exit_indices,
+        "never_later": all(
+            a <= b for a, b in zip(exit_indices, exit_indices[1:])
+        ),
+        "generous_full_network": (
+            last["exit_name"] == "final"
+            and last["feasible"]
+            and abs(last["accuracy"] - network.final_accuracy) < 1e-12
+        ),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument(
@@ -813,6 +886,7 @@ def main(argv=None) -> int:
     serving = _bench_serving()
     backend = _bench_backend()
     modelstore = _bench_modelstore()
+    exits = _bench_exits()
 
     reports = {
         "serial": serial.report_markdown,
@@ -1037,6 +1111,23 @@ def main(argv=None) -> int:
                 modelstore["failover_reupload"]["v1_upload_bytes"]
             ),
         },
+        # Tightening the completion deadline must never move the chosen
+        # early exit *later* — accuracy degrades monotonically with the
+        # SLO, never recovers as it tightens.
+        "exit_never_later_as_deadline_tightens": {
+            "held": exits["never_later"],
+            "skipped": False,
+            "model": exits["model"],
+            "bandwidth_mbps": exits["bandwidth_mbps"],
+            "exit_indices": exits["exit_indices"],
+        },
+        # A generous enough deadline must always pick the full network:
+        # the final exit, feasible, at the model's full accuracy.
+        "generous_deadline_picks_full_network": {
+            "held": exits["generous_full_network"],
+            "skipped": False,
+            "final_choice": exits["sweep"][-1],
+        },
     }
     claims_hold = all(
         claim["held"] for claim in claims.values() if not claim["skipped"]
@@ -1074,6 +1165,7 @@ def main(argv=None) -> int:
             "serving": serving,
             "backend": backend,
             "modelstore": modelstore,
+            "exits": exits,
         },
         "speedup": {
             "parallel_vs_serial": round(serial_wall / parallel_wall, 3),

@@ -21,7 +21,9 @@
 # baseline, and the tuned backend must not flip any top-1 label), and
 # the model store's contract (same-seed cold-fleet and pre-warmed-fleet
 # scenarios, run twice each, must emit byte-identical reports, and the
-# warm fleet must pay zero upload bytes).
+# warm fleet must pay zero upload bytes), and the multi-exit sweep's
+# contract (same-seed fig-accuracy runs must be byte-identical, with
+# every accuracy-scaling claim checked by the CLI's exit status).
 #
 #   scripts/smoke.sh [output-dir]
 #
@@ -35,15 +37,15 @@ mkdir -p "$out_dir"
 cd "$repo_root"
 export PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== 1/10 unit + property tests"
+echo "== 1/11 unit + property tests"
 python -m pytest -x -q
 
-echo "== 2/10 quick campaign with telemetry export"
+echo "== 2/11 quick campaign with telemetry export"
 python -m repro campaign --quick \
     --out "$out_dir/report.md" \
     --metrics-out "$out_dir/metrics.prom"
 
-echo "== 3/10 exported metrics parse + sanity"
+echo "== 3/11 exported metrics parse + sanity"
 python - "$out_dir/metrics.prom" <<'PY'
 import sys
 
@@ -62,7 +64,7 @@ print(f"ok: {len(samples)} samples, {sessions:.0f} sessions, "
       f"{executions:.0f} server executions")
 PY
 
-echo "== 4/10 execution engine: parallel + cache determinism"
+echo "== 4/11 execution engine: parallel + cache determinism"
 cache_dir="$out_dir/result-cache"
 rm -rf "$cache_dir"
 cold_start=$(python -c 'import time; print(time.perf_counter())')
@@ -87,7 +89,7 @@ print(f"ok: cold {cold:.1f}s, warm {warm:.1f}s (reports byte-identical)")
 assert warm <= cold, f"cached rerun slower than cold run ({warm:.1f}s > {cold:.1f}s)"
 PY
 
-echo "== 5/10 graph optimizer: equivalence + not-slower"
+echo "== 5/11 graph optimizer: equivalence + not-slower"
 opt_start=$(python -c 'import time; print(time.perf_counter())')
 python -m repro fig7 --models googlenet \
     > "$out_dir/fig7-optimized.txt"
@@ -131,7 +133,7 @@ cmp "$out_dir/fig8-split-optimized.txt" "$out_dir/fig8-split-reference.txt" || {
     exit 1; }
 echo "ok: googlenet partial-inference sweep byte-identical across joins"
 
-echo "== 6/10 plan cache: cross-process reuse + determinism"
+echo "== 6/11 plan cache: cross-process reuse + determinism"
 plan_dir="$out_dir/plan-cache"
 rm -rf "$plan_dir"
 python -m repro campaign --quick --jobs 2 --plan-cache-dir "$plan_dir" \
@@ -168,7 +170,7 @@ print(f"ok: plan-cache reports byte-identical; warm process rehydrated "
       f"({hits:.0f} hits, {misses:.0f} misses)")
 PY
 
-echo "== 7/10 fleet: seeded determinism + failover conservation"
+echo "== 7/11 fleet: seeded determinism + failover conservation"
 # A small multi-edge scenario with an edge killed (and revived) mid-run,
 # executed twice with the same seed, must emit byte-identical reports —
 # the scheduler, failover, and report rendering are all virtual-time
@@ -182,7 +184,7 @@ cmp "$out_dir/fleet-a.md" "$out_dir/fleet-b.md" || {
     echo "FAIL: fleet reports diverge across same-seed reruns" >&2; exit 1; }
 echo "ok: fleet report byte-identical across same-seed reruns"
 
-echo "== 8/10 serving: continuous-batching determinism under a kill"
+echo "== 8/11 serving: continuous-batching determinism under a kill"
 # The batching serving loop must be invisible in the results: a same-seed
 # serving scenario — two edges, an edge killed and revived mid-run — run
 # twice must emit byte-identical reports (dispatcher wake-ups, batch
@@ -198,7 +200,7 @@ grep -q "serving:" "$out_dir/serve-a.md" || {
     echo "FAIL: serving report carries no batching stats" >&2; exit 1; }
 echo "ok: serving report byte-identical across same-seed reruns"
 
-echo "== 9/10 kernel backends: reference baseline + tuned label equality"
+echo "== 9/11 kernel backends: reference baseline + tuned label equality"
 # The reference backend must reproduce the committed fig7 report byte for
 # byte (it *is* the pre-backend numpy path, call for call), and the tuned
 # backend — equivalent only within a tested tolerance — must not flip a
@@ -236,7 +238,7 @@ for name in ("smallnet", "tinynet", "alexnet", "resnet-mini", "googlenet"):
 PY
 echo "ok: reference baseline byte-identical; tuned preserves every label"
 
-echo "== 10/10 model store: cold vs warm fleet determinism"
+echo "== 10/11 model store: cold vs warm fleet determinism"
 # Same-seed cold-fleet and warm-fleet (pre-warmed store) scenarios, each
 # run twice, must emit byte-identical reports — the segment-level
 # handshake, LRU bookkeeping, and presend accounting all replay on the
@@ -261,5 +263,19 @@ grep -q "model upload: 0 B on the wire" "$out_dir/fleet-warm-a.md" || {
 grep -q "model upload: 0 B on the wire" "$out_dir/fleet-cold-a.md" && {
     echo "FAIL: cold fleet reports zero upload bytes" >&2; exit 1; }
 echo "ok: cold and warm fleet reports byte-identical; warm uploads nothing"
+
+echo "== 11/11 multi-exit: accuracy-vs-deadline sweep determinism"
+# The joint (split, exit) sweep is analytic over deterministically
+# seeded predictor fits: the same seed must render the same bytes, and
+# the CLI exits non-zero if any accuracy-scaling claim is violated
+# (exit moving later as the deadline tightens, a generous deadline not
+# picking the full network, a "feasible" choice missing its deadline).
+python -m repro fig-accuracy --models smallnet_exits \
+    > "$out_dir/fig-accuracy-a.txt"
+python -m repro fig-accuracy --models smallnet_exits \
+    > "$out_dir/fig-accuracy-b.txt"
+cmp "$out_dir/fig-accuracy-a.txt" "$out_dir/fig-accuracy-b.txt" || {
+    echo "FAIL: fig-accuracy diverges across same-seed reruns" >&2; exit 1; }
+echo "ok: accuracy-vs-deadline sweep byte-identical across reruns"
 
 echo "smoke ok — artifacts in $out_dir"

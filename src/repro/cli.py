@@ -6,6 +6,7 @@ Usage::
     python -m repro fig6 [--models googlenet agenet] [--bandwidth 30]
     python -m repro fig7
     python -m repro fig8 [--models agenet] [--max-points 6]
+    python -m repro fig-accuracy [--models smallnet_exits] [--bandwidths 5 30]
     python -m repro table1
     python -m repro ablation {bandwidth,partition,decision,snapshot,gpu,
                               energy,cache,contention}
@@ -226,6 +227,22 @@ def cmd_fig8(args: argparse.Namespace) -> int:
     )
     print(format_fig8(points))
     return _fail_on_violations(check_fig8_shape(points))
+
+
+def cmd_fig_accuracy(args: argparse.Namespace) -> int:
+    from repro.eval.fig_accuracy import (
+        check_fig_accuracy_shape,
+        format_fig_accuracy,
+        run_fig_accuracy,
+    )
+
+    points = run_fig_accuracy(
+        models=args.models,
+        bandwidths_mbps=args.bandwidths,
+        engine=_engine_from_args(args),
+    )
+    print(format_fig_accuracy(points))
+    return _fail_on_violations(check_fig_accuracy_shape(points))
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
@@ -502,6 +519,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_arg(p)
     p.add_argument("--max-points", type=int, default=None)
     p.set_defaults(func=cmd_fig8)
+
+    p = sub.add_parser(
+        "fig-accuracy",
+        help="accuracy-vs-deadline sweep for multi-exit models",
+    )
+    from repro.nn.zoo import EXIT_MODELS
+
+    p.add_argument(
+        "--models",
+        nargs="+",
+        default=list(EXIT_MODELS),
+        choices=list(EXIT_MODELS),
+        help="multi-exit models to sweep (default: all)",
+    )
+    p.add_argument(
+        "--bandwidths",
+        nargs="+",
+        type=float,
+        default=[5.0, 30.0, 100.0],
+        metavar="MBPS",
+        help="bandwidths to sweep, in Mbps (default: 5 30 100)",
+    )
+    _add_metrics_arg(p)
+    _add_exec_args(p)
+    _add_optimize_arg(p)
+    _add_backend_arg(p)
+    p.set_defaults(func=cmd_fig_accuracy)
 
     p = sub.add_parser("ablation", help="run one ablation study")
     from repro.eval.ablations import STUDY_NAMES

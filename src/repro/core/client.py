@@ -189,6 +189,7 @@ class ClientAgent:
         reply_timeout: Optional[float] = None,
         retries: int = 0,
         batch_hint: Optional[Dict[str, str]] = None,
+        deadline_s: Optional[float] = None,
     ):
         """Simulated process performing one offload round trip.
 
@@ -197,6 +198,10 @@ class ClientAgent:
         model and which restored global hold this request's rear-half
         inference, so concurrent same-model requests can share one batched
         forward.  Servers without a serving loop ignore it.
+
+        ``deadline_s`` is this request's completion SLO; it rides in the
+        snapshot metadata and overrides the serving loop's config-wide
+        deadline for this item.  Servers without a serving loop ignore it.
 
         Yields simulation events; the process result is an
         :class:`OffloadOutcome`.  Raises :class:`OffloadError` if the server
@@ -237,6 +242,8 @@ class ClientAgent:
             snapshot.metadata["server_costs"] = server_costs
         if batch_hint is not None:
             snapshot.metadata["batch"] = dict(batch_hint)
+        if deadline_s is not None:
+            snapshot.metadata["deadline_s"] = float(deadline_s)
         capture_seconds = self.device.snapshot_capture_seconds(snapshot.size_bytes)
         yield self.device.execute(capture_seconds, label="snapshot-capture")
 
@@ -290,6 +297,7 @@ class ClientAgent:
                     reply_timeout=reply_timeout,
                     retries=retries,
                     batch_hint=batch_hint,
+                    deadline_s=deadline_s,
                 )
                 return outcome
             self._failure_counter.inc()

@@ -18,6 +18,12 @@ offload point it predicts
 using per-device latency predictors and the current link profile, and picks
 the minimum.  With ``denature=True``, points before the first parameterized
 layer are excluded (the input would cross the network un-denatured).
+
+:meth:`PartitionOptimizer.choose_under_deadline` extends the sweep to the
+joint (split, exit) space of multi-exit networks (Edgent-style): among the
+pairs whose predicted end-to-end time meets the deadline, pick the one with
+the highest modeled accuracy; when no pair is feasible, degrade to the
+fastest pair so a too-tight SLO still gets the least-late answer.
 """
 
 from __future__ import annotations
@@ -28,8 +34,8 @@ from typing import Dict, List, Optional, Sequence
 from repro.devices.predictor import LatencyPredictor
 from repro.devices.profiles import DeviceProfile
 from repro.netsim.link import NetemProfile
-from repro.nn.cost import LayerCost, network_costs
-from repro.nn.network import Network, OffloadPoint
+from repro.nn.cost import LayerCost, exit_head_costs, network_costs
+from repro.nn.network import ExitPoint, Network, OffloadPoint
 
 #: planner's allowance for snapshot code + return delta, in bytes
 SNAPSHOT_CODE_ALLOWANCE = 16 * 1024
@@ -73,6 +79,53 @@ class PartitionChoice:
             if estimate.point.label == label:
                 return estimate
         raise KeyError(f"no estimate for offload point {label!r}")
+
+
+@dataclass(frozen=True)
+class ExitEstimate:
+    """Predicted end-to-end time for one (split, exit) pair."""
+
+    exit: ExitPoint
+    estimate: PartitionEstimate
+
+    @property
+    def accuracy(self) -> float:
+        return self.exit.accuracy
+
+    @property
+    def total_seconds(self) -> float:
+        return self.estimate.total_seconds
+
+    @property
+    def point(self) -> OffloadPoint:
+        return self.estimate.point
+
+
+@dataclass(frozen=True)
+class DeadlineChoice:
+    """The joint (split, exit) decision for one deadline.
+
+    ``feasible`` is True when the chosen pair's predicted time meets the
+    deadline; False means *no* pair did and ``best`` is the fastest pair
+    overall (the least-late fallback).
+    """
+
+    best: ExitEstimate
+    feasible: bool
+    deadline_s: float
+    estimates: List[ExitEstimate]
+
+    @property
+    def point(self) -> OffloadPoint:
+        return self.best.point
+
+    @property
+    def exit(self) -> ExitPoint:
+        return self.best.exit
+
+    @property
+    def accuracy(self) -> float:
+        return self.best.accuracy
 
 
 class PartitionOptimizer:
@@ -176,6 +229,66 @@ class PartitionOptimizer:
             feature_bytes=feature_bytes,
         )
 
+    def estimate_exit(
+        self,
+        network: Network,
+        point: OffloadPoint,
+        link: NetemProfile,
+        exit: ExitPoint,
+    ) -> ExitEstimate:
+        """Predicted time for one (split, exit) pair.
+
+        Like :meth:`estimate`, except the rear part stops at the exit:
+        trunk layers past the attach point never run, and a non-final
+        exit's classifier head is priced on the server side.
+        """
+        last = len(network.layers) - 1
+        if self.use_plan_costs:
+            from repro.nn.cost import plan_costs
+
+            front = plan_costs(network, 0, point.index)
+            if exit.is_final:
+                rear = plan_costs(network, point.index + 1, last)
+            else:
+                rear = plan_costs(
+                    network, point.index + 1, exit.index, exit_point=exit.index
+                )
+        else:
+            costs = network_costs(network)
+            front = [cost for cost in costs if cost.spine_index <= point.index]
+            rear = [
+                cost
+                for cost in costs
+                if point.index < cost.spine_index <= exit.index
+            ]
+            if not exit.is_final:
+                rear = rear + exit_head_costs(network, exit.index)
+        client_seconds = self.client_predictor.predict_forward(front)
+        server_seconds = self.server_predictor.predict_forward(rear)
+        feature_shape = network.layers[point.index].out_shape
+        feature_bytes = int(self._feature_bytes(tuple(feature_shape)))
+        outbound = feature_bytes + SNAPSHOT_CODE_ALLOWANCE
+        transfer = link.transfer_seconds(outbound) + link.transfer_seconds(
+            RETURN_DELTA_ALLOWANCE
+        )
+        overhead = (
+            self.client_profile.snapshot_fixed_s * 2
+            + self.server_profile.snapshot_fixed_s * 2
+            + outbound / self.client_profile.snapshot_serialize_bps
+            + outbound / self.server_profile.snapshot_restore_bps
+        )
+        return ExitEstimate(
+            exit=exit,
+            estimate=PartitionEstimate(
+                point=point,
+                client_seconds=client_seconds,
+                transfer_seconds=transfer,
+                server_seconds=server_seconds,
+                overhead_seconds=overhead,
+                feature_bytes=feature_bytes,
+            ),
+        )
+
     def sweep(
         self,
         network: Network,
@@ -201,8 +314,74 @@ class PartitionOptimizer:
         if not candidates:
             raise ValueError(f"network {network.name!r} has no candidate points")
         estimates = self.sweep(network, link, candidates)
-        best = min(estimates, key=lambda estimate: estimate.total_seconds)
+        # Ties break toward the earlier split: equal-cost points otherwise
+        # resolve to whichever the sweep happened to enumerate first, and
+        # an earlier split keeps more of the model server-side (smaller
+        # pre-send, stronger denaturing never lost since candidates are
+        # already filtered).
+        best = min(
+            estimates,
+            key=lambda estimate: (estimate.total_seconds, estimate.point.index),
+        )
         return PartitionChoice(best=best, estimates=estimates)
+
+    def choose_under_deadline(
+        self,
+        network: Network,
+        link: NetemProfile,
+        deadline_s: float,
+        denature: bool = True,
+    ) -> DeadlineChoice:
+        """Joint (split, exit) choice: max accuracy meeting the deadline.
+
+        Sweeps every (offload point, exit) pair — splits must precede the
+        exit they pair with — and picks the highest-accuracy pair whose
+        predicted total time is within ``deadline_s``; accuracy ties break
+        toward the faster pair, then the earlier split.  When no pair is
+        feasible the fastest pair wins (``feasible=False`` on the result),
+        so a too-tight SLO degrades to least-late instead of raising.
+        """
+        if deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {deadline_s}")
+        points = network.offload_points()
+        candidates = (
+            self.denaturing_points(network, points) if denature else list(points)
+        )
+        if not candidates:
+            raise ValueError(f"network {network.name!r} has no candidate points")
+        estimates: List[ExitEstimate] = []
+        for exit in network.exit_points():
+            for point in candidates:
+                if point.index >= exit.index:
+                    continue  # nothing left to offload past the exit
+                estimates.append(self.estimate_exit(network, point, link, exit))
+        if not estimates:
+            raise ValueError(
+                f"network {network.name!r} has no (split, exit) pairs"
+            )
+        feasible = [
+            pair for pair in estimates if pair.total_seconds <= deadline_s
+        ]
+        if feasible:
+            best = min(
+                feasible,
+                key=lambda pair: (
+                    -pair.accuracy,
+                    pair.total_seconds,
+                    pair.point.index,
+                ),
+            )
+        else:
+            best = min(
+                estimates,
+                key=lambda pair: (pair.total_seconds, pair.point.index),
+            )
+        return DeadlineChoice(
+            best=best,
+            feasible=bool(feasible),
+            deadline_s=deadline_s,
+            estimates=estimates,
+        )
 
 
 def predictions_by_label(

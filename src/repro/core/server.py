@@ -405,10 +405,16 @@ class EdgeServer:
                 exec_seconds=exec_seconds,
                 model_id=model_id,
                 feature=feature,
+                deadline_s=snapshot.metadata.get("deadline_s"),
             )
             yield item.done
             timings["queue"] = item.queue_seconds
             timings["exec"] = item.exec_share_seconds
+            if item.dead_on_arrival:
+                # The reply tells the client its answer was already stale
+                # when the batch was cut (timings is a float map, so a
+                # flag rides as 1.0).
+                timings["dead_on_arrival"] = 1.0
             self._executions_counter.inc()
             if item.error is not None:
                 if isinstance(item.error, MissingModelError):

@@ -49,8 +49,9 @@ from repro.exec.task import Task, TaskOutcome
 CACHE_FORMAT = 1
 
 #: bump when the serialized plan descriptor layout changes
-#: (2: descriptors carry a backend name and quantized-step stats/operands)
-PLAN_CACHE_FORMAT = 2
+#: (2: descriptors carry a backend name and quantized-step stats/operands;
+#: 3: quantized operands carry per-channel scale/zero-point arrays)
+PLAN_CACHE_FORMAT = 3
 
 #: plan-cache directory inherited by pool workers (like REPRO_NO_OPTIMIZE);
 #: empty/unset means disabled

@@ -369,6 +369,9 @@ class _Tenant:
     front_costs: object = None
     rear_costs: object = None
     batch_hint: Optional[Dict] = None
+    #: early exit serving this tenant (deadline-planned multi-exit models)
+    exit_name: Optional[str] = None
+    exit_accuracy: Optional[float] = None
 
     @property
     def presend_model(self) -> Model:
@@ -422,6 +425,7 @@ class FleetScenario:
         tenants: Optional[List[str]] = None,
         prewarm: bool = False,
         segment_dedup: bool = True,
+        deadline_s: Optional[float] = None,
     ):
         if sessions <= 0 or requests_per_session <= 0:
             raise ValueError("sessions and requests_per_session must be positive")
@@ -449,6 +453,13 @@ class FleetScenario:
         #: False replays the PR 6 whole-model handshake (misses re-upload
         #: everything) — kept for A/B measurement of the segment dedup
         self.segment_dedup = segment_dedup
+        #: per-request completion SLO.  Rides in every snapshot (the serving
+        #: loop counts misses against it); for multi-exit tenants in partial
+        #: mode it also drives the joint (split, exit) plan — see
+        #: :meth:`repro.core.partition.PartitionOptimizer.choose_under_deadline`.
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        self.deadline_s = deadline_s
 
         self.sim = Simulator(max_events=20_000_000)
         self.rng = SeededRng(seed, f"fleet/{model_name}/{policy}")
@@ -525,6 +536,16 @@ class FleetScenario:
         self._sessions_counter = metrics.counter(
             "fleet_sessions_total", help="user sessions completed", **labels
         )
+        self._exit_counters = {
+            tenant.exit_name: metrics.counter(
+                "fleet_exit_requests_total",
+                help="requests served from a deadline-planned exit",
+                exit=tenant.exit_name,
+                **labels,
+            )
+            for tenant in self.tenants
+            if tenant.exit_name is not None
+        }
         if prewarm:
             self._prewarm_stores()
 
@@ -551,6 +572,21 @@ class FleetScenario:
                 app=make_inference_app(model, name=f"{app_name}-fleet"),
                 full_costs=full_costs,
             )
+        exit_name = None
+        exit_accuracy = None
+        if self.deadline_s is not None and len(network.exit_points()) > 1:
+            # Multi-exit tenant under an SLO: plan the (split, exit) pair
+            # jointly, then serve the pruned network — the trunk past the
+            # chosen exit never ships, executes, or costs anything.
+            choice = self._plan_deadline(network)
+            exit_name = choice.exit.name
+            exit_accuracy = choice.exit.accuracy
+            if not choice.exit.is_final:
+                network = network.at_exit(choice.exit.index)
+                model = Model(network.name, network)
+                full_costs = network_costs(network)
+            if split is None:
+                split = choice.point.index
         last = len(network.layers) - 1
         if split is None:
             split = last // 2
@@ -567,6 +603,8 @@ class FleetScenario:
             rear_model=rear_model,
             front_costs=costs_for_range(network, 0, split),
             rear_costs=costs_for_range(network, split + 1, last),
+            exit_name=exit_name,
+            exit_accuracy=exit_accuracy,
             #: tells a batching server which stored model / restored global
             #: carry the rear-half inference, so concurrent same-model
             #: requests can share one batched forward
@@ -574,6 +612,29 @@ class FleetScenario:
                 "model_id": rear_model.model_id,
                 "feature_global": "feature",
             },
+        )
+
+    def _plan_deadline(self, network):
+        """Joint (split, exit) plan for a multi-exit tenant under the SLO.
+
+        Predictors are fit noise-free on the fleet's client/server device
+        profiles; the planning link is edge 0's (the fleet's reference
+        link).  Deterministic: same seed, same plan.
+        """
+        from repro.core.partition import PartitionOptimizer
+        from repro.devices.predictor import fit_predictor_for
+
+        costs = network_costs(network)
+        client_profile = odroid_xu4_client()
+        server_profile = edge_server_x86()
+        optimizer = PartitionOptimizer(
+            fit_predictor_for(client_profile, costs, noise=0.0),
+            fit_predictor_for(server_profile, costs, noise=0.0),
+            client_profile,
+            server_profile,
+        )
+        return optimizer.choose_under_deadline(
+            network, self.specs[0].profile, self.deadline_s
         )
 
     def _prewarm_stores(self) -> None:
@@ -749,6 +810,7 @@ class FleetScenario:
                     reply_timeout=self.reply_timeout,
                     retries=self.retries,
                     batch_hint=client.tenant.batch_hint,
+                    deadline_s=self.deadline_s,
                 )
             except OffloadError:
                 # An explicit ERROR reply: the edge is alive but refused —
@@ -877,6 +939,8 @@ class FleetScenario:
                     restore_seconds=outcome.restore_seconds,
                 )
             )
+            if tenant.exit_name is not None:
+                self._exit_counters[tenant.exit_name].inc()
             request_index += 1
         self._sessions_counter.inc()
 
@@ -986,6 +1050,7 @@ class FleetScenario:
                 "max_batch": 0,
                 "queue_wait_seconds": 0.0,
                 "deadline_misses": 0,
+                "dead_on_arrival": 0,
             }
             for spec in self.specs:
                 loop = self.servers[spec.name].serving

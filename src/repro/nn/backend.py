@@ -436,8 +436,10 @@ class TunedBackend(KernelBackend):
     def _int_quantized_gemm(self, qmatrix, x, out):
         """Dequant-free integer GEMM.
 
-        With ``W = s·Q + z`` (per-tensor affine weight codes) and
-        ``x = s_x·Qx + z_x`` (activations quantized on the fly):
+        With ``W = s·Q + z`` (affine weight codes; ``s``/``z`` a scalar
+        for per-tensor weights or a per-row vector for per-channel
+        weights) and ``x = s_x·Qx + z_x`` (activations quantized on the
+        fly, always per-tensor):
 
         ``W@x = s·s_x·(Q@Qx) + s·z_x·rowsum(Q) + z·s_x·colsum(Qx)
         + z·z_x·K``
@@ -445,6 +447,8 @@ class TunedBackend(KernelBackend):
         — one integer matmul plus rank-1 float corrections; the float
         weight matrix is never materialized.  Accumulation is int32
         (codes are ≤8 bits, so products fit for any K the zoo reaches).
+        Per-channel ``s``/``z`` ride the row axis, so every correction
+        term broadcasts as a column vector.
         """
         self._count("quantized_gemm")
         self._count("quantized_gemm_int")
@@ -453,22 +457,25 @@ class TunedBackend(KernelBackend):
         qx = quantize_linear(x, 8)
         codes_x = qx.codes.astype(np.int32).reshape(x.shape)
         acc = qmatrix.codes_i32() @ codes_x
-        s, z = np.float32(qmatrix.scale), np.float32(qmatrix.zero_point)
+        # (1,) for per-tensor weights, (rows,) for per-channel.
+        s = np.atleast_1d(np.asarray(qmatrix.scale, dtype=np.float32))
+        z = np.atleast_1d(np.asarray(qmatrix.zero_point, dtype=np.float32))
         s_x, z_x = np.float32(qx.scale), np.float32(qx.zero_point)
         depth = np.float32(qmatrix.shape[-1])
         result = acc.astype(np.float32)
-        result *= s * s_x
         row_term = (s * z_x) * qmatrix.row_sums()
-        col_term = (z * s_x) * codes_x.sum(axis=0, dtype=np.int64).astype(
-            np.float32
-        )
+        col_sums = codes_x.sum(axis=0, dtype=np.int64).astype(np.float32)
+        const_term = z * (z_x * depth)
         if x.ndim > 1:
+            result *= (s * s_x)[:, None]
             result += row_term[:, None]
-            result += col_term[None, :]
+            result += z[:, None] * (s_x * col_sums)[None, :]
+            result += const_term[:, None]
         else:
+            result *= s * s_x
             result += row_term
-            result += col_term
-        result += z * z_x * depth
+            result += z * (s_x * col_sums)
+            result += const_term
         if out is not None:
             np.copyto(out, result)
             return out

@@ -140,7 +140,7 @@ def spine_costs(net: Network) -> List[SpinePointCost]:
 
 
 def plan_costs(
-    net: Network, start: int = 0, end: int = None
+    net: Network, start: int = 0, end: int = None, *, exit_point: int = None
 ) -> List[LayerCost]:
     """Per-*step* costs of the compiled plan for a spine range.
 
@@ -154,8 +154,12 @@ def plan_costs(
     index, matching offload-point granularity; the join itself carries
     only the copy/add cost (one op per output element) and no parameters,
     since the branch steps already price the inner layers.
+
+    ``exit_point`` prices the early-exit plan instead: trunk steps up to
+    the exit plus the head classifier's steps, nothing past the attach
+    point (see :func:`repro.nn.plan.compile_plan`).
     """
-    plan = net.plan_for(start, end)
+    plan = net.plan_for(start, end, exit_point=exit_point)
     costs: List[LayerCost] = []
     for step in plan.steps:
         if step.kind in ("concat", "eltwise"):
@@ -185,6 +189,35 @@ def costs_for_range(net: Network, start: int, end: int) -> List[LayerCost]:
     """Expanded costs for spine layers ``start..end`` inclusive."""
     return [
         cost for cost in network_costs(net) if start <= cost.spine_index <= end
+    ]
+
+
+def exit_head_costs(net: Network, exit_index: int) -> List[LayerCost]:
+    """Expanded costs of the classifier head at spine index ``exit_index``.
+
+    The trunk entry for an exit layer is flops-free (the head only runs
+    when the exit is taken), so deadline pricing adds these on top of the
+    trunk costs for the exit actually chosen.  Every entry carries the
+    exit's spine index: the head executes wherever the trunk stops.
+    """
+    from repro.nn.layers.exits import ExitHead
+
+    layer = net.layers[exit_index]
+    if not isinstance(layer, ExitHead):
+        raise ValueError(
+            f"layer {exit_index} of {net.name!r} is {layer.kind!r}, "
+            "not an exit head"
+        )
+    return [
+        LayerCost(
+            name=f"{layer.name}/{inner.name}",
+            kind=inner.kind,
+            flops=inner.count_flops(),
+            params=inner.param_count,
+            output_shape=tuple(inner.out_shape),
+            spine_index=exit_index,
+        )
+        for inner in layer.head
     ]
 
 

@@ -16,11 +16,13 @@ from repro.nn.layers.activation import DropoutLayer, ReLULayer, SoftmaxLayer
 from repro.nn.layers.normalization import LRNLayer
 from repro.nn.layers.batchnorm import BatchNormLayer, ScaleLayer
 from repro.nn.layers.composite import InceptionModule, ResidualBlock
+from repro.nn.layers.exits import ExitHead
 
 __all__ = [
     "BatchNormLayer",
     "ConvLayer",
     "DropoutLayer",
+    "ExitHead",
     "FCLayer",
     "InceptionModule",
     "InputLayer",

@@ -1,0 +1,118 @@
+"""Early-exit classifier heads for multi-exit networks.
+
+Edgent ("Edge AI: On-Demand Accelerating DNN Inference") and BranchyNet
+attach small auxiliary classifiers to trunk layers of a CNN so a
+deadline-constrained inference can stop early, trading top-1 accuracy for
+latency.  GoogLeNet itself ships two such heads (after inception_4a and
+inception_4d) — used only for training in the original, but exactly the
+structure an early-exit deployment reuses.
+
+An :class:`ExitHead` sits *on* the network spine at its attach point.  On
+the trunk path it is the identity (deploy-time GoogLeNet drops its aux
+heads, so the full-network output is untouched); the head layers only run
+when the exit is actually taken — ``Network.at_exit`` materializes the
+pruned network, and ``compile_plan(exit_point=k)`` lowers trunk + head and
+discards everything past the attach point.  Each head carries a *modeled*
+top-1 accuracy, the quantity the joint (split, exit) optimizer maximizes
+under a latency deadline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.nn.layers.base import Layer, LayerShapeError, Shape
+from repro.sim import SeededRng
+
+
+class ExitHead(Layer):
+    """An early-exit classifier branch attached to a trunk layer.
+
+    ``head`` is the sequential classifier (pool/conv/fc/softmax …) run when
+    the exit is taken; ``accuracy`` is the exit's modeled top-1 accuracy in
+    (0, 1].  On the trunk path the layer is the identity and costs nothing
+    (``count_flops() == 0``); :meth:`head_flops` prices the head for the
+    exit-taken path.
+    """
+
+    kind = "exit"
+
+    def __init__(self, name: str, head: Sequence[Layer], accuracy: float):
+        super().__init__(name)
+        if not head:
+            raise LayerShapeError(f"exit {name!r} needs a non-empty head")
+        if not 0.0 < accuracy <= 1.0:
+            raise LayerShapeError(
+                f"exit {name!r} accuracy must be in (0, 1], got {accuracy}"
+            )
+        self.head: List[Layer] = list(head)
+        self.accuracy = float(accuracy)
+
+    # -- building -------------------------------------------------------------
+    def build(self, input_shape: Shape, rng: SeededRng) -> Shape:
+        self.input_shape = tuple(input_shape)
+        shape = self.input_shape
+        for layer in self.head:
+            shape = layer.build(shape, rng.child(f"{self.name}/{layer.name}"))
+        # Trunk path: identity — the full network never sees the head.
+        self.out_shape = self.input_shape
+        return self.out_shape
+
+    @property
+    def exit_shape(self) -> Shape:
+        """Output shape when the exit is taken (the head's final shape)."""
+        self._require_built()
+        return self.head[-1].out_shape
+
+    # -- execution ------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Trunk path: pass through unchanged (aux heads dropped at deploy)."""
+        self.check_input(x)
+        return x
+
+    def head_forward(self, x: np.ndarray) -> np.ndarray:
+        """Exit-taken path: run the classifier head."""
+        self.check_input(x)
+        value = np.asarray(x, dtype=np.float32)
+        for layer in self.head:
+            value = layer.forward(value)
+        return value
+
+    # -- accounting -----------------------------------------------------------
+    def count_flops(self) -> float:
+        return 0.0  # trunk path is free; head priced via head_flops()
+
+    def head_flops(self) -> float:
+        return float(sum(layer.count_flops() for layer in self.head))
+
+    @property
+    def param_count(self) -> int:
+        return sum(layer.param_count for layer in self.head)
+
+    def param_arrays(self) -> Dict[str, np.ndarray]:
+        """All head parameter blobs, keyed for the model file manifest."""
+        arrays: Dict[str, np.ndarray] = {}
+        for layer in self.head:
+            for key, blob in layer.params.items():
+                arrays[f"head/{layer.name}/{key}"] = blob
+        return arrays
+
+    def inner_layers(self) -> List[Layer]:
+        return list(self.head)
+
+    def exit_branch(self) -> List[Layer]:
+        """The head layers, for the plan compiler's layer table and lowering.
+
+        Distinct from ``dag_branches()`` on purpose: composites *join* their
+        branches back into the trunk, an exit *prunes* the trunk — the plan
+        compiler must not lower the head unless the exit is taken.
+        """
+        return list(self.head)
+
+    def config(self) -> Dict:
+        return {
+            "accuracy": self.accuracy,
+            "head": [layer.describe() for layer in self.head],
+        }

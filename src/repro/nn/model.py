@@ -196,7 +196,15 @@ class Model:
     @staticmethod
     def _restore_layer(layer: Layer, archive) -> None:
         from repro.nn.layers.composite import ResidualBlock
+        from repro.nn.layers.exits import ExitHead
 
+        if isinstance(layer, ExitHead):
+            for inner in layer.head:
+                for key in list(inner.params):
+                    inner.params[key] = archive[
+                        f"{layer.name}::head/{inner.name}/{key}"
+                    ]
+            return
         if isinstance(layer, InceptionModule):
             for index, branch in enumerate(layer.branches):
                 for inner in branch:
@@ -285,6 +293,14 @@ def _layer_from_description(entry: dict) -> Layer:
                 _layer_from_description(inner) for inner in config["shortcut"]
             ],
         )
+    if kind == "exit":
+        from repro.nn.layers.exits import ExitHead
+
+        return ExitHead(
+            name,
+            head=[_layer_from_description(inner) for inner in config["head"]],
+            accuracy=config["accuracy"],
+        )
     raise ValueError(f"unknown layer kind {kind!r} in description")
 
 
@@ -296,4 +312,6 @@ def network_from_description(description: dict) -> Network:
         SeededRng(0, f"load/{description['name']}"),
         input_shape=tuple(description["input_shape"]),
     )
+    if "final_accuracy" in description:
+        network.final_accuracy = description["final_accuracy"]
     return network

@@ -45,6 +45,23 @@ class OffloadPoint:
     layer_kind: str
 
 
+@dataclass(frozen=True)
+class ExitPoint:
+    """A candidate exit: stop at spine ``index`` with modeled ``accuracy``.
+
+    For an early exit, ``index`` is the spine position of the
+    :class:`~repro.nn.layers.exits.ExitHead` whose classifier runs instead
+    of the remaining trunk; the *final* exit (``is_final``) is the trunk's
+    own classifier at the last spine index.  Every network has at least the
+    final exit, so exit-oblivious callers degrade gracefully.
+    """
+
+    index: int
+    name: str
+    accuracy: float
+    is_final: bool = False
+
+
 class Network:
     """An ordered spine of layers, built against a concrete input shape."""
 
@@ -55,6 +72,10 @@ class Network:
         self.layers: List[Layer] = list(layers)
         self.input_shape: Optional[Shape] = None
         self._built = False
+        #: modeled top-1 accuracy of the full network (None: unmodeled);
+        #: zoo builders of multi-exit variants set it so the joint
+        #: (split, exit) optimizer can rank the final exit too
+        self.final_accuracy: Optional[float] = None
         #: compiled execution plans keyed by (start, end) spine range
         self._plans: dict = {}
 
@@ -149,6 +170,7 @@ class Network:
         start: int = 0,
         end: Optional[int] = None,
         quantize_bits: Optional[int] = None,
+        exit_point: Optional[int] = None,
     ):
         """The compiled :class:`~repro.nn.plan.ExecutionPlan` for a range.
 
@@ -167,11 +189,12 @@ class Network:
         self._require_built()
         if end is None:
             end = len(self.layers) - 1
-        key = (start, end, active_backend_name(), quantize_bits)
+        key = (start, end, active_backend_name(), quantize_bits, exit_point)
         plan = self._plans.get(key)
         if plan is None or not plan.is_valid():
             plan = load_or_compile_plan(
-                self, start, end, quantize_bits=quantize_bits
+                self, start, end, quantize_bits=quantize_bits,
+                exit_point=exit_point,
             )
             self._plans[key] = plan
         return plan
@@ -255,6 +278,98 @@ class Network:
                 return point
         raise KeyError(f"no offload point labelled {label!r} in {self.name!r}")
 
+    # -- early exits -------------------------------------------------------
+    def exit_points(self) -> List[ExitPoint]:
+        """Every place inference may stop, earliest first.
+
+        One :class:`ExitPoint` per :class:`~repro.nn.layers.exits.ExitHead`
+        on the spine, plus the final exit (the trunk's own classifier).  A
+        network without exit heads still returns the final exit, so the
+        deadline optimizer works on any zoo model.
+        """
+        from repro.nn.layers.exits import ExitHead
+
+        self._require_built()
+        points = [
+            ExitPoint(index=index, name=layer.name, accuracy=layer.accuracy)
+            for index, layer in enumerate(self.layers)
+            if isinstance(layer, ExitHead)
+        ]
+        points.append(
+            ExitPoint(
+                index=len(self.layers) - 1,
+                name="final",
+                accuracy=(
+                    self.final_accuracy if self.final_accuracy is not None
+                    else 1.0
+                ),
+                is_final=True,
+            )
+        )
+        return points
+
+    def exit_by_name(self, name: str) -> ExitPoint:
+        for point in self.exit_points():
+            if point.name == name:
+                return point
+        raise KeyError(f"no exit named {name!r} in {self.name!r}")
+
+    def at_exit(self, exit_index: Optional[int]) -> "Network":
+        """The network truncated at an exit: trunk up to it, then its head.
+
+        ``exit_index`` is the spine index of an
+        :class:`~repro.nn.layers.exits.ExitHead` (``None`` or the last
+        index: the full network, returned as-is).  The result shares the
+        original built layer objects — the pruned walk is bit-identical to
+        running the trunk then the head in place — so it can be wrapped in
+        a :class:`~repro.nn.model.Model`, split at any offload point before
+        the exit, and served like any other network.
+        """
+        from repro.nn.layers.exits import ExitHead
+
+        self._require_built()
+        if exit_index is None or exit_index == len(self.layers) - 1:
+            return self
+        layer = self.layers[exit_index]
+        if not isinstance(layer, ExitHead):
+            raise ValueError(
+                f"layer {exit_index} of {self.name!r} is {layer.kind!r}, "
+                "not an exit head"
+            )
+        pruned = Network(
+            f"{self.name}@{layer.name}",
+            list(self.layers[:exit_index]) + list(layer.head),
+        )
+        pruned.input_shape = self.input_shape
+        pruned._built = True
+        pruned.final_accuracy = layer.accuracy
+        return pruned
+
+    def forward_exit(
+        self,
+        x: np.ndarray,
+        exit_index: Optional[int] = None,
+        optimize: Optional[bool] = None,
+    ) -> np.ndarray:
+        """Forward pass that stops at an exit (``None``: the full network).
+
+        The optimized path compiles the exit-pruned plan
+        (``compile_plan(exit_point=k)``); the reference path walks trunk
+        layers then the head.  Both are bitwise-identical under the
+        reference backend.
+        """
+        self._require_built()
+        if exit_index is None or exit_index == len(self.layers) - 1:
+            return self.forward(x, optimize=optimize)
+        if optimize is None:
+            from repro.nn import plan as plan_module
+
+            optimize = plan_module.optimization_enabled()
+        if optimize:
+            plan = self.plan_for(0, exit_index, exit_point=exit_index)
+            return plan.forward(x)
+        return self.at_exit(exit_index).forward(x, optimize=False)
+
     # -- accounting -------------------------------------------------------------
     @property
     def param_count(self) -> int:
@@ -266,11 +381,16 @@ class Network:
 
     def describe(self) -> dict:
         self._require_built()
-        return {
+        description = {
             "name": self.name,
             "input_shape": list(self.input_shape),
             "layers": [layer.describe() for layer in self.layers],
         }
+        # Only multi-exit variants carry the key: adding it unconditionally
+        # would perturb every existing model's description checksum.
+        if self.final_accuracy is not None:
+            description["final_accuracy"] = self.final_accuracy
+        return description
 
     def __len__(self) -> int:
         return len(self.layers)

@@ -103,6 +103,7 @@ from repro.nn.layers.base import Layer
 from repro.nn.layers.batchnorm import BatchNormLayer, ScaleLayer
 from repro.nn.layers.conv import ConvLayer
 from repro.nn.layers.dense import FCLayer
+from repro.nn.layers.exits import ExitHead
 from repro.nn.layers.io import InputLayer
 from repro.nn.layers.normalization import LRNLayer
 from repro.nn.layers.pool import PoolLayer
@@ -499,11 +500,15 @@ class EltwiseAddStep(PlanStep):
 class QuantizedMatrix:
     """A per-layer affine-quantized weight matrix for quantized plan steps.
 
-    Wraps a :class:`~repro.nn.quantize.QuantizedTensor` of a 2-D matmul
-    operand and lazily caches the three derived forms backends need: the
-    dequantized float32 matrix (the fallback path), the int32 code matrix,
-    and its row sums (the rank-1 correction of the dequant-free integer
-    GEMM).  All three are computed at most once per plan.
+    Wraps a :class:`~repro.nn.quantize.QuantizedTensor` (per-tensor) or
+    :class:`~repro.nn.quantize.ChannelQuantizedTensor` (one scale/zero
+    point per output row) of a 2-D matmul operand and lazily caches the
+    three derived forms backends need: the dequantized float32 matrix
+    (the fallback path), the int32 code matrix, and its row sums (the
+    rank-1 correction of the dequant-free integer GEMM).  All three are
+    computed at most once per plan.  ``per_channel`` tells backends (and
+    the plan cache) whether ``scale``/``zero_point`` are scalars or
+    ``(rows,)`` arrays.
     """
 
     def __init__(self, quantized) -> None:
@@ -513,14 +518,19 @@ class QuantizedMatrix:
         self.zero_point = quantized.zero_point
         self.bits = quantized.bits
         self.shape = tuple(quantized.shape)
+        self.per_channel = np.ndim(quantized.scale) > 0
         self._dequantized: Optional[np.ndarray] = None
         self._codes_i32: Optional[np.ndarray] = None
         self._row_sums: Optional[np.ndarray] = None
 
     @classmethod
-    def from_array(cls, matrix: np.ndarray, bits: int) -> "QuantizedMatrix":
-        from repro.nn.quantize import quantize_linear
+    def from_array(
+        cls, matrix: np.ndarray, bits: int, per_channel: bool = False
+    ) -> "QuantizedMatrix":
+        from repro.nn.quantize import quantize_linear, quantize_linear_per_channel
 
+        if per_channel:
+            return cls(quantize_linear_per_channel(matrix, bits))
         return cls(quantize_linear(matrix, bits))
 
     def dequantized(self) -> np.ndarray:
@@ -1271,10 +1281,12 @@ def _lower_sequence(
     while position < len(indexed):
         index, layer = indexed[position]
         covered: List[Tuple[int, Layer, bool]] = [(index, layer, True)]
-        if isinstance(layer, InputLayer) or isinstance(layer, DropoutLayer):
+        if isinstance(layer, (InputLayer, DropoutLayer, ExitHead)):
             # Identity at inference time: elided outright (the plan's input
-            # shape check replaces InputLayer's validation).
-            if isinstance(layer, DropoutLayer):
+            # shape check replaces InputLayer's validation).  An ExitHead is
+            # identity on the *trunk* path; its classifier branch lowers
+            # only when ``compile_plan(exit_point=...)`` takes the exit.
+            if not isinstance(layer, InputLayer):
                 stats.elided += 1
             position += 1
             continue
@@ -1445,9 +1457,13 @@ def _quantize_steps(
     """
     rewritten: List[PlanStep] = []
     for step in steps:
+        # Weight matrices quantize per output channel (one affine range
+        # per row): a per-tensor range is hostage to the widest filter
+        # and collapses narrow-range rows onto a handful of codes.
+        # Activations stay per-tensor (quantized on the fly by backends).
         if type(step) is ConvStep:
             operands = [
-                (QuantizedMatrix.from_array(matrix, bits), bias)
+                (QuantizedMatrix.from_array(matrix, bits, per_channel=True), bias)
                 for matrix, bias in step.operands
             ]
             replacement: PlanStep = QuantizedConvStep(
@@ -1458,7 +1474,9 @@ def _quantize_steps(
                 step.name,
                 step.layers,
                 step.layer,
-                QuantizedMatrix.from_array(step.layer.params["weight"], bits),
+                QuantizedMatrix.from_array(
+                    step.layer.params["weight"], bits, per_channel=True
+                ),
                 step.relu,
             )
         else:
@@ -1479,6 +1497,7 @@ def compile_plan(
     fuse: bool = True,
     backend: Optional[str] = None,
     quantize_bits: Optional[int] = None,
+    exit_point: Optional[int] = None,
 ) -> ExecutionPlan:
     """Compile spine layers ``start..end`` (inclusive) of a built network.
 
@@ -1491,6 +1510,15 @@ def compile_plan(
     ``backend`` pins the kernel backend (default: the process-wide active
     one); ``quantize_bits`` rewrites conv/fc steps to ``bits``-bit
     quantized weights after lowering.
+
+    ``exit_point`` takes an early exit: the spine index of an
+    :class:`~repro.nn.layers.exits.ExitHead` within the range.  The trunk
+    lowers up to (excluding) the exit, the head lowers as a branch
+    subgraph hanging off the trunk's last value — the same recursive
+    lowering composite branches use — and everything past the attach point
+    is pruned: ``end`` collapses to ``exit_point`` and the plan's output
+    is the head classifier's.  Without ``exit_point``, exit heads in range
+    are identity (elided), so full-network plans are untouched by exits.
     """
     if not network.built:
         raise RuntimeError(
@@ -1506,16 +1534,51 @@ def compile_plan(
             f"invalid plan range [{start}, {end}] for network "
             f"{network.name!r} with {len(network.layers)} layers"
         )
+    exit_layer: Optional[ExitHead] = None
+    if exit_point is not None:
+        if not start <= exit_point <= end:
+            raise IndexError(
+                f"exit_point {exit_point} outside plan range "
+                f"[{start}, {end}] of network {network.name!r}"
+            )
+        candidate = network.layers[exit_point]
+        if not isinstance(candidate, ExitHead):
+            raise ValueError(
+                f"layer {exit_point} of {network.name!r} is "
+                f"{candidate.kind!r}, not an exit head"
+            )
+        exit_layer = candidate
+        end = exit_point  # the trunk past the exit is pruned
     stats = PlanStats()
     witnesses: List[Tuple[Layer, str, np.ndarray]] = []
     graph = _GraphBuilder()
-    indexed = [
-        (index, network.layers[index]) for index in range(start, end + 1)
-    ]
-    _lower_sequence(
-        graph, indexed, 0, fold=fold, fuse=fuse, stats=stats,
-        witnesses=witnesses,
-    )
+    if exit_layer is not None:
+        trunk = [
+            (index, network.layers[index]) for index in range(start, exit_point)
+        ]
+        current = _lower_sequence(
+            graph, trunk, 0, fold=fold, fuse=fuse, stats=stats,
+            witnesses=witnesses,
+        )
+        _lower_sequence(
+            graph,
+            [(exit_point, inner) for inner in exit_layer.head],
+            current,
+            fold=fold,
+            fuse=fuse,
+            stats=stats,
+            witnesses=witnesses,
+            prefix=f"{exit_layer.name}/exit/",
+        )
+        stats.branches += 1
+    else:
+        indexed = [
+            (index, network.layers[index]) for index in range(start, end + 1)
+        ]
+        _lower_sequence(
+            graph, indexed, 0, fold=fold, fuse=fuse, stats=stats,
+            witnesses=witnesses,
+        )
     steps = graph.steps
     if quantize_bits is not None:
         steps = _quantize_steps(steps, quantize_bits, stats)
@@ -1524,9 +1587,14 @@ def compile_plan(
         network.input_shape if start == 0
         else network.layers[start - 1].out_shape
     )
-    output_shape = network.layers[end].out_shape
+    if exit_layer is not None:
+        output_shape = exit_layer.exit_shape
+        name = f"{network.name}[{start}:{end}@{exit_layer.name}]"
+    else:
+        output_shape = network.layers[end].out_shape
+        name = f"{network.name}[{start}:{end}]"
     return ExecutionPlan(
-        f"{network.name}[{start}:{end}]",
+        name,
         steps,
         input_shape,
         output_shape,
@@ -1559,6 +1627,9 @@ def _layer_table(network) -> List[Layer]:
             for _tag, branch in layer.dag_branches().branches:
                 for inner in branch:
                     visit(inner)
+        if hasattr(layer, "exit_branch"):
+            for inner in layer.exit_branch():
+                visit(inner)
 
     for layer in network.layers:
         visit(layer)
@@ -1636,6 +1707,7 @@ def plan_cache_key(
     fuse: bool = True,
     backend: Optional[str] = None,
     quantize_bits: Optional[int] = None,
+    exit_point: Optional[int] = None,
 ) -> str:
     """The content address of one compiled plan.
 
@@ -1659,6 +1731,7 @@ def plan_cache_key(
         "fuse": bool(fuse),
         "backend": backend or active_backend_name(),
         "quantize": quantize_bits,
+        "exit": exit_point,
         "repro_version": repro.__version__,
         "source": source_fingerprint(),
         "format": PLAN_CACHE_FORMAT,
@@ -1732,17 +1805,29 @@ def _step_to_entry(step: PlanStep, ids: Dict[int, int]) -> Dict[str, Any]:
 
 
 def _qmatrix_to_entry(qmatrix: QuantizedMatrix) -> Dict[str, Any]:
+    # Per-channel scale/zero_point are (rows,) float32 arrays; per-tensor
+    # ones are Python floats.  The flag disambiguates on the way back in.
+    per_channel = bool(qmatrix.per_channel)
     return {
         "codes": np.ascontiguousarray(qmatrix.codes),
-        "scale": float(qmatrix.scale),
-        "zero_point": float(qmatrix.zero_point),
+        "scale": (
+            np.ascontiguousarray(qmatrix.scale, dtype=np.float32)
+            if per_channel
+            else float(qmatrix.scale)
+        ),
+        "zero_point": (
+            np.ascontiguousarray(qmatrix.zero_point, dtype=np.float32)
+            if per_channel
+            else float(qmatrix.zero_point)
+        ),
         "bits": int(qmatrix.bits),
         "shape": [int(dim) for dim in qmatrix.shape],
+        "per_channel": per_channel,
     }
 
 
 def _qmatrix_from_entry(entry: Dict[str, Any]) -> QuantizedMatrix:
-    from repro.nn.quantize import QuantizedTensor
+    from repro.nn.quantize import ChannelQuantizedTensor, QuantizedTensor
 
     shape = tuple(int(dim) for dim in entry["shape"])
     codes = np.ascontiguousarray(entry["codes"], dtype=np.uint16)
@@ -1751,6 +1836,26 @@ def _qmatrix_from_entry(entry: Dict[str, Any]) -> QuantizedMatrix:
         count *= dim
     if codes.size != count:
         raise PlanCacheError("quantized operand codes do not match its shape")
+    if entry.get("per_channel"):
+        if len(shape) != 2:
+            raise PlanCacheError("per-channel operand must be a 2-D matrix")
+        scale = np.ascontiguousarray(entry["scale"], dtype=np.float32)
+        zero_point = np.ascontiguousarray(
+            entry["zero_point"], dtype=np.float32
+        )
+        if scale.shape != (shape[0],) or zero_point.shape != (shape[0],):
+            raise PlanCacheError(
+                "per-channel operand scales do not match its row count"
+            )
+        return QuantizedMatrix(
+            ChannelQuantizedTensor(
+                codes=codes.reshape(shape),
+                scale=scale,
+                zero_point=zero_point,
+                bits=int(entry["bits"]),
+                shape=shape,
+            )
+        )
     return QuantizedMatrix(
         QuantizedTensor(
             codes=codes,
@@ -1939,6 +2044,7 @@ def load_or_compile_plan(
     fuse: bool = True,
     backend: Optional[str] = None,
     quantize_bits: Optional[int] = None,
+    exit_point: Optional[int] = None,
 ) -> ExecutionPlan:
     """:func:`compile_plan`, fronted by the cross-process plan cache.
 
@@ -1956,13 +2062,14 @@ def load_or_compile_plan(
         return compile_plan(
             network, start, end, fold=fold, fuse=fuse,
             backend=backend, quantize_bits=quantize_bits,
+            exit_point=exit_point,
         )
     if end is None:
         end = len(network.layers) - 1
     stats = exec_cache.plan_cache_stats()
     key = plan_cache_key(
         network, start, end, fold=fold, fuse=fuse,
-        backend=backend, quantize_bits=quantize_bits,
+        backend=backend, quantize_bits=quantize_bits, exit_point=exit_point,
     )
     descriptor = plan_cache.load(key)
     if descriptor is not None:
@@ -1976,7 +2083,7 @@ def load_or_compile_plan(
     started = time.perf_counter()
     plan = compile_plan(
         network, start, end, fold=fold, fuse=fuse,
-        backend=backend, quantize_bits=quantize_bits,
+        backend=backend, quantize_bits=quantize_bits, exit_point=exit_point,
     )
     stats.compile_seconds += time.perf_counter() - started
     stats.misses += 1

@@ -15,6 +15,10 @@ architecture), and shipping real weights is impossible offline anyway.
 
 :func:`smallnet` / :func:`tinynet` are small synthetic CNNs used by tests
 and examples where full-scale models would be wastefully slow.
+
+:func:`smallnet_exits` / :func:`googlenet_exits` are multi-exit variants
+(auxiliary classifier heads with modeled top-1 accuracies) for the joint
+(split, exit) deadline optimizer; see ``docs/EXITS.md``.
 """
 
 from typing import Callable, Dict
@@ -23,21 +27,27 @@ from repro.nn.model import Model
 from repro.nn.zoo.googlenet import googlenet
 from repro.nn.zoo.agenet import agenet, gendernet
 from repro.nn.zoo.alexnet import alexnet
+from repro.nn.zoo.exits import googlenet_exits, smallnet_exits
 from repro.nn.zoo.resnetlike import resnet_mini
 from repro.nn.zoo.smallnet import smallnet, tinynet
 
 BUILDERS: Dict[str, Callable[..., Model]] = {
     "googlenet": googlenet,
+    "googlenet_exits": googlenet_exits,
     "agenet": agenet,
     "gendernet": gendernet,
     "alexnet": alexnet,
     "resnet-mini": resnet_mini,
     "smallnet": smallnet,
+    "smallnet_exits": smallnet_exits,
     "tinynet": tinynet,
 }
 
 #: the paper's three benchmark apps, in presentation order
 PAPER_MODELS = ("googlenet", "agenet", "gendernet")
+
+#: the multi-exit variants, in sweep order
+EXIT_MODELS = ("smallnet_exits", "googlenet_exits")
 
 
 def build_model(name: str, seed: int = 0) -> Model:
@@ -62,13 +72,16 @@ def build_model(name: str, seed: int = 0) -> Model:
 
 __all__ = [
     "BUILDERS",
+    "EXIT_MODELS",
     "PAPER_MODELS",
     "agenet",
     "alexnet",
     "build_model",
     "gendernet",
     "googlenet",
+    "googlenet_exits",
     "resnet_mini",
     "smallnet",
+    "smallnet_exits",
     "tinynet",
 ]

@@ -1,0 +1,151 @@
+"""Multi-exit variants of the zoo models (Edgent/BranchyNet-style).
+
+``smallnet_exits`` adds two tiny classifier heads to the smallnet trunk —
+one after each pooling stage — so tests can sweep every (split, exit) pair
+in microseconds.  ``googlenet_exits`` attaches GoogLeNet's two *real*
+auxiliary classifiers (after inception_4a and inception_4d, Szegedy et al.
+2015 §5: 5x5/3 average pool, 1x1 conv of 128 filters, fc-1024, dropout
+0.7, 1000-way fc + softmax); the original trains with them and drops them
+at deploy, an early-exit deployment runs them when the deadline demands.
+
+Every exit carries a modeled top-1 accuracy; the trunk's final classifier
+carries the full-network accuracy (``Network.final_accuracy``).  The
+numbers are modeled, not measured — randomly initialized parameters have
+no real accuracy — and follow the published ordering: each later exit is
+strictly more accurate, the full network most accurate of all, with the
+aux heads landing a few points below the main classifier.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.nn.layers import (
+    ConvLayer,
+    DropoutLayer,
+    ExitHead,
+    FCLayer,
+    InputLayer,
+    LRNLayer,
+    PoolLayer,
+    ReLULayer,
+    SoftmaxLayer,
+)
+from repro.nn.layers.base import Layer
+from repro.nn.model import Model
+from repro.nn.network import Network
+from repro.nn.zoo.googlenet import INCEPTION_CONFIGS, _inception
+from repro.sim import SeededRng
+
+#: modeled top-1 accuracies (exit name -> accuracy), tests assert ordering
+SMALLNET_EXIT_ACCURACY = {"exit1": 0.62, "exit2": 0.71, "final": 0.78}
+GOOGLENET_EXIT_ACCURACY = {"loss1": 0.622, "loss2": 0.641, "final": 0.687}
+
+
+def smallnet_exits_network(num_classes: int = 10) -> Network:
+    """Smallnet with an early exit after each pooling stage."""
+    layers: List[Layer] = [
+        InputLayer((3, 32, 32)),
+        ConvLayer("conv1", 8, kernel=5, stride=1, pad=2),
+        ReLULayer("relu1"),
+        PoolLayer("pool1", kernel=2, stride=2),
+        ExitHead(
+            "exit1",
+            head=[
+                FCLayer("exit1_fc", num_classes),
+                SoftmaxLayer("exit1_prob"),
+            ],
+            accuracy=SMALLNET_EXIT_ACCURACY["exit1"],
+        ),
+        LRNLayer("norm1", local_size=3),
+        ConvLayer("conv2", 16, kernel=3, pad=1),
+        ReLULayer("relu2"),
+        PoolLayer("pool2", kernel=2, stride=2),
+        ExitHead(
+            "exit2",
+            head=[
+                FCLayer("exit2_fc", num_classes),
+                SoftmaxLayer("exit2_prob"),
+            ],
+            accuracy=SMALLNET_EXIT_ACCURACY["exit2"],
+        ),
+        FCLayer("fc3", 32),
+        ReLULayer("relu3"),
+        DropoutLayer("drop3", rate=0.5),
+        FCLayer("fc4", num_classes),
+        SoftmaxLayer("prob"),
+    ]
+    network = Network("smallnet_exits", layers)
+    network.final_accuracy = SMALLNET_EXIT_ACCURACY["final"]
+    return network
+
+
+def smallnet_exits(seed: int = 0, num_classes: int = 10) -> Model:
+    network = smallnet_exits_network(num_classes)
+    network.build(SeededRng(seed, "zoo/smallnet_exits"))
+    return Model("smallnet_exits", network)
+
+
+def _googlenet_aux_head(name: str, num_classes: int) -> List[Layer]:
+    """One real GoogLeNet auxiliary classifier (Szegedy et al. 2015 §5)."""
+    return [
+        PoolLayer(f"{name}_ave_pool", kernel=5, stride=3, mode="avg"),
+        ConvLayer(f"{name}_conv", 128, kernel=1),
+        ReLULayer(f"{name}_relu_conv"),
+        FCLayer(f"{name}_fc", 1024),
+        ReLULayer(f"{name}_relu_fc"),
+        DropoutLayer(f"{name}_drop_fc", rate=0.7),
+        FCLayer(f"{name}_classifier", num_classes),
+        SoftmaxLayer(f"{name}_prob"),
+    ]
+
+
+def googlenet_exits_network() -> Network:
+    """GoogLeNet with its two auxiliary classifiers as early exits."""
+    layers: List[Layer] = [
+        InputLayer((3, 224, 224)),
+        ConvLayer("conv1_7x7_s2", 64, kernel=7, stride=2, pad=3),
+        ReLULayer("relu_conv1"),
+        PoolLayer("pool1_3x3_s2", kernel=3, stride=2),
+        LRNLayer("pool1_norm1", local_size=5),
+        ConvLayer("conv2_3x3_reduce", 64, kernel=1),
+        ReLULayer("relu_conv2_reduce"),
+        ConvLayer("conv2_3x3", 192, kernel=3, pad=1),
+        ReLULayer("relu_conv2"),
+        LRNLayer("conv2_norm2", local_size=5),
+        PoolLayer("pool2_3x3_s2", kernel=3, stride=2),
+        _inception("3a", INCEPTION_CONFIGS["3a"]),
+        _inception("3b", INCEPTION_CONFIGS["3b"]),
+        PoolLayer("pool3_3x3_s2", kernel=3, stride=2),
+        _inception("4a", INCEPTION_CONFIGS["4a"]),
+        ExitHead(
+            "loss1",
+            head=_googlenet_aux_head("loss1", 1000),
+            accuracy=GOOGLENET_EXIT_ACCURACY["loss1"],
+        ),
+        _inception("4b", INCEPTION_CONFIGS["4b"]),
+        _inception("4c", INCEPTION_CONFIGS["4c"]),
+        _inception("4d", INCEPTION_CONFIGS["4d"]),
+        ExitHead(
+            "loss2",
+            head=_googlenet_aux_head("loss2", 1000),
+            accuracy=GOOGLENET_EXIT_ACCURACY["loss2"],
+        ),
+        _inception("4e", INCEPTION_CONFIGS["4e"]),
+        PoolLayer("pool4_3x3_s2", kernel=3, stride=2),
+        _inception("5a", INCEPTION_CONFIGS["5a"]),
+        _inception("5b", INCEPTION_CONFIGS["5b"]),
+        PoolLayer("pool5_7x7_s1", kernel=7, stride=1, mode="avg"),
+        DropoutLayer("pool5_drop", rate=0.4),
+        FCLayer("loss3_classifier", 1000),
+        SoftmaxLayer("prob"),
+    ]
+    network = Network("googlenet_exits", layers)
+    network.final_accuracy = GOOGLENET_EXIT_ACCURACY["final"]
+    return network
+
+
+def googlenet_exits(seed: int = 0) -> Model:
+    network = googlenet_exits_network()
+    network.build(SeededRng(seed, "zoo/googlenet_exits"))
+    return Model("googlenet_exits", network)

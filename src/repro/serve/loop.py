@@ -100,6 +100,7 @@ class ServingLoop:
             "max_batch": 0,
             "queue_wait_seconds": 0.0,
             "deadline_misses": 0,
+            "dead_on_arrival": 0,
         }
         metrics = sim.metrics
         self._depth_gauge = metrics.gauge(
@@ -122,6 +123,11 @@ class ServingLoop:
             help="work items completing past their deadline",
             server=server_name,
         )
+        self._doa_counter = metrics.counter(
+            "server_deadline_dead_on_arrival_total",
+            help="work items whose deadline had passed before dispatch",
+            server=server_name,
+        )
 
     # -- intake ---------------------------------------------------------------
     def submit(
@@ -134,9 +140,15 @@ class ServingLoop:
         exec_seconds: float,
         model_id: Optional[str] = None,
         feature: Any = None,
+        deadline_s: Optional[float] = None,
     ) -> WorkItem:
-        """Enqueue one restored request; returns the item to wait on."""
+        """Enqueue one restored request; returns the item to wait on.
+
+        ``deadline_s`` overrides the loop-wide ``config.deadline_s`` for
+        this item (per-request SLOs ride in on the snapshot).
+        """
         now = self.sim.now
+        deadline = deadline_s if deadline_s is not None else self.config.deadline_s
         item = WorkItem(
             sender=sender,
             request_id=request_id,
@@ -146,11 +158,7 @@ class ServingLoop:
             model_id=model_id,
             feature=feature,
             enqueued_at=now,
-            deadline_at=(
-                now + self.config.deadline_s
-                if self.config.deadline_s is not None
-                else None
-            ),
+            deadline_at=(now + deadline if deadline is not None else None),
             done=self.sim.event(label=f"serve-done:{sender}:{request_id}"),
         )
         queue = self._queue_for(item.batch_key)
@@ -225,6 +233,21 @@ class ServingLoop:
             for item in batch:
                 item.formed_at = self.sim.now
                 item.batch_size = len(batch)
+                if (
+                    item.deadline_at is not None
+                    and self.sim.now > item.deadline_at
+                ):
+                    # Dead on arrival: the deadline passed while the item
+                    # sat in the queue.  Count the miss here, once — the
+                    # completion check below would otherwise re-count it —
+                    # and flag the item so the reply can say the result
+                    # was already stale when work began.  The item still
+                    # executes: a late answer beats none.
+                    item.dead_on_arrival = True
+                    self.stats["deadline_misses"] += 1
+                    self.stats["dead_on_arrival"] += 1
+                    self._deadline_counter.inc()
+                    self._doa_counter.inc()
             # Hand the batch to the device and go straight back to
             # forming: the device FIFO serializes executions, and the
             # former's timeout stays a hard bound on forming wait.
@@ -260,7 +283,11 @@ class ServingLoop:
             )
             self.stats["queue_wait_seconds"] += item.queue_seconds
             self._queue_wait_hist.observe(item.queue_seconds)
-            if item.deadline_at is not None and completed_at > item.deadline_at:
+            if (
+                not item.dead_on_arrival
+                and item.deadline_at is not None
+                and completed_at > item.deadline_at
+            ):
                 self.stats["deadline_misses"] += 1
                 self._deadline_counter.inc()
             item.done.succeed(item)

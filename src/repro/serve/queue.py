@@ -56,6 +56,9 @@ class WorkItem:
     #: this item's proportional share of the batch's device time
     exec_share_seconds: float = 0.0
     batch_size: int = 0
+    #: the deadline had already passed when the former cut this item into
+    #: a batch — the miss is counted once, at dequeue, not at completion
+    dead_on_arrival: bool = False
     #: exception raised by the handler, if any (classified by the server)
     error: Optional[BaseException] = None
 

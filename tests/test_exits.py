@@ -1,0 +1,531 @@
+"""Multi-exit networks: (split, exit) equivalence and the bugfix sweep.
+
+Four contracts land together in this file:
+
+* **(split, exit) equivalence** — every (split, exit) pair of a
+  multi-exit model executes identically through the compiled plans and
+  the reference layer walk: bitwise under the ``reference`` backend,
+  within the pinned tolerance (and top-1 equality) under ``tuned``.
+* **deadline optimization** — ``choose_under_deadline`` returns the
+  highest-accuracy feasible (split, exit) pair; accuracy is monotone
+  non-decreasing in the deadline (the feasible set only grows), every
+  feasible choice meets its SLO, and an infeasible deadline degrades to
+  the least-late pair instead of raising.
+* **tie-breaking** — ``choose`` resolves equal-cost splits toward the
+  earlier index, independent of sweep enumeration order (it used to
+  silently prefer whichever the sweep listed first).
+* **dead-on-arrival accounting** — a serving-loop item whose deadline
+  passed while it queued is counted (and flagged) once, at dequeue,
+  instead of at completion; misses that happen *during* execution are
+  still counted at completion, and no item is ever counted twice.
+* **per-channel quantization** — conv/fc weight matrices quantize with
+  one affine range per output row; a skewed-row matrix that a shared
+  per-tensor range butchers reconstructs within per-row precision.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import (
+    PartitionEstimate,
+    PartitionOptimizer,
+)
+from repro.devices import edge_server_x86, odroid_xu4_client
+from repro.devices.device import Device
+from repro.devices.predictor import fit_predictor_for
+from repro.netsim import NetemProfile
+from repro.nn.backend import set_backend
+from repro.nn.cost import network_costs
+from repro.nn.model import Model, network_from_description
+from repro.nn.plan import QuantizedMatrix
+from repro.nn.quantize import (
+    ChannelQuantizedTensor,
+    quantize_linear,
+    quantize_linear_per_channel,
+)
+from repro.nn.zoo import EXIT_MODELS, build_model
+from repro.serve import ServingConfig, ServingLoop
+from repro.sim import SeededRng, Simulator
+
+import json
+
+#: the tuned backend's pinned tolerance (same as the backend suite)
+TUNED_ATOL = 1e-4
+
+
+def model_input(model, seed=7):
+    return SeededRng(seed, f"exits/{model.name}").uniform_array(
+        tuple(model.network.input_shape), 0, 255
+    )
+
+
+@pytest.fixture(scope="module")
+def exits_model():
+    return build_model("smallnet_exits")
+
+
+@pytest.fixture(scope="module")
+def exits_network(exits_model):
+    return exits_model.network
+
+
+@pytest.fixture(scope="module")
+def optimizer(exits_network):
+    costs = network_costs(exits_network)
+    client_profile = odroid_xu4_client()
+    server_profile = edge_server_x86()
+    return PartitionOptimizer(
+        fit_predictor_for(client_profile, costs, noise=0.0),
+        fit_predictor_for(server_profile, costs, noise=0.0),
+        client_profile,
+        server_profile,
+    )
+
+
+@pytest.fixture
+def link():
+    return NetemProfile.wifi_30mbps()
+
+
+@pytest.fixture(autouse=True)
+def _reset_backend():
+    yield
+    set_backend(None)
+
+
+class TestExitZoo:
+    @pytest.mark.parametrize("name", EXIT_MODELS)
+    def test_exit_points_end_with_final(self, name):
+        exits = build_model(name).network.exit_points()
+        assert len(exits) > 1
+        assert all(not exit.is_final for exit in exits[:-1])
+        assert exits[-1].is_final
+        assert exits[-1].name == "final"
+
+    @pytest.mark.parametrize("name", EXIT_MODELS)
+    def test_exit_accuracy_increases_with_depth(self, name):
+        exits = build_model(name).network.exit_points()
+        accuracies = [exit.accuracy for exit in exits]
+        assert accuracies == sorted(accuracies)
+        assert all(0.0 < accuracy <= 1.0 for accuracy in accuracies)
+
+    def test_at_exit_prunes_and_reports_exit_accuracy(self, exits_network):
+        exit = exits_network.exit_points()[0]
+        pruned = exits_network.at_exit(exit.index)
+        assert len(pruned.layers) < len(exits_network.layers)
+        assert pruned.final_accuracy == exit.accuracy
+        # layer objects (and therefore weights) are shared, not copied
+        assert pruned.layers[1] is exits_network.layers[1]
+
+    def test_at_exit_final_returns_self_network(self, exits_network):
+        final = exits_network.exit_points()[-1]
+        pruned = exits_network.at_exit(final.index)
+        assert len(pruned.layers) == len(exits_network.layers)
+
+
+@pytest.mark.exits
+class TestSplitExitEquivalence:
+    def _pairs(self, network):
+        for exit in network.exit_points():
+            if exit.is_final:
+                continue
+            for point in network.offload_points():
+                if 0 < point.index < exit.index:
+                    yield point, exit
+
+    def test_reference_backend_bitwise_at_every_pair(self, exits_network):
+        set_backend("reference")
+        x = SeededRng(3, "exits/pairs").uniform_array(
+            tuple(exits_network.input_shape), 0, 255
+        )
+        for point, exit in self._pairs(exits_network):
+            walk = exits_network.at_exit(exit.index).forward(x, optimize=False)
+            front = exits_network.plan_for(0, point.index)
+            rear = exits_network.plan_for(
+                point.index + 1, exit.index, exit_point=exit.index
+            )
+            planned = rear.forward(front.forward(x))
+            assert np.array_equal(planned, walk), (
+                f"split @{point.index} x exit {exit.name} diverged from "
+                "the reference walk"
+            )
+
+    def test_tuned_backend_within_tolerance_at_every_pair(self, exits_network):
+        x = SeededRng(3, "exits/pairs").uniform_array(
+            tuple(exits_network.input_shape), 0, 255
+        )
+        for point, exit in self._pairs(exits_network):
+            set_backend("reference")
+            walk = exits_network.at_exit(exit.index).forward(x, optimize=False)
+            set_backend("tuned")
+            front = exits_network.plan_for(0, point.index)
+            rear = exits_network.plan_for(
+                point.index + 1, exit.index, exit_point=exit.index
+            )
+            planned = rear.forward(front.forward(x))
+            assert np.allclose(planned, walk, atol=TUNED_ATOL)
+            assert int(np.argmax(planned)) == int(np.argmax(walk))
+
+    def test_forward_exit_optimized_matches_walk(self, exits_network):
+        set_backend("reference")
+        x = SeededRng(5, "exits/forward").uniform_array(
+            tuple(exits_network.input_shape), 0, 255
+        )
+        for exit in exits_network.exit_points():
+            optimized = exits_network.forward_exit(x, exit.index, optimize=True)
+            walked = exits_network.forward_exit(x, exit.index, optimize=False)
+            assert np.array_equal(optimized, walked)
+
+    @pytest.mark.parametrize("name", EXIT_MODELS)
+    def test_description_roundtrip_preserves_exits(self, name):
+        model = build_model(name)
+        description = json.loads(model.description_json())
+        restored = network_from_description(description)
+        assert [e.name for e in restored.exit_points()] == [
+            e.name for e in model.network.exit_points()
+        ]
+        assert [e.accuracy for e in restored.exit_points()] == [
+            e.accuracy for e in model.network.exit_points()
+        ]
+
+    def test_save_load_roundtrip_preserves_exit_inference(
+        self, tmp_path, exits_model
+    ):
+        exits_model.save(str(tmp_path))
+        loaded = Model.load(str(tmp_path), exits_model.name)
+        x = model_input(exits_model)
+        for exit in exits_model.network.exit_points():
+            original = exits_model.network.forward_exit(x, exit.index)
+            restored = loaded.network.forward_exit(x, exit.index)
+            assert np.allclose(restored, original, atol=1e-6)
+
+    def test_exit_point_outside_range_rejected(self, exits_network):
+        exit = exits_network.exit_points()[0]
+        with pytest.raises(IndexError):
+            exits_network.plan_for(
+                exit.index + 1, None, exit_point=exit.index
+            )
+
+    def test_exit_point_must_be_an_exit_head(self, exits_network):
+        with pytest.raises(ValueError):
+            exits_network.plan_for(0, None, exit_point=1)
+
+
+class TestChooseUnderDeadline:
+    def test_generous_deadline_picks_full_network(
+        self, exits_network, optimizer, link
+    ):
+        choice = optimizer.choose_under_deadline(exits_network, link, 3600.0)
+        assert choice.feasible
+        assert choice.exit.is_final
+        assert choice.accuracy == exits_network.final_accuracy
+
+    def test_feasible_choice_meets_its_deadline(
+        self, exits_network, optimizer, link
+    ):
+        for deadline_s in (0.05, 0.1, 0.5, 2.0):
+            choice = optimizer.choose_under_deadline(
+                exits_network, link, deadline_s
+            )
+            if choice.feasible:
+                assert choice.best.total_seconds <= deadline_s
+
+    def test_infeasible_deadline_falls_back_to_fastest(
+        self, exits_network, optimizer, link
+    ):
+        choice = optimizer.choose_under_deadline(exits_network, link, 1e-6)
+        assert not choice.feasible
+        assert choice.best.total_seconds == min(
+            pair.total_seconds for pair in choice.estimates
+        )
+
+    def test_splits_never_at_or_past_their_exit(
+        self, exits_network, optimizer, link
+    ):
+        choice = optimizer.choose_under_deadline(exits_network, link, 1.0)
+        assert all(
+            pair.point.index < pair.exit.index for pair in choice.estimates
+        )
+
+    def test_invalid_deadline_rejected(self, exits_network, optimizer, link):
+        with pytest.raises(ValueError):
+            optimizer.choose_under_deadline(exits_network, link, 0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        tight=st.floats(min_value=1e-3, max_value=10.0, allow_nan=False),
+        slack=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    )
+    def test_accuracy_monotone_in_deadline(self, tight, slack):
+        # Module-scoped fixtures don't mix with Hypothesis; rebuild once
+        # per example from the process-wide memoized model.
+        network = build_model("smallnet_exits").network
+        costs = network_costs(network)
+        client_profile = odroid_xu4_client()
+        server_profile = edge_server_x86()
+        optimizer = PartitionOptimizer(
+            fit_predictor_for(client_profile, costs, noise=0.0),
+            fit_predictor_for(server_profile, costs, noise=0.0),
+            client_profile,
+            server_profile,
+        )
+        link = NetemProfile.wifi_30mbps()
+        first = optimizer.choose_under_deadline(network, link, tight)
+        second = optimizer.choose_under_deadline(network, link, tight + slack)
+        # The feasible set only grows with the deadline, so accuracy can
+        # never decrease — and a feasible choice never breaks its SLO.
+        assert second.accuracy >= first.accuracy or not first.feasible
+        for choice, deadline_s in ((first, tight), (second, tight + slack)):
+            if choice.feasible:
+                assert choice.best.total_seconds <= deadline_s
+
+
+class _RiggedOptimizer(PartitionOptimizer):
+    """Sweeps in reverse with rigged costs — tie-break order probe."""
+
+    def __init__(self, inner: PartitionOptimizer, costs_by_index):
+        super().__init__(
+            inner.client_predictor,
+            inner.server_predictor,
+            inner.client_profile,
+            inner.server_profile,
+        )
+        self._costs_by_index = costs_by_index
+
+    def estimate(self, network, point, link):
+        return PartitionEstimate(
+            point=point,
+            client_seconds=self._costs_by_index.get(point.index, 2.0),
+            transfer_seconds=0.0,
+            server_seconds=0.0,
+            overhead_seconds=0.0,
+            feature_bytes=1,
+        )
+
+    def sweep(self, network, link, points=None):
+        if points is None:
+            points = network.offload_points()
+        # Reverse enumeration: a choice that leans on "first wins" picks
+        # the *later* of two tied splits here.
+        return [self.estimate(network, point, link) for point in reversed(points)]
+
+
+class TestChooseTieBreak:
+    def test_equal_cost_tie_resolves_to_earlier_split(
+        self, exits_network, optimizer, link
+    ):
+        points = exits_network.offload_points()
+        tied = (points[2].index, points[5].index)
+        rigged = _RiggedOptimizer(
+            optimizer, {index: 1.0 for index in tied}
+        )
+        choice = rigged.choose(exits_network, link, denature=False)
+        # Both tied splits cost 1.0 (everything else 2.0); the earlier
+        # index must win even though the sweep enumerated it last.
+        assert choice.point.index == min(tied)
+
+    def test_all_tied_picks_first_offload_point(
+        self, exits_network, optimizer, link
+    ):
+        points = exits_network.offload_points()
+        rigged = _RiggedOptimizer(
+            optimizer, {point.index: 1.0 for point in points}
+        )
+        choice = rigged.choose(exits_network, link, denature=False)
+        assert choice.point.index == min(point.index for point in points)
+
+
+def _run_serving(deadline_s, exec_seconds, timeout_s):
+    """One item through a bare serving loop; returns (loop, completed)."""
+    sim = Simulator()
+    device = Device(sim, edge_server_x86())
+    loop = ServingLoop(
+        sim,
+        device,
+        "edge-test",
+        ServingConfig(
+            max_batch=8, batch_timeout_s=timeout_s, deadline_s=deadline_s
+        ),
+    )
+    completed = []
+
+    def submitter():
+        yield sim.timeout(0.0)
+        item = loop.submit(
+            sender="user-0",
+            request_id=1,
+            browser=None,
+            event=None,
+            exec_seconds=exec_seconds,
+            model_id="m",
+            feature=object(),
+        )
+        item.done.add_callback(lambda event: completed.append(event.value))
+
+    sim.spawn(submitter())
+    sim.run(until=600.0)
+    return loop, completed
+
+
+class TestDeadOnArrival:
+    def test_stale_item_counted_once_at_dequeue(self):
+        # The deadline (1 ms) expires while the lone item waits out the
+        # former's 50 ms timeout: dead on arrival.  The miss is counted
+        # once, at dequeue — the completion check must not re-count it.
+        loop, completed = _run_serving(
+            deadline_s=0.001, exec_seconds=0.001, timeout_s=0.05
+        )
+        assert len(completed) == 1
+        assert completed[0].dead_on_arrival
+        assert loop.stats["dead_on_arrival"] == 1
+        assert loop.stats["deadline_misses"] == 1
+
+    def test_stale_item_still_executes(self):
+        # A late answer beats none: the item completes normally.
+        _, completed = _run_serving(
+            deadline_s=0.001, exec_seconds=0.001, timeout_s=0.05
+        )
+        assert completed[0].exec_share_seconds > 0.0
+
+    def test_execution_miss_counted_at_completion_not_flagged(self):
+        # Deadline survives the queue (10 ms timeout < 100 ms SLO) but
+        # dies during the 1 s execution: a plain completion miss.
+        loop, completed = _run_serving(
+            deadline_s=0.1, exec_seconds=1.0, timeout_s=0.01
+        )
+        assert len(completed) == 1
+        assert not completed[0].dead_on_arrival
+        assert loop.stats["dead_on_arrival"] == 0
+        assert loop.stats["deadline_misses"] == 1
+
+    def test_met_deadline_counts_nothing(self):
+        loop, completed = _run_serving(
+            deadline_s=30.0, exec_seconds=0.001, timeout_s=0.01
+        )
+        assert len(completed) == 1
+        assert loop.stats["dead_on_arrival"] == 0
+        assert loop.stats["deadline_misses"] == 0
+
+
+def _skewed_matrix(rows=8, cols=64, seed=0):
+    """Row ranges spanning four orders of magnitude."""
+    rng = np.random.default_rng(seed)
+    spans = np.geomspace(1e-3, 10.0, rows)[:, None]
+    return (rng.normal(0.0, 1.0, (rows, cols)) * spans).astype(np.float32)
+
+
+class TestPerChannelQuantization:
+    def test_skewed_rows_reconstruct_within_row_precision(self):
+        # Per-tensor: one shared range, hostage to the widest row; the
+        # narrow rows collapse onto a handful of codes.  Per-channel must
+        # reconstruct every row within its own 8-bit step size — a bound
+        # the shared range misses by orders of magnitude on narrow rows.
+        matrix = _skewed_matrix()
+        per_tensor = quantize_linear(matrix, 8)
+        per_channel = quantize_linear_per_channel(matrix, 8)
+        tensor_err = np.abs(
+            per_tensor.dequantize().reshape(matrix.shape) - matrix
+        )
+        channel_err = np.abs(per_channel.dequantize() - matrix)
+        row_step = (
+            matrix.max(axis=1) - matrix.min(axis=1)
+        ) / 255.0
+        assert np.all(channel_err.max(axis=1) <= row_step + 1e-7)
+        narrow = 0  # the 1e-3-span row
+        assert tensor_err[narrow].max() > 100 * channel_err[narrow].max()
+
+    def test_pack_roundtrip(self):
+        for bits in (3, 8, 12):
+            quantized = quantize_linear_per_channel(_skewed_matrix(), bits)
+            restored = ChannelQuantizedTensor.from_packed(
+                quantized.pack(),
+                quantized.scale,
+                quantized.zero_point,
+                bits,
+                quantized.shape,
+            )
+            assert np.array_equal(restored.codes, quantized.codes)
+            assert np.array_equal(
+                restored.dequantize(), quantized.dequantize()
+            )
+
+    def test_size_bytes_charges_per_row_params(self):
+        quantized = quantize_linear_per_channel(_skewed_matrix(rows=8), 8)
+        flat = quantize_linear(_skewed_matrix(rows=8), 8)
+        assert quantized.size_bytes == flat.size_bytes + 8 * 8
+
+    def test_degenerate_row_reconstructs_exactly(self):
+        matrix = np.vstack(
+            [np.full(16, 2.5, np.float32), np.arange(16, dtype=np.float32)]
+        )
+        quantized = quantize_linear_per_channel(matrix, 4)
+        assert np.allclose(quantized.dequantize()[0], 2.5)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_linear_per_channel(np.zeros((2, 3, 4), np.float32))
+
+    @pytest.mark.parametrize("ndim", [1, 2])
+    def test_integer_gemm_matches_identity(self, ndim):
+        # The dequant-free integer GEMM must equal the dequantized-weight
+        # matmul over the dequantized activations — exactly, up to float
+        # rounding — with per-row scale vectors broadcasting like the
+        # scalars did.
+        from repro.nn.backend import get_backend
+
+        matrix = _skewed_matrix(rows=16, cols=32, seed=1)
+        rng = np.random.default_rng(2)
+        shape = (32,) if ndim == 1 else (32, 5)
+        x = rng.normal(0.0, 1.0, shape).astype(np.float32)
+        qmatrix = QuantizedMatrix.from_array(matrix, 8, per_channel=True)
+        assert qmatrix.per_channel
+        dequantized_x = (
+            quantize_linear(x, 8).dequantize().reshape(x.shape)
+        )
+        identity = qmatrix.dequantized() @ dequantized_x
+        result = get_backend("tuned").quantized_gemm(qmatrix, x)
+        scale = float(np.abs(identity).max()) or 1.0
+        assert np.abs(result - identity).max() / scale < 1e-5
+
+    def test_quantized_plan_descriptor_roundtrip_bitwise(self):
+        import pickle
+
+        from repro.nn.plan import (
+            compile_plan,
+            plan_from_descriptor,
+            plan_to_descriptor,
+        )
+
+        model = build_model("smallnet")
+        network = model.network
+        x = model_input(model)
+        plan = compile_plan(network, quantize_bits=8)
+        descriptor = pickle.loads(
+            pickle.dumps(plan_to_descriptor(plan, network))
+        )
+        restored = plan_from_descriptor(descriptor, network)
+        assert np.array_equal(restored.forward(x), plan.forward(x))
+
+    def test_rehydrated_operands_stay_per_channel(self):
+        from repro.nn.plan import (
+            QuantizedFCStep,
+            compile_plan,
+            plan_from_descriptor,
+            plan_to_descriptor,
+        )
+
+        network = build_model("smallnet").network
+        plan = compile_plan(network, quantize_bits=8)
+        restored = plan_from_descriptor(
+            plan_to_descriptor(plan, network), network
+        )
+        fc_steps = [
+            step for step in restored.steps
+            if isinstance(step, QuantizedFCStep)
+        ]
+        assert fc_steps
+        for step in fc_steps:
+            assert step.qmatrix.per_channel
+            assert step.qmatrix.scale.shape == (step.qmatrix.shape[0],)
